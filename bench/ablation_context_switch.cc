@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Context-switch robustness: the B-Cache's decoders are *programmed
+ * state*, so after a context switch the new program must reprogram the
+ * PDs through its own misses. This study interleaves two benchmarks'
+ * data streams at varying quantum lengths and checks whether the
+ * B-Cache's relearning cost is any worse than the refill cost every
+ * cache pays — it is not, because a PD entry reprograms on exactly the
+ * miss that would have refilled the line anyway.
+ */
+
+#include "bench/bench_util.hh"
+#include "common/strings.hh"
+#include "workload/generators.hh"
+#include "workload/spec2k.hh"
+
+using namespace bsim;
+using namespace bsim::bench;
+
+namespace {
+
+AccessStreamPtr
+switchingStream(const char *a, const char *b, std::uint64_t quantum)
+{
+    std::vector<AccessStreamPtr> kids;
+    kids.push_back(makeSpecWorkload(a).data);
+    kids.push_back(makeSpecWorkload(b).data);
+    return std::make_unique<PhasedStream>(
+        std::move(kids), std::vector<std::uint64_t>{quantum, quantum});
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("ablation_context_switch",
+           "design study (PD reprogramming across context switches)");
+    const std::uint64_t n = defaultAccesses(400'000);
+
+    const std::vector<CacheConfig> configs = {
+        CacheConfig::directMapped(16 * 1024),
+        CacheConfig::setAssoc(16 * 1024, 8),
+        CacheConfig::bcache(16 * 1024, 8, 8),
+        CacheConfig::victim(16 * 1024, 16),
+    };
+
+    Table t({"quantum", "dm miss%", "8way miss%", "MF8-BAS8 miss%",
+             "victim16 miss%", "MF8 pd-hit-on-miss%"});
+    for (std::uint64_t quantum :
+         {1'000ull, 10'000ull, 100'000ull, 10'000'000ull}) {
+        std::vector<double> miss;
+        double pdhit = 0;
+        for (const auto &cfg : configs) {
+            auto stream = switchingStream("gcc", "equake", quantum);
+            const MissRateResult r =
+                runMissRateOn(*stream, cfg, n, "gcc+equake");
+            miss.push_back(100.0 * r.missRate());
+            if (r.pd)
+                pdhit = 100.0 * r.pd->pdHitRateOnMiss();
+        }
+        t.row()
+            .cell(quantum >= n ? std::string("none")
+                               : strprintf("%llu",
+                                           static_cast<unsigned long
+                                                       long>(quantum)))
+            .cell(miss[0], 2)
+            .cell(miss[1], 2)
+            .cell(miss[2], 2)
+            .cell(miss[3], 2)
+            .cell(pdhit, 1);
+    }
+    t.print("gcc/equake alternating data streams, 16kB D$ (quantum = "
+            "accesses per program before switching)");
+    return 0;
+}

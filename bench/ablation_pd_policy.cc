@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Design-space ablation for the decisions DESIGN.md calls out: the BAS
+ * sweep (Section 4.3.1: past 8 clusters the returns vanish while PD cost
+ * keeps growing) and the forced-replacement consequence of PD hits: the
+ * share of misses in which the replacement policy is bypassed, by MF.
+ */
+
+#include "bench/bench_util.hh"
+#include "common/strings.hh"
+#include "power/cacti_lite.hh"
+#include "timing/storage_model.hh"
+#include "workload/spec2k.hh"
+
+using namespace bsim;
+using namespace bsim::bench;
+
+int
+main()
+{
+    banner("ablation_pd_policy",
+           "Sections 4.3.1/6.3 ablations (BAS sweep; PD-forced "
+           "replacements)");
+    const std::uint64_t n = defaultAccesses(400'000);
+
+    // ---- BAS sweep at MF = 8: miss-rate returns vs hardware cost.
+    Table t({"BAS", "PI-bits", "D$ red%", "area-over-base%",
+             "energy/access pJ"});
+    const StorageCost base_area = conventionalStorage(16 * 1024, 32, 1);
+    for (std::uint32_t bas : {1u, 2u, 4u, 8u, 16u, 32u}) {
+        RunningStat rd;
+        for (const auto &b : spec2kNames()) {
+            const double dm =
+                runMissRate(b, StreamSide::Data,
+                            CacheConfig::directMapped(16 * 1024), n)
+                    .missRate();
+            const double bc =
+                runMissRate(b, StreamSide::Data,
+                            CacheConfig::bcache(16 * 1024, 8, bas), n)
+                    .missRate();
+            rd.add(reductionPct(dm, bc));
+        }
+        const CacheConfig cfg = CacheConfig::bcache(16 * 1024, 8, bas);
+        const BCacheParams p = cfg.bcacheParams();
+        t.row()
+            .cell(bas)
+            .cell(deriveLayout(p).piBits)
+            .cell(rd.mean(), 1)
+            .cell(areaOverheadPct(base_area, bcacheStorage(p)), 2)
+            .cell(CactiLite::bcache(p).total(), 1);
+    }
+    t.print("BAS sweep at MF=8 (LRU): diminishing returns past BAS=8");
+
+    // ---- Forced replacements: fraction of misses where the PD hit
+    // pins the victim, by MF (the replacement policy is bypassed).
+    Table f({"MF", "PD-hit-on-miss% (D$)", "policy-chosen victims%"});
+    for (std::uint32_t mf : {2u, 4u, 8u, 16u, 32u, 64u}) {
+        RunningStat ph;
+        for (const auto &b : spec2kNames()) {
+            const auto r = runMissRate(
+                b, StreamSide::Data,
+                CacheConfig::bcache(16 * 1024, mf, 8), n);
+            ph.add(100.0 * r.pd->pdHitRateOnMiss());
+        }
+        f.row()
+            .cell(strprintf("MF%u", mf))
+            .cell(ph.mean(), 1)
+            .cell(100.0 - ph.mean(), 1);
+    }
+    f.print("how often the unique-decoding constraint overrides the "
+            "replacement policy");
+    return 0;
+}

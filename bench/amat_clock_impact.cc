@@ -1,0 +1,76 @@
+/**
+ * @file
+ * The paper's headline argument, quantified: set-associative caches
+ * reduce misses but sit on the clock's critical path; the B-Cache gets
+ * its reduction at the direct-mapped access time. This harness combines
+ * the measured suite miss rates with the logical-effort access-time
+ * model into nanosecond AMAT, with and without letting the L1 stretch
+ * the cycle.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "sim/amat.hh"
+#include "workload/spec2k.hh"
+
+using namespace bsim;
+using namespace bsim::bench;
+
+int
+main()
+{
+    banner("amat_clock_impact",
+           "Section 1 synthesis (AMAT with L1 on the critical path)");
+    const std::uint64_t n = defaultAccesses(300'000);
+
+    const std::vector<CacheConfig> configs = {
+        CacheConfig::directMapped(16 * 1024),
+        CacheConfig::setAssoc(16 * 1024, 2),
+        CacheConfig::setAssoc(16 * 1024, 4),
+        CacheConfig::setAssoc(16 * 1024, 8),
+        CacheConfig::victim(16 * 1024, 16),
+        CacheConfig::bcache(16 * 1024, 8, 8),
+    };
+
+    // Suite-average D$ miss rate and slow-hit fraction per config.
+    std::vector<RunningStat> miss(configs.size()),
+        slow(configs.size());
+    for (const auto &b : spec2kNames()) {
+        for (std::size_t i = 0; i < configs.size(); ++i) {
+            const MissRateResult r =
+                runMissRate(b, StreamSide::Data, configs[i], n);
+            miss[i].add(r.missRate());
+            // Victim-buffer hits pay the extra probe cycle.
+            slow[i].add(r.stats.hits
+                            ? double(r.victimHits) /
+                                  double(r.stats.hits)
+                            : 0.0);
+        }
+    }
+
+    Table t({"config", "access-ns", "clock-ns", "miss%", "AMAT-ns",
+             "vs-dm%"});
+    double dm_amat = 0;
+    for (std::size_t i = 0; i < configs.size(); ++i) {
+        const AmatResult r = evaluateAmat(configs[i], miss[i].mean(),
+                                          slow[i].mean());
+        if (i == 0)
+            dm_amat = r.amatNs;
+        t.row()
+            .cell(configs[i].label)
+            .cell(r.accessTimeNs, 3)
+            .cell(r.clockNs, 3)
+            .cell(100.0 * r.missRate, 2)
+            .cell(r.amatNs, 3)
+            .cell(100.0 * (r.amatNs - dm_amat) / dm_amat, 1);
+    }
+    t.print("suite-average D$ AMAT, L1 access time sets the clock "
+            "(floor 0.50 ns, miss penalty 8 cycles)");
+
+    std::printf("\nReading: associative caches trade miss rate against "
+                "cycle time; the B-Cache's\nmiss-rate win arrives at "
+                "the direct-mapped clock, so its AMAT delta is pure "
+                "gain.\n");
+    return 0;
+}

@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Helpers shared by the benchmark harnesses: suite iteration, averaged
+ * reduction computation and formatting conventions. Every harness prints
+ * the rows/series of one paper table or figure (see DESIGN.md's
+ * per-experiment index); run lengths honour BSIM_ACCESSES / BSIM_UOPS.
+ */
+
+#ifndef BSIM_BENCH_BENCH_UTIL_HH
+#define BSIM_BENCH_BENCH_UTIL_HH
+
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/table.hh"
+#include "sim/runner.hh"
+
+namespace bsim {
+namespace bench {
+
+/** Miss rates of one workload across configurations, keyed by label. */
+using MissRow = std::map<std::string, MissRateResult>;
+
+/**
+ * Run one workload side through the baseline plus @p configs; returns
+ * results keyed by config label, with "baseline" holding the
+ * direct-mapped reference.
+ */
+inline MissRow
+runRow(const std::string &workload, StreamSide side,
+       const std::vector<CacheConfig> &configs, std::uint64_t size_bytes,
+       std::uint64_t accesses)
+{
+    MissRow row;
+    row.emplace("baseline",
+                runMissRate(workload, side,
+                            CacheConfig::directMapped(size_bytes),
+                            accesses));
+    for (const auto &cfg : configs)
+        row.emplace(cfg.label,
+                    runMissRate(workload, side, cfg, accesses));
+    return row;
+}
+
+/** Reduction (%) of config @p label over the row's baseline. */
+inline double
+reductionOf(const MissRow &row, const std::string &label)
+{
+    return reductionPct(row.at("baseline").missRate(),
+                        row.at(label).missRate());
+}
+
+/** Print a standard figure table: benchmarks x configs, reductions. */
+inline void
+printReductionTable(const std::string &title,
+                    const std::vector<std::string> &benchmarks,
+                    const std::vector<CacheConfig> &configs,
+                    const std::map<std::string, MissRow> &rows)
+{
+    std::vector<std::string> headers{"benchmark", "dm-miss%"};
+    for (const auto &c : configs)
+        headers.push_back(c.label);
+    Table t(headers);
+    std::vector<RunningStat> avg(configs.size());
+    RunningStat avg_dm;
+    for (const auto &b : benchmarks) {
+        const MissRow &row = rows.at(b);
+        t.row().cell(b).cell(100.0 * row.at("baseline").missRate(), 2);
+        for (std::size_t i = 0; i < configs.size(); ++i) {
+            const double red = reductionOf(row, configs[i].label);
+            t.cell(red, 1);
+            avg[i].add(red);
+        }
+        avg_dm.add(100.0 * row.at("baseline").missRate());
+    }
+    t.row().cell("Ave").cell(avg_dm.mean(), 2);
+    for (const auto &a : avg)
+        t.cell(a.mean(), 1);
+    t.print(title);
+}
+
+/** Banner used by every harness. */
+inline void
+banner(const char *experiment, const char *paper_ref)
+{
+    std::printf("==========================================================\n"
+                "B-Cache reproduction: %s\n"
+                "Paper artefact: %s\n"
+                "==========================================================\n",
+                experiment, paper_ref);
+}
+
+} // namespace bench
+} // namespace bsim
+
+#endif // BSIM_BENCH_BENCH_UTIL_HH

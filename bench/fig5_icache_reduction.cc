@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Figure 5 reproduction: instruction-cache miss-rate reductions over the
+ * 16 kB direct-mapped baseline for the fifteen benchmarks whose I$ miss
+ * rate is non-trivial (Section 4.2 excludes the others).
+ */
+
+#include "bench/bench_util.hh"
+#include "workload/spec2k.hh"
+
+using namespace bsim;
+using namespace bsim::bench;
+
+int
+main()
+{
+    banner("fig5_icache_reduction",
+           "Figure 5 (I$ miss-rate reductions, 16 kB)");
+    const std::uint64_t n = defaultAccesses(1'000'000);
+    const auto configs = figure4Configs(16 * 1024);
+
+    std::map<std::string, MissRow> rows;
+    for (const auto &b : spec2kIcacheReportedNames())
+        rows.emplace(b, runRow(b, StreamSide::Inst, configs, 16 * 1024,
+                               n));
+
+    printReductionTable("I$ reduction % (reported benchmarks)",
+                        spec2kIcacheReportedNames(), configs, rows);
+    return 0;
+}

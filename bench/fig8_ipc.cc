@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Figure 8 reproduction: IPC improvement over the 16 kB direct-mapped
+ * baseline processor (4-issue OOO, 16-entry window, Table 4 memory
+ * system) for 2/4/8-way L1s, the B-Cache (MF=8, BAS=8) and a 16-entry
+ * victim buffer, across all 26 benchmarks.
+ */
+
+#include "bench/bench_util.hh"
+#include "workload/spec2k.hh"
+
+using namespace bsim;
+using namespace bsim::bench;
+
+int
+main()
+{
+    banner("fig8_ipc", "Figure 8 (IPC improvement over baseline)");
+    const std::uint64_t uops = defaultUops(400'000);
+
+    const std::vector<CacheConfig> configs = {
+        CacheConfig::setAssoc(16 * 1024, 2),
+        CacheConfig::setAssoc(16 * 1024, 4),
+        CacheConfig::setAssoc(16 * 1024, 8),
+        CacheConfig::bcache(16 * 1024, 8, 8),
+        CacheConfig::victim(16 * 1024, 16),
+    };
+
+    std::vector<std::string> headers{"benchmark", "base-IPC"};
+    for (const auto &c : configs)
+        headers.push_back(c.label);
+    Table t(headers);
+    std::vector<RunningStat> avg(configs.size());
+
+    for (const auto &b : spec2kNames()) {
+        const double base =
+            runTimed(b, CacheConfig::directMapped(16 * 1024), uops)
+                .ipc();
+        t.row().cell(b).cell(base, 3);
+        for (std::size_t i = 0; i < configs.size(); ++i) {
+            const double ipc = runTimed(b, configs[i], uops).ipc();
+            const double imp = 100.0 * (ipc - base) / base;
+            t.cell(imp, 1);
+            avg[i].add(imp);
+        }
+    }
+    t.row().cell("Ave").cell("");
+    for (const auto &a : avg)
+        t.cell(a.mean(), 1);
+    t.print("IPC improvement % over 16kB direct-mapped baseline");
+    return 0;
+}

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Figure 9 reproduction: total memory-related energy of 2/4/8-way L1s,
+ * the B-Cache (MF=8, BAS=8) and a 16-entry victim buffer, normalized to
+ * the 16 kB direct-mapped baseline, using the Figure 10 equations with
+ * the paper's methodology (off-chip = 100x baseline L1 access energy,
+ * k_static = 0.5 calibrated on the baseline).
+ */
+
+#include "bench/bench_util.hh"
+#include "workload/spec2k.hh"
+
+using namespace bsim;
+using namespace bsim::bench;
+
+namespace {
+
+EnergyTotals
+evaluate(const CacheConfig &cfg, const TimedResult &run,
+         PicoJoules static_per_cycle)
+{
+    EnergyRates rates = energyRatesFor(cfg, static_per_cycle);
+    return SystemEnergyModel(rates).evaluate(run.activity);
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("fig9_energy",
+           "Figure 9 (normalized memory-related energy)");
+    const std::uint64_t uops = defaultUops(400'000);
+
+    const std::vector<CacheConfig> configs = {
+        CacheConfig::setAssoc(16 * 1024, 2),
+        CacheConfig::setAssoc(16 * 1024, 4),
+        CacheConfig::setAssoc(16 * 1024, 8),
+        CacheConfig::bcache(16 * 1024, 8, 8),
+        CacheConfig::victim(16 * 1024, 16),
+    };
+
+    std::vector<std::string> headers{"benchmark"};
+    for (const auto &c : configs)
+        headers.push_back(c.label);
+    Table t(headers);
+    std::vector<RunningStat> avg(configs.size());
+
+    for (const auto &b : spec2kNames()) {
+        const CacheConfig base_cfg =
+            CacheConfig::directMapped(16 * 1024);
+        const TimedResult base_run = runTimed(b, base_cfg, uops);
+        // Calibrate static power on this benchmark's baseline run.
+        const double base_dyn =
+            SystemEnergyModel(energyRatesFor(base_cfg))
+                .dynamicEnergy(base_run.activity);
+        const PicoJoules per_cycle =
+            SystemEnergyModel::calibrateStaticPerCycle(
+                base_dyn, base_run.cpu.cycles);
+        const double base_total =
+            evaluate(base_cfg, base_run, per_cycle).total();
+
+        t.row().cell(b);
+        for (std::size_t i = 0; i < configs.size(); ++i) {
+            const TimedResult run = runTimed(b, configs[i], uops);
+            const double norm =
+                evaluate(configs[i], run, per_cycle).total() /
+                base_total;
+            t.cell(norm, 3);
+            avg[i].add(norm);
+        }
+    }
+    t.row().cell("Ave");
+    for (const auto &a : avg)
+        t.cell(a.mean(), 3);
+    t.print("energy normalized to 16kB direct-mapped baseline");
+    return 0;
+}

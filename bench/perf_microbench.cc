@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Simulator-throughput microbenchmarks (google-benchmark): accesses per
+ * second through each cache model and the workload generators. These
+ * guard against performance regressions in the hot simulation loops.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "alt/column_assoc_cache.hh"
+#include "alt/skewed_assoc_cache.hh"
+#include "bcache/bcache.hh"
+#include "cache/set_assoc_cache.hh"
+#include "cache/victim_cache.hh"
+#include "workload/spec2k.hh"
+
+namespace bsim {
+namespace {
+
+/** Pre-generated address batch so stream cost is excluded. */
+const std::vector<MemAccess> &
+batch()
+{
+    static const std::vector<MemAccess> accesses = [] {
+        SpecWorkload w = makeSpecWorkload("gcc");
+        std::vector<MemAccess> v;
+        v.reserve(65536);
+        for (int i = 0; i < 65536; ++i)
+            v.push_back(w.data->next());
+        return v;
+    }();
+    return accesses;
+}
+
+void
+runCache(benchmark::State &state, BaseCache &cache)
+{
+    const auto &b = batch();
+    std::size_t i = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(cache.access(b[i]));
+        i = (i + 1) & 65535;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+
+void
+BM_DirectMapped(benchmark::State &state)
+{
+    SetAssocCache c("dm", CacheGeometry(16 * 1024, 32, 1), 1, nullptr);
+    runCache(state, c);
+}
+BENCHMARK(BM_DirectMapped);
+
+void
+BM_EightWayLru(benchmark::State &state)
+{
+    SetAssocCache c("8w", CacheGeometry(16 * 1024, 32, 8), 1, nullptr);
+    runCache(state, c);
+}
+BENCHMARK(BM_EightWayLru);
+
+void
+BM_BCache(benchmark::State &state)
+{
+    BCacheParams p;
+    p.sizeBytes = 16 * 1024;
+    p.lineBytes = 32;
+    p.mf = 8;
+    p.bas = 8;
+    BCache c("bc", p);
+    runCache(state, c);
+}
+BENCHMARK(BM_BCache);
+
+void
+BM_VictimCache(benchmark::State &state)
+{
+    VictimCache c("vc", CacheGeometry(16 * 1024, 32, 1), 1, nullptr, 16);
+    runCache(state, c);
+}
+BENCHMARK(BM_VictimCache);
+
+void
+BM_ColumnAssoc(benchmark::State &state)
+{
+    ColumnAssocCache c("col", CacheGeometry(16 * 1024, 32, 1), 1,
+                       nullptr);
+    runCache(state, c);
+}
+BENCHMARK(BM_ColumnAssoc);
+
+void
+BM_SkewedAssoc(benchmark::State &state)
+{
+    SkewedAssocCache c("sk", CacheGeometry(16 * 1024, 32, 2), 1,
+                       nullptr);
+    runCache(state, c);
+}
+BENCHMARK(BM_SkewedAssoc);
+
+void
+BM_WorkloadGeneration(benchmark::State &state)
+{
+    SpecWorkload w = makeSpecWorkload("equake");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(w.data->next());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_WorkloadGeneration);
+
+void
+BM_InstructionGeneration(benchmark::State &state)
+{
+    SpecWorkload w = makeSpecWorkload("gcc");
+    for (auto _ : state)
+        benchmark::DoNotOptimize(w.inst->next());
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_InstructionGeneration);
+
+} // namespace
+} // namespace bsim
+
+BENCHMARK_MAIN();

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Section 6.8 reproduction: the virtually/physically addressed tag
+ * analysis. For each addressing scheme and page size, report whether the
+ * B-Cache's decoder (which consumes log2(MF) tag bits *before* set
+ * selection) can proceed without waiting for the TLB, and whether the
+ * paper's treat-the-borrowed-bits-as-virtual-index workaround is what
+ * makes it possible. Also measures the synthetic TLB's behaviour on the
+ * suite for context.
+ */
+
+#include <cstdio>
+
+#include "bcache/addressing.hh"
+#include "bench/bench_util.hh"
+#include "cache/tlb.hh"
+#include "common/strings.hh"
+#include "workload/spec2k.hh"
+
+using namespace bsim;
+using namespace bsim::bench;
+
+int
+main()
+{
+    banner("sec68_addressing",
+           "Section 6.8 (virtual/physical tags and the PD)");
+
+    BCacheParams p;
+    p.sizeBytes = 16 * 1024;
+    p.lineBytes = 32;
+    p.mf = 8;
+    p.bas = 8;
+
+    Table t({"scheme", "page", "decoder-top-bit", "translated-bits",
+             "decode-before-TLB", "workaround"});
+    for (auto scheme : {AddressingScheme::PhysIndexPhysTag,
+                        AddressingScheme::VirtIndexPhysTag,
+                        AddressingScheme::VirtIndexVirtTag,
+                        AddressingScheme::PhysIndexVirtTag}) {
+        for (std::uint32_t page : {4096u, 16384u, 65536u}) {
+            const AddressingReport r =
+                analyzeAddressing(p, scheme, page);
+            t.row()
+                .cell(addressingSchemeName(scheme))
+                .cell(sizeString(page))
+                .cell(r.decoderTopBit)
+                .cell(r.translatedDecoderBits)
+                .cell(r.decodeBeforeTranslate ? "yes" : "NO")
+                .cell(r.usesVirtualIndexWorkaround ? "virtual-PD"
+                                                   : "-");
+        }
+    }
+    t.print("16kB B-Cache MF8/BAS8: decoder vs translation ordering");
+
+    // Hard case without the workaround: V/P tags, small pages.
+    const AddressingReport hard = analyzeAddressing(
+        p, AddressingScheme::VirtIndexPhysTag, 4096, false);
+    std::printf("\nWithout the workaround, %s fails to decode before "
+                "translation (%u borrowed bits above the 4kB page "
+                "offset) -- the PowerPC-style hazard of Section 6.8.\n",
+                addressingSchemeName(hard.scheme),
+                hard.translatedDecoderBits);
+
+    // Context: the synthetic TLB on suite data streams.
+    const std::uint64_t n = defaultAccesses(200'000);
+    RunningStat tlb_miss;
+    for (const auto &b : {"gcc", "mcf", "swim", "equake"}) {
+        Tlb tlb(4096, 64, 4);
+        SpecWorkload w = makeSpecWorkload(b);
+        for (std::uint64_t i = 0; i < n; ++i)
+            tlb.translate(w.data->next().addr);
+        tlb_miss.add(100.0 * tlb.stats().missRate());
+    }
+    std::printf("64-entry 4-way data TLB, 4kB pages: %.2f%% average "
+                "miss rate on sampled benchmarks.\n",
+                tlb_miss.mean());
+    return 0;
+}

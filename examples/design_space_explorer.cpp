@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Design-space explorer: sweep the B-Cache's MF x BAS grid for a chosen
+ * workload and report, for every point, the miss rate, the PD hit rate
+ * during misses (how often the replacement policy is bypassed), the
+ * area overhead and the per-access energy — then recommend the smallest
+ * configuration within 2% of the best miss rate, the way an architect
+ * would pick a design point (the paper lands on MF = 8, BAS = 8).
+ *
+ *   ./design_space_explorer [benchmark] [icache|dcache]
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/strings.hh"
+#include "common/table.hh"
+#include "power/cacti_lite.hh"
+#include "sim/runner.hh"
+#include "timing/decoder_model.hh"
+#include "timing/storage_model.hh"
+#include "workload/spec2k.hh"
+
+using namespace bsim;
+
+int
+main(int argc, char **argv)
+{
+    const std::string bench = argc > 1 ? argv[1] : "twolf";
+    const StreamSide side =
+        (argc > 2 && std::string(argv[2]) == "icache")
+            ? StreamSide::Inst
+            : StreamSide::Data;
+    if (!isSpec2kName(bench)) {
+        std::fprintf(stderr, "unknown benchmark '%s'\n", bench.c_str());
+        return 1;
+    }
+    const std::uint64_t n = defaultAccesses(800'000);
+
+    const double dm = runMissRate(bench, side,
+                                  CacheConfig::directMapped(16 * 1024),
+                                  n)
+                          .missRate();
+    std::printf("workload '%s' (%s): direct-mapped baseline miss rate "
+                "%.3f%%\n\n",
+                bench.c_str(),
+                side == StreamSide::Inst ? "icache" : "dcache",
+                100.0 * dm);
+
+    struct Point
+    {
+        std::uint32_t mf, bas;
+        double miss, red, pdhit, area, energy;
+        double decoder_slack;
+    };
+    std::vector<Point> points;
+    const StorageCost base_area = conventionalStorage(16 * 1024, 32, 1);
+
+    Table t({"MF", "BAS", "PI", "miss%", "red%", "pd-hit-on-miss%",
+             "area+%", "pJ/access", "slack-ns"});
+    for (std::uint32_t bas : {2u, 4u, 8u, 16u}) {
+        for (std::uint32_t mf : {2u, 4u, 8u, 16u, 32u}) {
+            const CacheConfig cfg =
+                CacheConfig::bcache(16 * 1024, mf, bas);
+            const BCacheParams p = cfg.bcacheParams();
+            const BCacheLayout layout = deriveLayout(p);
+            const MissRateResult r = runMissRate(bench, side, cfg, n);
+
+            // Worst-case decoder slack across subarray sizes at this
+            // PD width (negative = would lengthen the access time).
+            double slack = 1e9;
+            for (const auto &row : decoderTimingTable(layout.piBits))
+                slack = std::min(slack, double(row.slack()));
+
+            Point pt;
+            pt.mf = mf;
+            pt.bas = bas;
+            pt.miss = r.missRate();
+            pt.red = reductionPct(dm, r.missRate());
+            pt.pdhit = 100.0 * r.pd->pdHitRateOnMiss();
+            pt.area = areaOverheadPct(base_area, bcacheStorage(p));
+            pt.energy = CactiLite::bcache(p).total();
+            pt.decoder_slack = slack;
+            points.push_back(pt);
+
+            t.row()
+                .cell(mf)
+                .cell(bas)
+                .cell(layout.piBits)
+                .cell(100.0 * pt.miss, 3)
+                .cell(pt.red, 1)
+                .cell(pt.pdhit, 1)
+                .cell(pt.area, 2)
+                .cell(pt.energy, 1)
+                .cell(pt.decoder_slack, 3);
+        }
+    }
+    t.print("16kB B-Cache design space");
+
+    // Recommendation: cheapest point within 2% miss-rate of the best
+    // among the points that keep decoder slack non-negative.
+    double best_miss = 1.0;
+    for (const auto &p : points)
+        if (p.decoder_slack >= 0)
+            best_miss = std::min(best_miss, p.miss);
+    const Point *pick = nullptr;
+    for (const auto &p : points) {
+        if (p.decoder_slack < 0)
+            continue;
+        if (p.miss <= best_miss + 0.02 * dm &&
+            (!pick || p.energy < pick->energy))
+            pick = &p;
+    }
+    if (pick)
+        std::printf("\nRecommended design point: MF=%u BAS=%u "
+                    "(miss %.3f%%, +%.2f%% area, %.0f pJ/access, "
+                    "decoder slack %.3f ns)\n",
+                    pick->mf, pick->bas, 100.0 * pick->miss, pick->area,
+                    pick->energy, pick->decoder_slack);
+    else
+        std::printf("\nNo feasible design point kept decoder slack.\n");
+    return 0;
+}

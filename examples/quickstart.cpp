@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Quickstart: build a B-Cache, replay the paper's Figure 1 worked
+ * example, then measure it against the classic alternatives on a
+ * synthetic benchmark.
+ *
+ *   ./quickstart [benchmark]          (default: equake)
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "bcache/bcache.hh"
+#include "common/stats.hh"
+#include "common/strings.hh"
+#include "common/table.hh"
+#include "sim/runner.hh"
+#include "workload/spec2k.hh"
+
+using namespace bsim;
+
+namespace {
+
+/** Step 1: the Figure 1 thrashing sequence on a toy 8-block cache. */
+void
+figure1Demo()
+{
+    std::printf("-- Figure 1 demo: address sequence 0,1,8,9 repeated --\n");
+
+    // (a) direct-mapped: every access misses.
+    SetAssocCache dm("dm", CacheGeometry(64, 8, 1), 1, nullptr);
+    // (c) B-Cache with a 2-bit programmable index (MF = 2, BAS = 2).
+    BCacheParams p;
+    p.sizeBytes = 64;
+    p.lineBytes = 8;
+    p.mf = 2;
+    p.bas = 2;
+    BCache bc("bcache", p);
+
+    for (int round = 0; round < 4; ++round)
+        for (Addr a : {0, 1, 8, 9}) {
+            dm.access({a * 8, AccessType::Read});
+            bc.access({a * 8, AccessType::Read});
+        }
+    std::printf("direct-mapped: %llu/%llu hits (thrash)\n",
+                (unsigned long long)dm.stats().hits,
+                (unsigned long long)dm.stats().accesses);
+    std::printf("B-Cache      : %llu/%llu hits (PD reprogrammed once, "
+                "then one-cycle hits)\n\n",
+                (unsigned long long)bc.stats().hits,
+                (unsigned long long)bc.stats().accesses);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string bench = argc > 1 ? argv[1] : "equake";
+    if (!isSpec2kName(bench)) {
+        std::fprintf(stderr, "unknown benchmark '%s'\n", bench.c_str());
+        return 1;
+    }
+
+    figure1Demo();
+
+    // Step 2: compare organisations on a real synthetic workload.
+    std::printf("-- 16kB data-cache comparison on '%s' --\n",
+                bench.c_str());
+    const std::uint64_t n = defaultAccesses(1'000'000);
+    const CacheConfig configs[] = {
+        CacheConfig::directMapped(16 * 1024),
+        CacheConfig::setAssoc(16 * 1024, 8),
+        CacheConfig::victim(16 * 1024, 16),
+        CacheConfig::bcache(16 * 1024, 8, 8),
+    };
+    const double base = runMissRate(bench, StreamSide::Data, configs[0],
+                                    n)
+                            .missRate();
+
+    Table t({"organisation", "miss-rate%", "reduction%",
+             "PD-hit-on-miss%"});
+    for (const auto &cfg : configs) {
+        const MissRateResult r =
+            runMissRate(bench, StreamSide::Data, cfg, n);
+        t.row()
+            .cell(cfg.label)
+            .cell(100.0 * r.missRate(), 3)
+            .cell(reductionPct(base, r.missRate()), 1)
+            .cell(r.pd ? strprintf("%.1f",
+                                   100.0 * r.pd->pdHitRateOnMiss())
+                       : std::string("-"));
+    }
+    t.print("results (" + std::to_string(n) + " accesses)");
+
+    std::printf("\nThe B-Cache keeps the direct-mapped cache's one-cycle"
+                " hits while approaching the 8-way miss rate.\n");
+    return 0;
+}

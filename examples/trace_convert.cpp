@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Trace conversion and inspection utility: converts between the binary
+ * `.bst` format and Dinero text traces, optionally truncating or
+ * summarizing — the interop path for feeding externally captured traces
+ * (gem5/ChampSim/Pin exports converted to Dinero) into the simulator.
+ *
+ * Usage:
+ *   trace_convert <in> <out>          convert by extension
+ *   trace_convert <in> --summary      print a profile, write nothing
+ *   trace_convert <in> <out> --head N keep only the first N records
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/strings.hh"
+#include "workload/reuse.hh"
+#include "workload/trace.hh"
+
+using namespace bsim;
+
+namespace {
+
+void
+summarize(const std::vector<MemAccess> &t)
+{
+    std::uint64_t reads = 0, writes = 0, fetches = 0;
+    Addr lo = ~Addr{0}, hi = 0;
+    ReuseDistanceProfiler prof(32);
+    for (const auto &a : t) {
+        switch (a.type) {
+          case AccessType::Read:
+            ++reads;
+            break;
+          case AccessType::Write:
+            ++writes;
+            break;
+          case AccessType::Fetch:
+            ++fetches;
+            break;
+        }
+        lo = std::min(lo, a.addr);
+        hi = std::max(hi, a.addr);
+        prof.observe(a.addr);
+    }
+    std::printf("records      : %zu\n", t.size());
+    std::printf("mix          : %llu reads, %llu writes, %llu fetches\n",
+                (unsigned long long)reads, (unsigned long long)writes,
+                (unsigned long long)fetches);
+    std::printf("address range: 0x%llx .. 0x%llx\n",
+                (unsigned long long)lo, (unsigned long long)hi);
+    std::printf("footprint    : %s (32B lines)\n",
+                sizeString(prof.distinctBlocks() * 32).c_str());
+    std::printf("locality     : %.1f%% of reuse within 512 lines "
+                "(one 16kB L1), p90 capacity %s\n",
+                100.0 * prof.hitFractionWithin(512),
+                sizeString(prof.capacityForHitFraction(0.90) * 32)
+                    .c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 3) {
+        std::fprintf(stderr,
+                     "usage: trace_convert <in> <out> [--head N]\n"
+                     "       trace_convert <in> --summary\n"
+                     "formats by extension: .bst = binary, else "
+                     "dinero text\n");
+        return 2;
+    }
+    std::vector<MemAccess> trace = loadTrace(argv[1]);
+
+    if (!std::strcmp(argv[2], "--summary")) {
+        summarize(trace);
+        return 0;
+    }
+
+    for (int i = 3; i + 1 < argc; i += 2) {
+        if (!std::strcmp(argv[i], "--head")) {
+            const std::size_t n = std::strtoull(argv[i + 1], nullptr, 10);
+            if (trace.size() > n)
+                trace.resize(n);
+        } else {
+            std::fprintf(stderr, "unknown option %s\n", argv[i]);
+            return 2;
+        }
+    }
+
+    const std::string out = argv[2];
+    if (out.size() >= 4 && out.compare(out.size() - 4, 4, ".bst") == 0)
+        writeBinaryTrace(out, trace);
+    else
+        writeTextTrace(out, trace);
+    std::printf("wrote %zu records to %s\n", trace.size(), out.c_str());
+    return 0;
+}

@@ -1,0 +1,148 @@
+#include "alt/column_assoc_cache.hh"
+
+#include "common/logging.hh"
+
+namespace bsim {
+
+ColumnAssocCache::ColumnAssocCache(std::string name,
+                                   const CacheGeometry &geom,
+                                   Cycles hit_latency, MemLevel *next,
+                                   Cycles rehash_penalty)
+    : BaseCache(std::move(name), geom, hit_latency, next),
+      lines_(geom.numLines()), rehashPenalty_(rehash_penalty)
+{
+    bsim_assert(geom.ways() == 1,
+                "column-associative cache is a direct-mapped array");
+    bsim_assert(geom.indexBits() >= 1,
+                "need at least two sets for the rehash function");
+}
+
+std::size_t
+ColumnAssocCache::primaryIndex(Addr addr) const
+{
+    return geom_.index(addr);
+}
+
+std::size_t
+ColumnAssocCache::rehashIndex(std::size_t primary) const
+{
+    // Flip the most significant index bit.
+    return primary ^ (std::size_t{1} << (geom_.indexBits() - 1));
+}
+
+void
+ColumnAssocCache::evict(std::size_t idx)
+{
+    Line &l = lines_[idx];
+    if (l.valid && l.dirty)
+        writebackToNext(l.block << geom_.offsetBits());
+    l.valid = false;
+    l.dirty = false;
+    l.rehashed = false;
+}
+
+AccessOutcome
+ColumnAssocCache::access(const MemAccess &req)
+{
+    const Addr block = geom_.blockNumber(req.addr);
+    const std::size_t i1 = primaryIndex(req.addr);
+    Line &l1 = lines_[i1];
+
+    if (l1.valid && l1.block == block) {
+        ++firstHits_;
+        if (req.type == AccessType::Write)
+            l1.dirty = true;
+        record(req.type, true, i1);
+        return {true, hitLatency()};
+    }
+
+    if (l1.valid && l1.rehashed) {
+        // The resident block lives here as someone else's rehash target;
+        // rehashed blocks are evicted first and no second probe is made
+        // (the requested block's rehash slot is this very line).
+        evict(i1);
+        const Cycles extra = refillFromNext(req);
+        l1.valid = true;
+        l1.dirty = (req.type == AccessType::Write);
+        l1.rehashed = false;
+        l1.block = block;
+        record(req.type, false, i1);
+        return {false, hitLatency() + extra};
+    }
+
+    const std::size_t i2 = rehashIndex(i1);
+    Line &l2 = lines_[i2];
+    if (l2.valid && l2.block == block) {
+        // Second-time hit: swap so the block returns to its primary slot.
+        ++rehashHits_;
+        std::swap(l1, l2);
+        l1.rehashed = false;
+        if (l2.valid)
+            l2.rehashed = true;
+        if (req.type == AccessType::Write)
+            l1.dirty = true;
+        record(req.type, true, i1);
+        return {true, hitLatency() + rehashPenalty_};
+    }
+
+    // Double miss: new block takes the primary slot; the old primary
+    // occupant is demoted to the rehash slot, evicting what was there.
+    evict(i2);
+    if (l1.valid) {
+        l2 = l1;
+        l2.rehashed = true;
+    }
+    const Cycles extra = refillFromNext(req);
+    l1.valid = true;
+    l1.dirty = (req.type == AccessType::Write);
+    l1.rehashed = false;
+    l1.block = block;
+    record(req.type, false, i1);
+    return {false, hitLatency() + rehashPenalty_ + extra};
+}
+
+void
+ColumnAssocCache::writeback(Addr addr)
+{
+    const Addr block = geom_.blockNumber(addr);
+    const std::size_t i1 = primaryIndex(addr);
+    const std::size_t i2 = rehashIndex(i1);
+    for (std::size_t idx : {i1, i2}) {
+        Line &l = lines_[idx];
+        if (l.valid && l.block == block) {
+            l.dirty = true;
+            return;
+        }
+    }
+    Line &l1 = lines_[i1];
+    if (l1.valid) {
+        evict(i2);
+        lines_[i2] = l1;
+        lines_[i2].rehashed = true;
+    }
+    l1.valid = true;
+    l1.dirty = true;
+    l1.rehashed = false;
+    l1.block = block;
+}
+
+void
+ColumnAssocCache::reset()
+{
+    lines_.assign(geom_.numLines(), Line{});
+    rehashHits_ = firstHits_ = 0;
+    resetBase(geom_.numLines());
+}
+
+bool
+ColumnAssocCache::contains(Addr addr) const
+{
+    const Addr block = geom_.blockNumber(addr);
+    const std::size_t i1 = geom_.index(addr);
+    const std::size_t i2 =
+        i1 ^ (std::size_t{1} << (geom_.indexBits() - 1));
+    return (lines_[i1].valid && lines_[i1].block == block) ||
+           (lines_[i2].valid && lines_[i2].block == block);
+}
+
+} // namespace bsim

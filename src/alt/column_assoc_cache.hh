@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Column-associative cache (Agarwal & Pudar), one of the direct-mapped
+ * conflict-miss techniques the paper compares against (Section 7.1).
+ *
+ * A direct-mapped array with two hashing functions: the primary index
+ * b(x) and the rehash index f(x) = b(x) with the most significant index
+ * bit flipped. Each line carries a rehash bit marking blocks stored at
+ * their alternate location. First-time hits take one cycle; rehash hits
+ * take extra cycles and swap the block back to its primary location.
+ */
+
+#ifndef BSIM_ALT_COLUMN_ASSOC_CACHE_HH
+#define BSIM_ALT_COLUMN_ASSOC_CACHE_HH
+
+#include <vector>
+
+#include "cache/base_cache.hh"
+
+namespace bsim {
+
+class ColumnAssocCache : public BaseCache
+{
+  public:
+    ColumnAssocCache(std::string name, const CacheGeometry &geom,
+                     Cycles hit_latency, MemLevel *next,
+                     Cycles rehash_penalty = 1);
+
+    AccessOutcome access(const MemAccess &req) override;
+    void writeback(Addr addr) override;
+    void reset() override;
+
+    /** Hits found at the rehash location (cost extra cycles). */
+    std::uint64_t rehashHits() const { return rehashHits_; }
+    /** First-probe hits (single cycle). */
+    std::uint64_t firstHits() const { return firstHits_; }
+
+    bool contains(Addr addr) const;
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        bool rehashed = false;
+        /** Full block number (addr >> offsetBits); the line's identity. */
+        Addr block = 0;
+    };
+
+    std::size_t primaryIndex(Addr addr) const;
+    std::size_t rehashIndex(std::size_t primary) const;
+    void evict(std::size_t idx);
+
+    std::vector<Line> lines_;
+    Cycles rehashPenalty_;
+    std::uint64_t rehashHits_ = 0;
+    std::uint64_t firstHits_ = 0;
+};
+
+} // namespace bsim
+
+#endif // BSIM_ALT_COLUMN_ASSOC_CACHE_HH

@@ -1,0 +1,40 @@
+#include "alt/hac_cache.hh"
+
+#include "common/logging.hh"
+
+namespace bsim {
+
+namespace {
+
+std::uint32_t
+hacWays(std::uint64_t subarray_bytes, std::uint32_t line_bytes)
+{
+    if (subarray_bytes % line_bytes != 0 || subarray_bytes < line_bytes)
+        bsim_fatal("HAC subarray must hold a whole number of lines");
+    return static_cast<std::uint32_t>(subarray_bytes / line_bytes);
+}
+
+} // namespace
+
+HacCache::HacCache(std::string name, std::uint64_t size_bytes,
+                   std::uint32_t line_bytes, std::uint64_t subarray_bytes,
+                   Cycles hit_latency, MemLevel *next, ReplPolicyKind repl)
+    : SetAssocCache(std::move(name),
+                    CacheGeometry(size_bytes, line_bytes,
+                                  hacWays(subarray_bytes, line_bytes)),
+                    hit_latency, next, repl),
+      subarrayBytes_(subarray_bytes)
+{
+}
+
+unsigned
+HacCache::camPatternBits(unsigned addr_bits) const
+{
+    // Full tag is matched by the CAM; the paper's example (16 kB, 32 B
+    // lines, 32-way, 32-bit address) arrives at 23 tag bits + 3 = 26.
+    const unsigned tag_bits =
+        addr_bits - geometry().offsetBits() - geometry().indexBits();
+    return tag_bits + 3;
+}
+
+} // namespace bsim

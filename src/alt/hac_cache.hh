@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Highly Associative Cache (HAC, Section 6.7): an aggressively partitioned
+ * low-power cache with CAM tags. Each 1 kB subarray is fully associative
+ * (32 ways at 32 B lines); the subarray is selected by low index bits
+ * before the CAM search, which serialises decode and match and lengthens
+ * the access time.
+ *
+ * The paper observes the HAC is "an extreme case of the B-Cache, where the
+ * decoder is fully programmable": its CAM pattern is the entire tag plus
+ * the intra-subarray index (26 bits for a 16 kB/32 B/32-way HAC with a
+ * 32-bit address) versus the B-Cache's 6-bit PD.
+ */
+
+#ifndef BSIM_ALT_HAC_CACHE_HH
+#define BSIM_ALT_HAC_CACHE_HH
+
+#include "cache/set_assoc_cache.hh"
+
+namespace bsim {
+
+class HacCache : public SetAssocCache
+{
+  public:
+    /**
+     * @param subarray_bytes the fully-associative partition size (1 kB in
+     *        the paper); associativity = subarray_bytes / line_bytes
+     */
+    HacCache(std::string name, std::uint64_t size_bytes,
+             std::uint32_t line_bytes, std::uint64_t subarray_bytes,
+             Cycles hit_latency, MemLevel *next,
+             ReplPolicyKind repl = ReplPolicyKind::LRU);
+
+    std::uint64_t subarrayBytes() const { return subarrayBytes_; }
+    std::uint32_t associativity() const { return geometry().ways(); }
+
+    /**
+     * Width of the HAC's CAM pattern for @p addr_bits address bits: the
+     * full tag plus status, per Section 6.7 (tag + 2 status bits + 3).
+     */
+    unsigned camPatternBits(unsigned addr_bits) const;
+
+  private:
+    std::uint64_t subarrayBytes_;
+};
+
+} // namespace bsim
+
+#endif // BSIM_ALT_HAC_CACHE_HH

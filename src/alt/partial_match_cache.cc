@@ -1,0 +1,139 @@
+#include "alt/partial_match_cache.hh"
+
+#include "common/logging.hh"
+
+namespace bsim {
+
+PartialMatchCache::PartialMatchCache(std::string name,
+                                     const CacheGeometry &geom,
+                                     Cycles hit_latency, MemLevel *next,
+                                     unsigned partial_bits,
+                                     ReplPolicyKind repl)
+    : BaseCache(std::move(name), geom, hit_latency, next),
+      lines_(geom.numLines()),
+      repl_(makeReplacementPolicy(repl)), partialBits_(partial_bits)
+{
+    bsim_assert(geom.ways() >= 2,
+                "way prediction needs a set-associative cache");
+    bsim_assert(partial_bits >= 1 && partial_bits < 30);
+    repl_->reset(geom.numSets(), geom.ways());
+}
+
+AccessOutcome
+PartialMatchCache::access(const MemAccess &req)
+{
+    const std::size_t set = geom_.index(req.addr);
+    const Addr tag = geom_.tag(req.addr);
+    const Addr part = partialOf(tag);
+
+    // Stage 1: the PAD comparison predicts the first partial match.
+    int predicted = -1;
+    unsigned matches = 0;
+    int full_hit = -1;
+    for (std::size_t w = 0; w < geom_.ways(); ++w) {
+        const Line &l = lineAt(set, w);
+        if (!l.valid)
+            continue;
+        if (partialOf(l.tag) == part) {
+            ++matches;
+            if (predicted < 0)
+                predicted = static_cast<int>(w);
+        }
+        if (l.tag == tag)
+            full_hit = static_cast<int>(w);
+    }
+    if (matches > 1)
+        ++padAliases_;
+
+    if (full_hit >= 0) {
+        Line &l = lineAt(set, static_cast<std::size_t>(full_hit));
+        if (req.type == AccessType::Write)
+            l.dirty = true;
+        repl_->touch(set, static_cast<std::size_t>(full_hit));
+        record(req.type, true, set * geom_.ways() + full_hit);
+        // The predicted way was read speculatively; if it was not the
+        // right one, a second cycle fetches the correct way.
+        const bool fast = predicted == full_hit;
+        if (!fast)
+            ++slowHits_;
+        return {true, hitLatency() + (fast ? 0 : 1)};
+    }
+
+    // Miss. A wrong PAD prediction still burned the speculative read
+    // (energy), but the miss path latency is the usual one.
+    std::size_t victim = geom_.ways();
+    for (std::size_t w = 0; w < geom_.ways(); ++w) {
+        if (!lineAt(set, w).valid) {
+            victim = w;
+            break;
+        }
+    }
+    if (victim == geom_.ways())
+        victim = repl_->victim(set);
+    Line &l = lineAt(set, victim);
+    if (l.valid && l.dirty)
+        writebackToNext(geom_.rebuild(l.tag, set));
+    const Cycles extra = refillFromNext(req);
+    l.valid = true;
+    l.dirty = (req.type == AccessType::Write);
+    l.tag = tag;
+    repl_->fill(set, victim);
+    record(req.type, false, set * geom_.ways() + victim);
+    return {false, hitLatency() + extra};
+}
+
+void
+PartialMatchCache::writeback(Addr addr)
+{
+    const std::size_t set = geom_.index(addr);
+    const Addr tag = geom_.tag(addr);
+    for (std::size_t w = 0; w < geom_.ways(); ++w) {
+        Line &l = lineAt(set, w);
+        if (l.valid && l.tag == tag) {
+            l.dirty = true;
+            repl_->touch(set, w);
+            return;
+        }
+    }
+    std::size_t victim = geom_.ways();
+    for (std::size_t w = 0; w < geom_.ways(); ++w) {
+        if (!lineAt(set, w).valid) {
+            victim = w;
+            break;
+        }
+    }
+    if (victim == geom_.ways())
+        victim = repl_->victim(set);
+    Line &l = lineAt(set, victim);
+    if (l.valid && l.dirty)
+        writebackToNext(geom_.rebuild(l.tag, set));
+    l.valid = true;
+    l.dirty = true;
+    l.tag = tag;
+    repl_->fill(set, victim);
+}
+
+void
+PartialMatchCache::reset()
+{
+    lines_.assign(geom_.numLines(), Line{});
+    repl_->reset(geom_.numSets(), geom_.ways());
+    slowHits_ = 0;
+    padAliases_ = 0;
+    resetBase(geom_.numLines());
+}
+
+bool
+PartialMatchCache::contains(Addr addr) const
+{
+    const std::size_t set = geom_.index(addr);
+    const Addr tag = geom_.tag(addr);
+    for (std::size_t w = 0; w < geom_.ways(); ++w) {
+        const Line &l = lines_[set * geom_.ways() + w];
+        if (l.valid && l.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+} // namespace bsim

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Partial-address-matching set-associative cache (Section 7.2): the tag
+ * store is split into a small Partial Address Directory (e.g. 5 bits
+ * per way) used to *predict* the hit way before the full Main Directory
+ * comparison confirms it. A correct prediction gives a one-cycle hit; a
+ * partial-tag alias that the full comparison rejects costs a second
+ * cycle to access the correct way.
+ *
+ * The paper's contrast: the B-Cache never needs the extra cycle because
+ * its PD miss *predetermines* the miss, while PAD mispredictions send
+ * the access around again.
+ */
+
+#ifndef BSIM_ALT_PARTIAL_MATCH_CACHE_HH
+#define BSIM_ALT_PARTIAL_MATCH_CACHE_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/base_cache.hh"
+#include "cache/replacement.hh"
+
+namespace bsim {
+
+class PartialMatchCache : public BaseCache
+{
+  public:
+    /**
+     * @param partial_bits width of the partial tag compared first
+     *        (the paper's example uses ~5 bits)
+     */
+    PartialMatchCache(std::string name, const CacheGeometry &geom,
+                      Cycles hit_latency, MemLevel *next,
+                      unsigned partial_bits = 5,
+                      ReplPolicyKind repl = ReplPolicyKind::LRU);
+
+    AccessOutcome access(const MemAccess &req) override;
+    void writeback(Addr addr) override;
+    void reset() override;
+
+    bool contains(Addr addr) const;
+
+    unsigned partialBits() const { return partialBits_; }
+    /** Hits that needed the second cycle (PAD picked another way). */
+    std::uint64_t slowHits() const { return slowHits_; }
+    /** Accesses where >1 way matched the partial tag. */
+    std::uint64_t padAliases() const { return padAliases_; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        Addr tag = 0;
+    };
+
+    Line &lineAt(std::size_t set, std::size_t way)
+    {
+        return lines_[set * geom_.ways() + way];
+    }
+
+    Addr partialOf(Addr tag) const { return tag & mask(partialBits_); }
+
+    std::vector<Line> lines_;
+    std::unique_ptr<ReplacementPolicy> repl_;
+    unsigned partialBits_;
+    std::uint64_t slowHits_ = 0;
+    std::uint64_t padAliases_ = 0;
+};
+
+} // namespace bsim
+
+#endif // BSIM_ALT_PARTIAL_MATCH_CACHE_HH

@@ -1,0 +1,124 @@
+#include "alt/skewed_assoc_cache.hh"
+
+#include "common/logging.hh"
+
+namespace bsim {
+
+SkewedAssocCache::SkewedAssocCache(std::string name,
+                                   const CacheGeometry &geom,
+                                   Cycles hit_latency, MemLevel *next)
+    : BaseCache(std::move(name), geom, hit_latency, next),
+      lines_(geom.numLines())
+{
+    bsim_assert(geom.ways() == 2, "skewed cache modelled with two banks");
+}
+
+std::size_t
+SkewedAssocCache::bankIndex(unsigned bank, Addr addr) const
+{
+    const unsigned ib = geom_.indexBits();
+    const Addr block = geom_.blockNumber(addr);
+    const Addr idx = block & mask(ib);
+    const Addr tag_low = (block >> ib) & mask(ib);
+    if (bank == 0)
+        return static_cast<std::size_t>(idx ^ tag_low);
+    // Second bank skews with a bit-reversed tag slice so that addresses
+    // colliding in bank 0 spread out in bank 1.
+    return static_cast<std::size_t>(idx ^ reverseBits(tag_low, ib));
+}
+
+void
+SkewedAssocCache::fillLine(Line &l, Addr block, AccessType type)
+{
+    l.valid = true;
+    l.dirty = (type == AccessType::Write);
+    l.block = block;
+    l.lastUse = ++now_;
+}
+
+AccessOutcome
+SkewedAssocCache::access(const MemAccess &req)
+{
+    const Addr block = geom_.blockNumber(req.addr);
+    const std::size_t s0 = bankIndex(0, req.addr);
+    const std::size_t s1 = bankIndex(1, req.addr);
+
+    for (unsigned b = 0; b < 2; ++b) {
+        const std::size_t s = b == 0 ? s0 : s1;
+        Line &l = lineAt(b, s);
+        if (l.valid && l.block == block) {
+            if (req.type == AccessType::Write)
+                l.dirty = true;
+            l.lastUse = ++now_;
+            record(req.type, true, b * geom_.numSets() + s);
+            return {true, hitLatency()};
+        }
+    }
+
+    // Miss: victim is the least recently used of the two candidates
+    // (invalid first).
+    Line &c0 = lineAt(0, s0);
+    Line &c1 = lineAt(1, s1);
+    unsigned victim_bank;
+    if (!c0.valid)
+        victim_bank = 0;
+    else if (!c1.valid)
+        victim_bank = 1;
+    else
+        victim_bank = c0.lastUse <= c1.lastUse ? 0 : 1;
+
+    Line &v = victim_bank == 0 ? c0 : c1;
+    if (v.valid && v.dirty)
+        writebackToNext(v.block << geom_.offsetBits());
+    const Cycles extra = refillFromNext(req);
+    fillLine(v, block, req.type);
+    const std::size_t phys =
+        victim_bank * geom_.numSets() + (victim_bank == 0 ? s0 : s1);
+    record(req.type, false, phys);
+    return {false, hitLatency() + extra};
+}
+
+void
+SkewedAssocCache::writeback(Addr addr)
+{
+    const Addr block = geom_.blockNumber(addr);
+    for (unsigned b = 0; b < 2; ++b) {
+        Line &l = lineAt(b, bankIndex(b, addr));
+        if (l.valid && l.block == block) {
+            l.dirty = true;
+            l.lastUse = ++now_;
+            return;
+        }
+    }
+    Line &c0 = lineAt(0, bankIndex(0, addr));
+    Line &c1 = lineAt(1, bankIndex(1, addr));
+    Line &v = !c0.valid                  ? c0
+              : !c1.valid                ? c1
+              : c0.lastUse <= c1.lastUse ? c0
+                                         : c1;
+    if (v.valid && v.dirty)
+        writebackToNext(v.block << geom_.offsetBits());
+    fillLine(v, block, AccessType::Write);
+}
+
+void
+SkewedAssocCache::reset()
+{
+    lines_.assign(geom_.numLines(), Line{});
+    now_ = 0;
+    resetBase(geom_.numLines());
+}
+
+bool
+SkewedAssocCache::contains(Addr addr) const
+{
+    const Addr block = geom_.blockNumber(addr);
+    for (unsigned b = 0; b < 2; ++b) {
+        const Line &l = lineAt(b, bankIndex(b, addr));
+        if (l.valid && l.block == block)
+            return true;
+    }
+    return false;
+}
+
+} // namespace bsim

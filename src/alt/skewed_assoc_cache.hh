@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Two-way skewed-associative cache (Seznec), compared against in
+ * Section 7.1: each bank is indexed by a different XOR-based hash of the
+ * address, so blocks conflicting in one bank usually do not conflict in
+ * the other, giving a 2-way skewed cache roughly 4-way behaviour.
+ */
+
+#ifndef BSIM_ALT_SKEWED_ASSOC_CACHE_HH
+#define BSIM_ALT_SKEWED_ASSOC_CACHE_HH
+
+#include <vector>
+
+#include "cache/base_cache.hh"
+
+namespace bsim {
+
+class SkewedAssocCache : public BaseCache
+{
+  public:
+    /**
+     * @param geom total geometry; ways must be 2 (two skewed banks, each
+     *             of numSets sets)
+     */
+    SkewedAssocCache(std::string name, const CacheGeometry &geom,
+                     Cycles hit_latency, MemLevel *next);
+
+    AccessOutcome access(const MemAccess &req) override;
+    void writeback(Addr addr) override;
+    void reset() override;
+
+    bool contains(Addr addr) const;
+
+    /** Bank index functions, exposed for tests. */
+    std::size_t bankIndex(unsigned bank, Addr addr) const;
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        Addr block = 0; // full block number
+        Tick lastUse = 0;
+    };
+
+    Line &lineAt(unsigned bank, std::size_t set)
+    {
+        return lines_[bank * geom_.numSets() + set];
+    }
+    const Line &lineAt(unsigned bank, std::size_t set) const
+    {
+        return lines_[bank * geom_.numSets() + set];
+    }
+
+    void fillLine(Line &l, Addr block, AccessType type);
+
+    std::vector<Line> lines_;
+    Tick now_ = 0;
+};
+
+} // namespace bsim
+
+#endif // BSIM_ALT_SKEWED_ASSOC_CACHE_HH

@@ -1,0 +1,125 @@
+#include "alt/way_halting_cache.hh"
+
+#include "common/logging.hh"
+
+namespace bsim {
+
+WayHaltingCache::WayHaltingCache(std::string name,
+                                 const CacheGeometry &geom,
+                                 Cycles hit_latency, MemLevel *next,
+                                 unsigned halt_bits,
+                                 ReplPolicyKind repl)
+    : BaseCache(std::move(name), geom, hit_latency, next),
+      lines_(geom.numLines()),
+      repl_(makeReplacementPolicy(repl)), haltBits_(halt_bits)
+{
+    bsim_assert(geom.ways() >= 2, "way halting filters multiple ways");
+    bsim_assert(halt_bits >= 1 && halt_bits < 30);
+    repl_->reset(geom.numSets(), geom.ways());
+}
+
+AccessOutcome
+WayHaltingCache::access(const MemAccess &req)
+{
+    const std::size_t set = geom_.index(req.addr);
+    const Addr tag = geom_.tag(req.addr);
+    const Addr halt = haltOf(tag);
+
+    // The halt-tag comparison decides which ways even wake up.
+    int hit_way = -1;
+    for (std::size_t w = 0; w < geom_.ways(); ++w) {
+        const Line &l = lineAt(set, w);
+        if (!l.valid || haltOf(l.tag) != halt) {
+            ++haltedWays_;
+            continue;
+        }
+        ++activatedWays_;
+        if (l.tag == tag)
+            hit_way = static_cast<int>(w);
+    }
+
+    if (hit_way >= 0) {
+        Line &l = lineAt(set, static_cast<std::size_t>(hit_way));
+        if (req.type == AccessType::Write)
+            l.dirty = true;
+        repl_->touch(set, static_cast<std::size_t>(hit_way));
+        record(req.type, true, set * geom_.ways() + hit_way);
+        return {true, hitLatency()};
+    }
+
+    std::size_t victim = geom_.ways();
+    for (std::size_t w = 0; w < geom_.ways(); ++w) {
+        if (!lineAt(set, w).valid) {
+            victim = w;
+            break;
+        }
+    }
+    if (victim == geom_.ways())
+        victim = repl_->victim(set);
+    Line &l = lineAt(set, victim);
+    if (l.valid && l.dirty)
+        writebackToNext(geom_.rebuild(l.tag, set));
+    const Cycles extra = refillFromNext(req);
+    l.valid = true;
+    l.dirty = (req.type == AccessType::Write);
+    l.tag = tag;
+    repl_->fill(set, victim);
+    record(req.type, false, set * geom_.ways() + victim);
+    return {false, hitLatency() + extra};
+}
+
+void
+WayHaltingCache::writeback(Addr addr)
+{
+    const std::size_t set = geom_.index(addr);
+    const Addr tag = geom_.tag(addr);
+    for (std::size_t w = 0; w < geom_.ways(); ++w) {
+        Line &l = lineAt(set, w);
+        if (l.valid && l.tag == tag) {
+            l.dirty = true;
+            repl_->touch(set, w);
+            return;
+        }
+    }
+    std::size_t victim = geom_.ways();
+    for (std::size_t w = 0; w < geom_.ways(); ++w) {
+        if (!lineAt(set, w).valid) {
+            victim = w;
+            break;
+        }
+    }
+    if (victim == geom_.ways())
+        victim = repl_->victim(set);
+    Line &l = lineAt(set, victim);
+    if (l.valid && l.dirty)
+        writebackToNext(geom_.rebuild(l.tag, set));
+    l.valid = true;
+    l.dirty = true;
+    l.tag = tag;
+    repl_->fill(set, victim);
+}
+
+void
+WayHaltingCache::reset()
+{
+    lines_.assign(geom_.numLines(), Line{});
+    repl_->reset(geom_.numSets(), geom_.ways());
+    haltedWays_ = 0;
+    activatedWays_ = 0;
+    resetBase(geom_.numLines());
+}
+
+bool
+WayHaltingCache::contains(Addr addr) const
+{
+    const std::size_t set = geom_.index(addr);
+    const Addr tag = geom_.tag(addr);
+    for (std::size_t w = 0; w < geom_.ways(); ++w) {
+        const Line &l = lines_[set * geom_.ways() + w];
+        if (l.valid && l.tag == tag)
+            return true;
+    }
+    return false;
+}
+
+} // namespace bsim

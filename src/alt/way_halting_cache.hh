@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Way-halting set-associative cache (mentioned in Section 6.8 next to
+ * the skewed cache): a small fully-parallel "halt tag" array holds the
+ * low few tag bits of every way; ways whose halt tags mismatch the
+ * address are not activated at all, saving their tag/data read energy.
+ * Hit/miss behaviour is *identical* to the underlying set-associative
+ * cache — way halting is purely an energy filter — which the tests
+ * verify differentially.
+ *
+ * The B-Cache connection: both structures compare a low tag slice
+ * before array activation, so both share the virtual-index workaround
+ * for V/P-tagged caches (Section 6.8).
+ */
+
+#ifndef BSIM_ALT_WAY_HALTING_CACHE_HH
+#define BSIM_ALT_WAY_HALTING_CACHE_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/base_cache.hh"
+#include "cache/replacement.hh"
+
+namespace bsim {
+
+class WayHaltingCache : public BaseCache
+{
+  public:
+    /**
+     * @param halt_bits width of the halt-tag slice (4 in the original
+     *        way-halting proposal)
+     */
+    WayHaltingCache(std::string name, const CacheGeometry &geom,
+                    Cycles hit_latency, MemLevel *next,
+                    unsigned halt_bits = 4,
+                    ReplPolicyKind repl = ReplPolicyKind::LRU);
+
+    AccessOutcome access(const MemAccess &req) override;
+    void writeback(Addr addr) override;
+    void reset() override;
+
+    bool contains(Addr addr) const;
+
+    unsigned haltBits() const { return haltBits_; }
+    /** Way activations that the halt tags suppressed. */
+    std::uint64_t haltedWays() const { return haltedWays_; }
+    /** Way activations that went ahead (halt tag matched). */
+    std::uint64_t activatedWays() const { return activatedWays_; }
+    /** Average ways activated per access (the energy win metric). */
+    double avgActivatedWays() const
+    {
+        const std::uint64_t total = haltedWays_ + activatedWays_;
+        return total ? double(activatedWays_) * geometry().ways() /
+                           double(total)
+                     : 0.0;
+    }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        Addr tag = 0;
+    };
+
+    Line &lineAt(std::size_t set, std::size_t way)
+    {
+        return lines_[set * geom_.ways() + way];
+    }
+
+    Addr haltOf(Addr tag) const { return tag & mask(haltBits_); }
+
+    std::vector<Line> lines_;
+    std::unique_ptr<ReplacementPolicy> repl_;
+    unsigned haltBits_;
+    std::uint64_t haltedWays_ = 0;
+    std::uint64_t activatedWays_ = 0;
+};
+
+} // namespace bsim
+
+#endif // BSIM_ALT_WAY_HALTING_CACHE_HH

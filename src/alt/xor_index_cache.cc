@@ -1,0 +1,78 @@
+#include "alt/xor_index_cache.hh"
+
+#include "common/logging.hh"
+
+namespace bsim {
+
+XorIndexCache::XorIndexCache(std::string name, const CacheGeometry &geom,
+                             Cycles hit_latency, MemLevel *next)
+    : BaseCache(std::move(name), geom, hit_latency, next),
+      lines_(geom.numLines())
+{
+    bsim_assert(geom.ways() == 1, "XOR-mapped cache is direct mapped");
+}
+
+std::size_t
+XorIndexCache::hashedIndex(Addr addr) const
+{
+    const unsigned ib = geom_.indexBits();
+    const Addr block = geom_.blockNumber(addr);
+    // The classic single-slice hash: index XOR the adjacent tag slice.
+    // (Folding more tag bits disperses more strides but scrambles
+    // well-laid-out data even harder.)
+    return static_cast<std::size_t>((block ^ (block >> ib)) & mask(ib));
+}
+
+AccessOutcome
+XorIndexCache::access(const MemAccess &req)
+{
+    const Addr block = geom_.blockNumber(req.addr);
+    const std::size_t idx = hashedIndex(req.addr);
+    Line &l = lines_[idx];
+    if (l.valid && l.block == block) {
+        if (req.type == AccessType::Write)
+            l.dirty = true;
+        record(req.type, true, idx);
+        return {true, hitLatency()};
+    }
+    if (l.valid && l.dirty)
+        writebackToNext(l.block << geom_.offsetBits());
+    const Cycles extra = refillFromNext(req);
+    l.valid = true;
+    l.dirty = (req.type == AccessType::Write);
+    l.block = block;
+    record(req.type, false, idx);
+    return {false, hitLatency() + extra};
+}
+
+void
+XorIndexCache::writeback(Addr addr)
+{
+    const Addr block = geom_.blockNumber(addr);
+    Line &l = lines_[hashedIndex(addr)];
+    if (l.valid && l.block == block) {
+        l.dirty = true;
+        return;
+    }
+    if (l.valid && l.dirty)
+        writebackToNext(l.block << geom_.offsetBits());
+    l.valid = true;
+    l.dirty = true;
+    l.block = block;
+}
+
+void
+XorIndexCache::reset()
+{
+    lines_.assign(geom_.numLines(), Line{});
+    resetBase(geom_.numLines());
+}
+
+bool
+XorIndexCache::contains(Addr addr) const
+{
+    const Line &l = lines_[hashedIndex(addr)];
+    return l.valid && l.block == geom_.blockNumber(addr);
+}
+
+} // namespace bsim

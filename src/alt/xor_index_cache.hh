@@ -1,0 +1,49 @@
+/**
+ * @file
+ * XOR-mapped direct-mapped cache: index = set bits XOR a tag slice (a
+ * classic "indexing optimization"). The paper explicitly scopes this
+ * out ("indexing optimization [11] is out of the range of this paper",
+ * Section 3.2) but it is the natural static alternative to the
+ * B-Cache's dynamic remapping, so the related-work bench includes it:
+ * XOR mapping spreads power-of-two strides but cannot adapt when the
+ * hashed working set still collides — no replacement choice exists.
+ */
+
+#ifndef BSIM_ALT_XOR_INDEX_CACHE_HH
+#define BSIM_ALT_XOR_INDEX_CACHE_HH
+
+#include <vector>
+
+#include "cache/base_cache.hh"
+
+namespace bsim {
+
+class XorIndexCache : public BaseCache
+{
+  public:
+    XorIndexCache(std::string name, const CacheGeometry &geom,
+                  Cycles hit_latency, MemLevel *next);
+
+    AccessOutcome access(const MemAccess &req) override;
+    void writeback(Addr addr) override;
+    void reset() override;
+
+    bool contains(Addr addr) const;
+
+    /** The hashed index function (exposed for tests). */
+    std::size_t hashedIndex(Addr addr) const;
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        Addr block = 0; // full block number
+    };
+
+    std::vector<Line> lines_;
+};
+
+} // namespace bsim
+
+#endif // BSIM_ALT_XOR_INDEX_CACHE_HH

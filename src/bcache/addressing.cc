@@ -1,0 +1,94 @@
+#include "bcache/addressing.hh"
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+namespace bsim {
+
+const char *
+addressingSchemeName(AddressingScheme s)
+{
+    switch (s) {
+      case AddressingScheme::PhysIndexPhysTag:
+        return "P-index/P-tag";
+      case AddressingScheme::VirtIndexPhysTag:
+        return "V-index/P-tag";
+      case AddressingScheme::VirtIndexVirtTag:
+        return "V-index/V-tag";
+      case AddressingScheme::PhysIndexVirtTag:
+        return "P-index/V-tag";
+    }
+    return "?";
+}
+
+std::string
+AddressingReport::toString() const
+{
+    return strprintf(
+        "%s: decoder uses bits up to %u (page offset %u); %u borrowed "
+        "bits above the page offset; decode-before-translate=%s%s",
+        addressingSchemeName(scheme), decoderTopBit, pageOffsetBits,
+        translatedDecoderBits, decodeBeforeTranslate ? "yes" : "NO",
+        usesVirtualIndexWorkaround ? " (via virtual-PD workaround)"
+                                   : "");
+}
+
+AddressingReport
+analyzeAddressing(const BCacheParams &params, AddressingScheme scheme,
+                  std::uint32_t page_bytes, bool allow_virtual_pd)
+{
+    if (!isPowerOfTwo(page_bytes))
+        bsim_fatal("page size must be a power of two, got ", page_bytes);
+    const BCacheLayout layout = deriveLayout(params);
+    const CacheGeometry geom = bcacheArrayGeometry(params);
+
+    AddressingReport r{};
+    r.scheme = scheme;
+    r.pageOffsetBits = floorLog2(std::uint64_t{page_bytes});
+    // The decoder consumes offset..(offset + NPI + PI - 1): the NPI and
+    // PI index bits plus the log2(MF) borrowed tag bits.
+    r.decoderTopBit =
+        geom.offsetBits() + layout.npiBits + layout.piBits - 1;
+
+    const unsigned first_translated = r.pageOffsetBits;
+    r.translatedDecoderBits =
+        r.decoderTopBit >= first_translated
+            ? r.decoderTopBit - first_translated + 1
+            : 0;
+
+    switch (scheme) {
+      case AddressingScheme::PhysIndexPhysTag:
+        // Translation happens before any cache work; the decoder only
+        // ever sees physical bits, so there is no ordering hazard (the
+        // TLB is on the path for everyone equally).
+        r.decodeBeforeTranslate = true;
+        r.usesVirtualIndexWorkaround = false;
+        break;
+      case AddressingScheme::VirtIndexVirtTag:
+      case AddressingScheme::PhysIndexVirtTag:
+        // The tag (and hence the borrowed PD bits) is virtual: nothing
+        // needs translating before the decode.
+        r.decodeBeforeTranslate = true;
+        r.usesVirtualIndexWorkaround = false;
+        break;
+      case AddressingScheme::VirtIndexPhysTag:
+        // The problematic case (PowerPC-style V/P): index bits are
+        // virtual but the stored tag is physical, so borrowed tag bits
+        // above the page offset would need the TLB before decoding —
+        // unless they are themselves treated as virtual index bits.
+        if (r.translatedDecoderBits == 0) {
+            r.decodeBeforeTranslate = true;
+            r.usesVirtualIndexWorkaround = false;
+        } else if (allow_virtual_pd) {
+            r.decodeBeforeTranslate = true;
+            r.usesVirtualIndexWorkaround = true;
+        } else {
+            r.decodeBeforeTranslate = false;
+            r.usesVirtualIndexWorkaround = false;
+        }
+        break;
+    }
+    return r;
+}
+
+} // namespace bsim

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Section 6.8 analysis: which of the B-Cache's decoder inputs are
+ * translation-safe under each cache addressing scheme.
+ *
+ * The B-Cache decoder consumes NPI index bits, PI index bits and
+ * log2(MF) bits borrowed from the tag, all *before* the tag comparison.
+ * In a virtually-indexed / physically-tagged (V/P) cache those borrowed
+ * tag bits would normally need the TLB first — unless they lie below the
+ * page offset, or are treated as virtual index bits (the paper's
+ * workaround, shared with skewed-associative and way-halting caches).
+ */
+
+#ifndef BSIM_BCACHE_ADDRESSING_HH
+#define BSIM_BCACHE_ADDRESSING_HH
+
+#include <string>
+
+#include "bcache/bcache_params.hh"
+
+namespace bsim {
+
+/** Cache addressing schemes (Section 6.8). */
+enum class AddressingScheme : std::uint8_t {
+    PhysIndexPhysTag,  ///< PIPT: everything translated first
+    VirtIndexPhysTag,  ///< VIPT: index virtual, tag physical
+    VirtIndexVirtTag,  ///< VIVT
+    PhysIndexVirtTag,  ///< PIVT (exotic, listed by the paper)
+};
+
+const char *addressingSchemeName(AddressingScheme s);
+
+/** Result of the decoder/translation interaction analysis. */
+struct AddressingReport
+{
+    AddressingScheme scheme;
+    unsigned pageOffsetBits;
+    /** Highest address bit the decoder consumes (inclusive). */
+    unsigned decoderTopBit;
+    /** Borrowed tag bits that lie at or above the page offset. */
+    unsigned translatedDecoderBits;
+    /**
+     * True when the decoder can proceed without waiting for the TLB:
+     * every decoder input is either below the page offset, virtual by
+     * scheme, or handled by the paper's treat-as-virtual-index
+     * workaround.
+     */
+    bool decodeBeforeTranslate;
+    /** True when the workaround (virtual PD bits) is what saves it. */
+    bool usesVirtualIndexWorkaround;
+
+    std::string toString() const;
+};
+
+/**
+ * Analyse a B-Cache design point under an addressing scheme and page
+ * size. @p allow_virtual_pd enables the paper's workaround of treating
+ * the borrowed tag bits as virtual index (requires flushing or
+ * de-aliasing on remap, like other virtually-indexed structures).
+ */
+AddressingReport analyzeAddressing(const BCacheParams &params,
+                                   AddressingScheme scheme,
+                                   std::uint32_t page_bytes = 4096,
+                                   bool allow_virtual_pd = true);
+
+} // namespace bsim
+
+#endif // BSIM_BCACHE_ADDRESSING_HH

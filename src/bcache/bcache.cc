@@ -1,0 +1,233 @@
+#include "bcache/bcache.hh"
+
+#include <unordered_set>
+
+#include "common/logging.hh"
+
+namespace bsim {
+
+BCache::BCache(std::string name, const BCacheParams &params,
+               Cycles hit_latency, MemLevel *next)
+    : BaseCache(std::move(name), bcacheArrayGeometry(params), hit_latency,
+                next),
+      params_(params), layout_(deriveLayout(params)),
+      piMask_(mask(layout_.piBits)), lines_(geom_.numLines()),
+      repl_(makeReplacementPolicy(params.repl, params.replSeed))
+{
+    repl_->reset(layout_.groups, layout_.bas);
+}
+
+std::size_t
+BCache::groupOf(Addr addr) const
+{
+    return bitsRange(addr, geom_.offsetBits(), layout_.npiBits);
+}
+
+Addr
+BCache::upperOf(Addr addr) const
+{
+    return addr >> (geom_.offsetBits() + layout_.npiBits);
+}
+
+int
+BCache::pdMatch(std::size_t group, Addr pattern) const
+{
+    for (std::size_t w = 0; w < layout_.bas; ++w) {
+        const Line &l = lineAt(group, w);
+        if (l.valid && pdPattern(l.upper) == pattern)
+            return static_cast<int>(w);
+    }
+    return -1;
+}
+
+Cycles
+BCache::replaceLine(std::size_t group, std::size_t way,
+                    const MemAccess &req, Addr upper, bool count_refill)
+{
+    Line &l = lineAt(group, way);
+    if (l.valid && l.dirty) {
+        const Addr victim_block =
+            (l.upper << layout_.npiBits | group) << geom_.offsetBits();
+        writebackToNext(victim_block);
+    }
+    Cycles extra = 0;
+    if (count_refill)
+        extra = refillFromNext(req);
+    l.valid = true;
+    l.dirty = params_.writePolicy == WritePolicy::WriteBackAllocate &&
+              req.type == AccessType::Write;
+    l.upper = upper;
+    repl_->fill(group, way);
+    return extra;
+}
+
+AccessOutcome
+BCache::access(const MemAccess &req)
+{
+    const std::size_t group = groupOf(req.addr);
+    const Addr upper = upperOf(req.addr);
+    const Addr pattern = pdPattern(upper);
+    const bool write_through =
+        params_.writePolicy == WritePolicy::WriteThroughNoAllocate;
+
+    const int pd_way = pdMatch(group, pattern);
+    if (pd_way >= 0) {
+        Line &l = lineAt(group, static_cast<std::size_t>(pd_way));
+        if (l.upper == upper) {
+            // PD hit and full tag match: a one-cycle cache hit.
+            lastOutcome_ = PdOutcome::HitAndCacheHit;
+            if (req.type == AccessType::Write) {
+                if (write_through) {
+                    ++stats_.writethroughs;
+                    if (nextLevel())
+                        nextLevel()->writeback(
+                            geom_.blockAlign(req.addr));
+                } else {
+                    l.dirty = true;
+                }
+            }
+            repl_->touch(group, static_cast<std::size_t>(pd_way));
+            record(req.type, true, group * layout_.bas + pd_way);
+            return {true, hitLatency()};
+        }
+        if (write_through && req.type == AccessType::Write) {
+            // No-write-allocate: forward the store; the PD entry and
+            // the resident block are left untouched.
+            lastOutcome_ = PdOutcome::HitButCacheMiss;
+            ++pdStats_.pdHitCacheMiss;
+            ++stats_.writethroughs;
+            if (nextLevel())
+                nextLevel()->writeback(geom_.blockAlign(req.addr));
+            record(req.type, false, group * layout_.bas + pd_way);
+            return {false, hitLatency()};
+        }
+        // PD hit but the tag differs: replacing any line other than the
+        // activated one would leave two lines decoding the same pattern,
+        // so the activated line itself must be the victim (Section 2.3).
+        lastOutcome_ = PdOutcome::HitButCacheMiss;
+        ++pdStats_.pdHitCacheMiss;
+        const Cycles extra = replaceLine(
+            group, static_cast<std::size_t>(pd_way), req, upper, true);
+        record(req.type, false, group * layout_.bas + pd_way);
+        return {false, hitLatency() + extra};
+    }
+
+    // PD miss: the cache miss is predetermined before any tag or data
+    // array is read. The victim may be any line of the group, chosen by
+    // the replacement policy; its PD entry is reprogrammed to 'pattern'.
+    lastOutcome_ = PdOutcome::Miss;
+    ++pdStats_.pdMiss;
+    if (write_through && req.type == AccessType::Write) {
+        ++stats_.writethroughs;
+        if (nextLevel())
+            nextLevel()->writeback(geom_.blockAlign(req.addr));
+        record(req.type, false, group * layout_.bas);
+        return {false, hitLatency()};
+    }
+    std::size_t victim = layout_.bas;
+    for (std::size_t w = 0; w < layout_.bas; ++w) {
+        if (!lineAt(group, w).valid) {
+            victim = w;
+            break;
+        }
+    }
+    if (victim == layout_.bas)
+        victim = repl_->victim(group);
+    const Cycles extra = replaceLine(group, victim, req, upper, true);
+    record(req.type, false, group * layout_.bas + victim);
+    return {false, hitLatency() + extra};
+}
+
+void
+BCache::writeback(Addr addr)
+{
+    const std::size_t group = groupOf(addr);
+    const Addr upper = upperOf(addr);
+    const int pd_way = pdMatch(group, pdPattern(upper));
+    MemAccess req{addr, AccessType::Write};
+    if (pd_way >= 0) {
+        Line &l = lineAt(group, static_cast<std::size_t>(pd_way));
+        if (l.upper == upper) {
+            l.dirty = true;
+            repl_->touch(group, static_cast<std::size_t>(pd_way));
+            return;
+        }
+        replaceLine(group, static_cast<std::size_t>(pd_way), req, upper,
+                    false);
+        return;
+    }
+    std::size_t victim = layout_.bas;
+    for (std::size_t w = 0; w < layout_.bas; ++w) {
+        if (!lineAt(group, w).valid) {
+            victim = w;
+            break;
+        }
+    }
+    if (victim == layout_.bas)
+        victim = repl_->victim(group);
+    replaceLine(group, victim, req, upper, false);
+}
+
+void
+BCache::reset()
+{
+    lines_.assign(geom_.numLines(), Line{});
+    repl_->reset(layout_.groups, layout_.bas);
+    pdStats_.reset();
+    lastOutcome_ = PdOutcome::Miss;
+    resetBase(geom_.numLines());
+}
+
+bool
+BCache::contains(Addr addr) const
+{
+    const std::size_t group = groupOf(addr);
+    const Addr upper = upperOf(addr);
+    const int pd_way = pdMatch(group, pdPattern(upper));
+    if (pd_way < 0)
+        return false;
+    return lineAt(group, static_cast<std::size_t>(pd_way)).upper == upper;
+}
+
+bool
+BCache::checkUniqueDecoding() const
+{
+    for (std::size_t g = 0; g < layout_.groups; ++g) {
+        std::unordered_set<Addr> seen;
+        for (std::size_t w = 0; w < layout_.bas; ++w) {
+            const Line &l = lineAt(g, w);
+            if (!l.valid)
+                continue;
+            if (!seen.insert(pdPattern(l.upper)).second)
+                return false;
+        }
+    }
+    return true;
+}
+
+void
+BCache::debugCorruptPd(std::size_t group, std::size_t way, Addr pattern)
+{
+    bsim_assert(group < layout_.groups && way < layout_.bas);
+    Line &l = lineAt(group, way);
+    l.valid = true;
+    l.upper = (l.upper & ~piMask_) | (pattern & piMask_);
+}
+
+std::size_t
+BCache::validLines() const
+{
+    std::size_t n = 0;
+    for (const auto &l : lines_)
+        n += l.valid ? 1 : 0;
+    return n;
+}
+
+std::unique_ptr<BCache>
+makeBCache(const std::string &name, const BCacheParams &params,
+           Cycles hit_latency, MemLevel *next)
+{
+    return std::make_unique<BCache>(name, params, hit_latency, next);
+}
+
+} // namespace bsim

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * The Balanced Cache (B-Cache): a direct-mapped cache whose local decoders
+ * are partly programmable (Zhang, ISCA 2006).
+ *
+ * Functional model
+ * ----------------
+ * Physical lines are grouped by the NPI low index bits; each of the 2^NPI
+ * groups holds BAS lines (the victim pool). Every line stores the full
+ * "upper" part of its block address (everything above the NPI bits); its
+ * programmable-decoder (PD) pattern is the low PI bits of that value.
+ *
+ * On an access the PD conceptually compares the address's PI bits against
+ * all BAS patterns of the group. Because valid patterns within a group are
+ * kept pairwise distinct (the unique-decoding constraint of Figure 1c), at
+ * most one line activates — the access is still direct-mapped and all hits
+ * take one cycle.
+ *
+ * Outcomes:
+ *  - PD hit, tag match  -> cache hit.
+ *  - PD hit, tag miss   -> the activated line must itself be replaced (a
+ *    different victim would require evicting two blocks to keep decoding
+ *    unique); the PD pattern is unchanged.
+ *  - PD miss            -> the miss is known before any tag/data array is
+ *    read (energy is saved); the victim is chosen from the whole group by
+ *    the replacement policy and its PD entry is reprogrammed.
+ *
+ * Limits (verified by property tests): BAS = 1 is exactly the baseline
+ * direct-mapped cache; MF large enough that PI covers the entire upper
+ * address makes the B-Cache exactly a BAS-way set-associative cache with
+ * 2^NPI sets.
+ */
+
+#ifndef BSIM_BCACHE_BCACHE_HH
+#define BSIM_BCACHE_BCACHE_HH
+
+#include <memory>
+#include <vector>
+
+#include "bcache/bcache_params.hh"
+#include "cache/base_cache.hh"
+#include "cache/replacement.hh"
+
+namespace bsim {
+
+/** Decoder-level outcome of a single B-Cache access. */
+enum class PdOutcome : std::uint8_t {
+    HitAndCacheHit,   ///< PD matched and the tag matched too
+    HitButCacheMiss,  ///< PD matched, tag differed: forced replacement
+    Miss,             ///< no PD pattern matched: miss predetermined
+};
+
+/** Extra statistics specific to the programmable decoder. */
+struct PdStats
+{
+    std::uint64_t pdHitCacheMiss = 0; ///< PD hit during a cache miss
+    std::uint64_t pdMiss = 0;         ///< PD miss (always a cache miss)
+
+    /**
+     * The paper's "PD hit rate during cache misses" (Figure 3, Table 6):
+     * the fraction of misses in which the PD nonetheless matched, forcing
+     * the replacement to the activated line.
+     */
+    double pdHitRateOnMiss() const
+    {
+        const std::uint64_t m = pdHitCacheMiss + pdMiss;
+        return m ? double(pdHitCacheMiss) / double(m) : 0.0;
+    }
+
+    /** Fraction of misses predicted by the PD (tag/data read avoided). */
+    double missPredictionRate() const
+    {
+        const std::uint64_t m = pdHitCacheMiss + pdMiss;
+        return m ? double(pdMiss) / double(m) : 0.0;
+    }
+
+    void reset() { *this = PdStats{}; }
+};
+
+class BCache : public BaseCache
+{
+  public:
+    BCache(std::string name, const BCacheParams &params,
+           Cycles hit_latency = 1, MemLevel *next = nullptr);
+
+    AccessOutcome access(const MemAccess &req) override;
+    void writeback(Addr addr) override;
+    void reset() override;
+
+    const BCacheParams &params() const { return params_; }
+    const BCacheLayout &layout() const { return layout_; }
+    const PdStats &pdStats() const { return pdStats_; }
+
+    /** Decoder outcome of the most recent access (for tests/telemetry). */
+    PdOutcome lastOutcome() const { return lastOutcome_; }
+
+    /** True if the block containing @p addr is resident (no side effects). */
+    bool contains(Addr addr) const;
+
+    /**
+     * Verify the unique-decoding invariant: valid PD patterns within each
+     * group are pairwise distinct. Returns true when it holds.
+     */
+    bool checkUniqueDecoding() const;
+
+    /** Number of valid lines (for tests). */
+    std::size_t validLines() const;
+
+    /**
+     * Fault injection for tests: overwrite the PD pattern of a line
+     * (by rewriting the low PI bits of its stored upper field), as a
+     * soft error in a CAM cell would. May break the unique-decoding
+     * invariant — that is the point; pair with checkUniqueDecoding().
+     */
+    void debugCorruptPd(std::size_t group, std::size_t way,
+                        Addr pattern);
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        /** block address >> npiBits; low piBits are the PD pattern. */
+        Addr upper = 0;
+    };
+
+    Line &lineAt(std::size_t group, std::size_t way)
+    {
+        return lines_[group * layout_.bas + way];
+    }
+    const Line &lineAt(std::size_t group, std::size_t way) const
+    {
+        return lines_[group * layout_.bas + way];
+    }
+
+    /** Group (NPI decode) of an address. */
+    std::size_t groupOf(Addr addr) const;
+    /** Upper field (everything above the NPI bits) of an address. */
+    Addr upperOf(Addr addr) const;
+    /** PD pattern of an upper field. */
+    Addr pdPattern(Addr upper) const { return upper & piMask_; }
+
+    /** Way whose valid PD pattern matches, or -1 (the decode step). */
+    int pdMatch(std::size_t group, Addr pattern) const;
+
+    /** Evict (writing back if dirty) and refill a line. */
+    Cycles replaceLine(std::size_t group, std::size_t way,
+                       const MemAccess &req, Addr upper, bool count_refill);
+
+    BCacheParams params_;
+    BCacheLayout layout_;
+    Addr piMask_;
+    std::vector<Line> lines_;
+    std::unique_ptr<ReplacementPolicy> repl_;
+    PdStats pdStats_;
+    PdOutcome lastOutcome_ = PdOutcome::Miss;
+};
+
+/** Convenience factory returning a BCache as a BaseCache pointer. */
+std::unique_ptr<BCache>
+makeBCache(const std::string &name, const BCacheParams &params,
+           Cycles hit_latency = 1, MemLevel *next = nullptr);
+
+} // namespace bsim
+
+#endif // BSIM_BCACHE_BCACHE_HH

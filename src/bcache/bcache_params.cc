@@ -1,0 +1,67 @@
+#include "bcache/bcache_params.hh"
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+namespace bsim {
+
+std::string
+BCacheParams::toString() const
+{
+    return strprintf("bcache-%s-MF%u-BAS%u-%s",
+                     sizeString(sizeBytes).c_str(), mf, bas,
+                     replPolicyName(repl));
+}
+
+unsigned
+BCacheLayout::baselineTagBits(unsigned addr_bits,
+                              unsigned offset_bits) const
+{
+    return addr_bits - offset_bits - oi;
+}
+
+unsigned
+BCacheLayout::bcacheTagBits(unsigned addr_bits, unsigned offset_bits) const
+{
+    return baselineTagBits(addr_bits, offset_bits) - mfLog;
+}
+
+std::string
+BCacheLayout::toString() const
+{
+    return strprintf("OI=%u PI=%u NPI=%u MF=%u BAS=%llu groups=%llu", oi,
+                     piBits, npiBits, 1u << mfLog,
+                     static_cast<unsigned long long>(bas),
+                     static_cast<unsigned long long>(groups));
+}
+
+BCacheLayout
+deriveLayout(const BCacheParams &p)
+{
+    if (!isPowerOfTwo(p.mf))
+        bsim_fatal("MF must be a power of two, got ", p.mf);
+    if (!isPowerOfTwo(p.bas))
+        bsim_fatal("BAS must be a power of two, got ", p.bas);
+
+    const CacheGeometry geom = bcacheArrayGeometry(p);
+    BCacheLayout l{};
+    l.oi = geom.indexBits();
+    l.mfLog = floorLog2(p.mf);
+    l.basLog = floorLog2(p.bas);
+    if (l.basLog > l.oi)
+        bsim_fatal("BAS=", p.bas, " exceeds the number of sets (",
+                   geom.numSets(), ")");
+    l.npiBits = l.oi - l.basLog;
+    l.piBits = l.basLog + l.mfLog;
+    l.groups = std::uint64_t{1} << l.npiBits;
+    l.bas = p.bas;
+    return l;
+}
+
+CacheGeometry
+bcacheArrayGeometry(const BCacheParams &p)
+{
+    return CacheGeometry(p.sizeBytes, p.lineBytes, /*ways=*/1);
+}
+
+} // namespace bsim

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * B-Cache configuration and the derived decoder layout (Section 3.1 of the
+ * paper): memory-address mapping factor MF, B-Cache associativity BAS, and
+ * the programmable / non-programmable index split PI / NPI.
+ */
+
+#ifndef BSIM_BCACHE_BCACHE_PARAMS_HH
+#define BSIM_BCACHE_BCACHE_PARAMS_HH
+
+#include <cstdint>
+#include <string>
+
+#include "cache/replacement.hh"
+#include "mem/access.hh"
+#include "mem/geometry.hh"
+
+namespace bsim {
+
+/**
+ * User-facing B-Cache parameters.
+ *
+ * The paper's preferred design (Sections 4.3.1/4.3.2) is MF = 8, BAS = 8
+ * with LRU replacement, which for the 16 kB / 32 B baseline yields a 6-bit
+ * programmable index (PI) and a 6-bit non-programmable index (NPI).
+ */
+struct BCacheParams
+{
+    std::uint64_t sizeBytes = 16 * 1024;
+    std::uint32_t lineBytes = 32;
+    /**
+     * Memory-address mapping factor MF = 2^(PI+NPI) / 2^OI; only 1/MF of
+     * the address space maps onto the sets at any instant. Must be a
+     * power of two >= 1 (1 disables the programmable decoder extension).
+     */
+    std::uint32_t mf = 8;
+    /**
+     * B-Cache associativity BAS = 2^OI / 2^NPI: the number of physical
+     * lines a victim may be chosen from on a PD miss. Power of two >= 1
+     * and <= number of sets.
+     */
+    std::uint32_t bas = 8;
+    ReplPolicyKind repl = ReplPolicyKind::LRU;
+    std::uint64_t replSeed = 1;
+    /** Write handling (the paper evaluates write-back/write-allocate). */
+    WritePolicy writePolicy = WritePolicy::WriteBackAllocate;
+
+    std::string toString() const;
+};
+
+/**
+ * Decoder bit layout derived from BCacheParams.
+ *
+ * Using the paper's notation with OI the baseline index length:
+ *   NPI = OI - log2(BAS)   non-programmable index bits
+ *   PI  = log2(BAS) + log2(MF)  programmable (CAM) index bits
+ * so the total index is OI + log2(MF) bits, log2(MF) of which are borrowed
+ * from the tag (shortening the stored tag accordingly).
+ */
+struct BCacheLayout
+{
+    unsigned oi;        ///< baseline index bits (log2 numSets)
+    unsigned mfLog;     ///< log2(MF) = extra decoder bits from the tag
+    unsigned basLog;    ///< log2(BAS)
+    unsigned npiBits;   ///< non-programmable index bits
+    unsigned piBits;    ///< programmable index (PD CAM pattern) bits
+    std::uint64_t groups;   ///< 2^npiBits victim pools
+    std::uint64_t bas;      ///< lines per pool
+
+    /** Baseline direct-mapped tag bits for a given address width. */
+    unsigned baselineTagBits(unsigned addr_bits, unsigned offset_bits) const;
+    /** Stored tag bits in the B-Cache (baseline minus log2(MF)). */
+    unsigned bcacheTagBits(unsigned addr_bits, unsigned offset_bits) const;
+
+    std::string toString() const;
+};
+
+/** Validate @p p and derive the decoder layout; fatal on bad parameters. */
+BCacheLayout deriveLayout(const BCacheParams &p);
+
+/** Geometry of the underlying array (always "direct-mapped": ways = 1). */
+CacheGeometry bcacheArrayGeometry(const BCacheParams &p);
+
+} // namespace bsim
+
+#endif // BSIM_BCACHE_BCACHE_PARAMS_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Common machinery shared by every cache organisation in the repo:
+ * geometry, next-level plumbing, statistics and per-set usage tracking.
+ */
+
+#ifndef BSIM_CACHE_BASE_CACHE_HH
+#define BSIM_CACHE_BASE_CACHE_HH
+
+#include <string>
+
+#include "cache/cache_stats.hh"
+#include "mem/geometry.hh"
+#include "mem/mem_level.hh"
+
+namespace bsim {
+
+/**
+ * Observer of per-line access activity (e.g. the drowsy-leakage
+ * estimator). Attached via BaseCache::setLineObserver; called once per
+ * demand access with the physical line the access resolved to.
+ */
+class LineAccessObserver
+{
+  public:
+    virtual ~LineAccessObserver() = default;
+    virtual void onLineAccess(std::size_t physical_line, bool hit) = 0;
+};
+
+/**
+ * Base class for all cache organisations (set-associative, victim,
+ * B-Cache, column-associative, skewed, HAC).
+ *
+ * Write policy throughout the repo is write-back + write-allocate, matching
+ * the SimpleScalar configuration the paper uses.
+ */
+class BaseCache : public MemLevel
+{
+  public:
+    /**
+     * @param name instance name used in reports
+     * @param geom size/line/way geometry
+     * @param hit_latency cycles for a hit at this level
+     * @param next next level (not owned); may be null for a cache that is
+     *             measured standalone (misses then cost only hit_latency)
+     */
+    BaseCache(std::string name, const CacheGeometry &geom,
+              Cycles hit_latency, MemLevel *next);
+
+    std::string name() const override { return name_; }
+    const CacheGeometry &geometry() const { return geom_; }
+    Cycles hitLatency() const { return hitLatency_; }
+
+    MemLevel *nextLevel() const { return next_; }
+    void setNextLevel(MemLevel *next) { next_ = next; }
+
+    const CacheStats &stats() const { return stats_; }
+    const SetUsageTracker &setUsage() const { return usageTracker_; }
+
+    /** Attach (or detach with nullptr) a per-line activity observer. */
+    void setLineObserver(LineAccessObserver *obs) { observer_ = obs; }
+
+    /** Miss rate over all access types. */
+    double missRate() const { return stats_.missRate(); }
+
+  protected:
+    /**
+     * Fetch the block for @p req from the next level after a miss.
+     * Returns the added latency (0 when standalone).
+     */
+    Cycles refillFromNext(const MemAccess &req);
+
+    /** Send a dirty victim down. */
+    void writebackToNext(Addr block_addr);
+
+    /** Update aggregate + per-line counters. */
+    void record(AccessType type, bool hit, std::size_t physical_line);
+
+    /** Reset stats/usage; derived classes call from their reset(). */
+    void resetBase(std::size_t num_lines);
+
+    CacheGeometry geom_;
+    CacheStats stats_;
+    SetUsageTracker usageTracker_;
+
+  private:
+    std::string name_;
+    Cycles hitLatency_;
+    MemLevel *next_;
+    LineAccessObserver *observer_ = nullptr;
+};
+
+} // namespace bsim
+
+#endif // BSIM_CACHE_BASE_CACHE_HH

@@ -1,0 +1,70 @@
+#include "cache/cache_stats.hh"
+
+#include "common/strings.hh"
+
+namespace bsim {
+
+void
+CacheStats::recordAccess(AccessType type, bool hit)
+{
+    ++accesses;
+    if (hit)
+        ++hits;
+    else
+        ++misses;
+    switch (type) {
+      case AccessType::Read:
+        ++readAccesses;
+        if (!hit)
+            ++readMisses;
+        break;
+      case AccessType::Write:
+        ++writeAccesses;
+        if (!hit)
+            ++writeMisses;
+        break;
+      case AccessType::Fetch:
+        ++fetchAccesses;
+        if (!hit)
+            ++fetchMisses;
+        break;
+    }
+}
+
+void
+CacheStats::reset()
+{
+    *this = CacheStats{};
+}
+
+std::string
+CacheStats::toString() const
+{
+    return strprintf(
+        "accesses=%llu hits=%llu misses=%llu missRate=%.4f "
+        "writebacks=%llu refills=%llu",
+        static_cast<unsigned long long>(accesses),
+        static_cast<unsigned long long>(hits),
+        static_cast<unsigned long long>(misses), missRate(),
+        static_cast<unsigned long long>(writebacks),
+        static_cast<unsigned long long>(refills));
+}
+
+void
+SetUsageTracker::reset(std::size_t num_lines)
+{
+    usage_.assign(num_lines, SetUsage{});
+}
+
+void
+SetUsageTracker::record(std::size_t line, bool hit)
+{
+    auto &u = usage_[line];
+    ++u.accesses;
+    if (hit)
+        ++u.hits;
+    else
+        ++u.misses;
+}
+
+} // namespace bsim

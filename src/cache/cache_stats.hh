@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Per-cache statistics, including the per-set usage counters that drive the
+ * paper's Table 7 balance evaluation.
+ */
+
+#ifndef BSIM_CACHE_CACHE_STATS_HH
+#define BSIM_CACHE_CACHE_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+#include "mem/access.hh"
+
+namespace bsim {
+
+/** Aggregate counters for one cache. */
+struct CacheStats
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+
+    std::uint64_t readAccesses = 0;
+    std::uint64_t readMisses = 0;
+    std::uint64_t writeAccesses = 0;
+    std::uint64_t writeMisses = 0;
+    std::uint64_t fetchAccesses = 0;
+    std::uint64_t fetchMisses = 0;
+
+    /** Dirty blocks written back to the next level. */
+    std::uint64_t writebacks = 0;
+    /** Stores forwarded to the next level (write-through mode). */
+    std::uint64_t writethroughs = 0;
+    /** Blocks refilled from the next level. */
+    std::uint64_t refills = 0;
+
+    void recordAccess(AccessType type, bool hit);
+    void reset();
+
+    double missRate() const { return safeRatio(double(misses),
+                                               double(accesses)); }
+    double hitRate() const { return safeRatio(double(hits),
+                                              double(accesses)); }
+
+    std::string toString() const;
+};
+
+/** Per-physical-line usage counters (accesses / hits / misses). */
+struct SetUsage
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+};
+
+/**
+ * Tracks usage per physical cache line; the Table 7 classification
+ * (frequent-hit / frequent-miss / less-accessed sets) is computed from
+ * these counters by bcache::BalanceAnalyzer.
+ */
+class SetUsageTracker
+{
+  public:
+    void reset(std::size_t num_lines);
+    void record(std::size_t line, bool hit);
+
+    const std::vector<SetUsage> &usage() const { return usage_; }
+    std::size_t numLines() const { return usage_.size(); }
+
+  private:
+    std::vector<SetUsage> usage_;
+};
+
+} // namespace bsim
+
+#endif // BSIM_CACHE_CACHE_STATS_HH

@@ -1,0 +1,80 @@
+#include "cache/opt.hh"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+namespace bsim {
+
+OptResult
+optSimulate(const std::vector<MemAccess> &trace,
+            const CacheGeometry &geom)
+{
+    OptResult res;
+    res.accesses = trace.size();
+    if (trace.empty())
+        return res;
+
+    const std::size_t n = trace.size();
+
+    // Pass 1: next-use chain. nextUse[i] = index of the next access to
+    // the same block after i, or n if none.
+    std::vector<std::size_t> next_use(n, n);
+    {
+        std::unordered_map<Addr, std::size_t> last_pos;
+        last_pos.reserve(n / 4);
+        for (std::size_t i = n; i-- > 0;) {
+            const Addr block = geom.blockNumber(trace[i].addr);
+            const auto it = last_pos.find(block);
+            next_use[i] = it == last_pos.end() ? n : it->second;
+            last_pos[block] = i;
+        }
+    }
+
+    // Pass 2: simulate per set. Each set holds up to `ways` resident
+    // blocks with their next-use index; victim = max next-use.
+    struct Resident
+    {
+        Addr block;
+        std::size_t nextUse;
+    };
+    std::vector<std::vector<Resident>> sets(geom.numSets());
+    std::unordered_map<Addr, bool> touched;
+    touched.reserve(n / 4);
+
+    const std::size_t ways = geom.ways();
+    for (std::size_t i = 0; i < n; ++i) {
+        const Addr block = geom.blockNumber(trace[i].addr);
+        auto &set = sets[geom.index(trace[i].addr)];
+
+        bool hit = false;
+        for (auto &r : set) {
+            if (r.block == block) {
+                r.nextUse = next_use[i];
+                hit = true;
+                break;
+            }
+        }
+        if (hit)
+            continue;
+
+        ++res.misses;
+        if (touched.emplace(block, true).second)
+            ++res.coldMisses;
+
+        if (set.size() < ways) {
+            set.push_back({block, next_use[i]});
+        } else {
+            // Evict the farthest-next-use resident (ties arbitrary).
+            auto victim = std::max_element(
+                set.begin(), set.end(),
+                [](const Resident &a, const Resident &b) {
+                    return a.nextUse < b.nextUse;
+                });
+            *victim = {block, next_use[i]};
+        }
+    }
+    return res;
+}
+
+} // namespace bsim

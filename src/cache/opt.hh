@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Offline optimal (Belady / OPT) replacement analysis over a recorded
+ * access trace. OPT evicts the resident block whose next use is farthest
+ * in the future — an unreachable lower bound on the miss rate of any
+ * demand-fetch cache of the same geometry.
+ *
+ * Used by the bound_opt bench to quantify the headroom beyond LRU and
+ * to support the paper's Section 3.3 argument that sophisticated
+ * replacement adds little once BAS = 8 approaches an 8-way cache.
+ */
+
+#ifndef BSIM_CACHE_OPT_HH
+#define BSIM_CACHE_OPT_HH
+
+#include <vector>
+
+#include "mem/access.hh"
+#include "mem/geometry.hh"
+
+namespace bsim {
+
+/** Result of an OPT simulation. */
+struct OptResult
+{
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+    /** Compulsory (first-touch) misses, a floor below even OPT. */
+    std::uint64_t coldMisses = 0;
+
+    double missRate() const
+    {
+        return accesses ? double(misses) / double(accesses) : 0.0;
+    }
+};
+
+/**
+ * Simulate Belady's OPT on @p trace for @p geom (any associativity;
+ * ways = numLines gives the fully-associative bound).
+ */
+OptResult optSimulate(const std::vector<MemAccess> &trace,
+                      const CacheGeometry &geom);
+
+} // namespace bsim
+
+#endif // BSIM_CACHE_OPT_HH

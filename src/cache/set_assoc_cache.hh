@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Conventional N-way set-associative cache (N = 1 gives the paper's
+ * direct-mapped baseline). Write-back, write-allocate.
+ */
+
+#ifndef BSIM_CACHE_SET_ASSOC_CACHE_HH
+#define BSIM_CACHE_SET_ASSOC_CACHE_HH
+
+#include <memory>
+#include <vector>
+
+#include "cache/base_cache.hh"
+#include "cache/replacement.hh"
+
+namespace bsim {
+
+class SetAssocCache : public BaseCache
+{
+  public:
+    SetAssocCache(std::string name, const CacheGeometry &geom,
+                  Cycles hit_latency, MemLevel *next,
+                  ReplPolicyKind repl = ReplPolicyKind::LRU,
+                  std::uint64_t repl_seed = 1,
+                  WritePolicy write_policy =
+                      WritePolicy::WriteBackAllocate);
+
+    AccessOutcome access(const MemAccess &req) override;
+    void writeback(Addr addr) override;
+    void reset() override;
+
+    /** True if the block containing @p addr is resident (no side effects). */
+    bool contains(Addr addr) const;
+
+    /** Way holding @p addr, or -1. No side effects (for tests). */
+    int probeWay(Addr addr) const;
+
+    ReplPolicyKind replKind() const { return repl_->kind(); }
+    WritePolicy writePolicy() const { return writePolicy_; }
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        Addr tag = 0;
+    };
+
+    Line &lineAt(std::size_t set, std::size_t way)
+    {
+        return lines_[set * geom_.ways() + way];
+    }
+    const Line &lineAt(std::size_t set, std::size_t way) const
+    {
+        return lines_[set * geom_.ways() + way];
+    }
+
+    /** Find the way matching addr in its set, or -1. */
+    int findWay(std::size_t set, Addr tag) const;
+
+    /** Choose fill way: first invalid way, else policy victim. */
+    std::size_t chooseVictim(std::size_t set);
+
+    /**
+     * Core lookup/fill shared by demand accesses and writebacks from the
+     * level above. Returns hit status and the touched physical line.
+     */
+    struct Result
+    {
+        bool hit;
+        std::size_t physicalLine;
+        Cycles extraLatency;
+    };
+    Result lookupAndFill(const MemAccess &req, bool count_refill);
+
+    std::vector<Line> lines_;
+    std::unique_ptr<ReplacementPolicy> repl_;
+    WritePolicy writePolicy_;
+};
+
+} // namespace bsim
+
+#endif // BSIM_CACHE_SET_ASSOC_CACHE_HH

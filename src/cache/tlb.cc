@@ -1,0 +1,100 @@
+#include "cache/tlb.hh"
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace bsim {
+
+Tlb::Tlb(std::uint32_t page_bytes, std::uint32_t entries,
+         std::uint32_t ways, ReplPolicyKind repl)
+    : pageBytes_(page_bytes)
+{
+    if (!isPowerOfTwo(page_bytes))
+        bsim_fatal("page size must be a power of two, got ", page_bytes);
+    if (!isPowerOfTwo(entries) || !isPowerOfTwo(ways) || ways > entries)
+        bsim_fatal("bad TLB shape: entries=", entries, " ways=", ways);
+    pageOffsetBits_ = floorLog2(page_bytes);
+    sets_ = entries / ways;
+    ways_ = ways;
+    entries_.assign(entries, Entry{});
+    repl_ = makeReplacementPolicy(repl);
+    repl_->reset(sets_, ways);
+}
+
+Addr
+Tlb::frameOf(Addr vpn) const
+{
+    // splitmix-style deterministic hash: a synthetic page table whose
+    // frame bits above the page offset are decorrelated from the VPN
+    // (like an OS's physical allocator).
+    Addr z = vpn + 0x9e3779b97f4a7c15ULL;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    z ^= z >> 31;
+    // 1 GB of physical frames.
+    return z & mask(30 - pageOffsetBits_);
+}
+
+Addr
+Tlb::translateFunctional(Addr vaddr) const
+{
+    const Addr vpn = vpnOf(vaddr);
+    return (frameOf(vpn) << pageOffsetBits_) |
+           (vaddr & mask(pageOffsetBits_));
+}
+
+Addr
+Tlb::translate(Addr vaddr)
+{
+    const Addr vpn = vpnOf(vaddr);
+    const std::size_t set = setOf(vpn);
+    ++stats_.accesses;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        Entry &e = entries_[set * ways_ + w];
+        if (e.valid && e.vpn == vpn) {
+            ++stats_.hits;
+            repl_->touch(set, w);
+            return (e.pfn << pageOffsetBits_) |
+                   (vaddr & mask(pageOffsetBits_));
+        }
+    }
+    ++stats_.misses;
+    std::uint32_t victim = ways_;
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        if (!entries_[set * ways_ + w].valid) {
+            victim = w;
+            break;
+        }
+    }
+    if (victim == ways_)
+        victim = static_cast<std::uint32_t>(repl_->victim(set));
+    Entry &e = entries_[set * ways_ + victim];
+    e.valid = true;
+    e.vpn = vpn;
+    e.pfn = frameOf(vpn);
+    repl_->fill(set, victim);
+    return (e.pfn << pageOffsetBits_) | (vaddr & mask(pageOffsetBits_));
+}
+
+bool
+Tlb::isCached(Addr vaddr) const
+{
+    const Addr vpn = vpnOf(vaddr);
+    const std::size_t set = setOf(vpn);
+    for (std::uint32_t w = 0; w < ways_; ++w) {
+        const Entry &e = entries_[set * ways_ + w];
+        if (e.valid && e.vpn == vpn)
+            return true;
+    }
+    return false;
+}
+
+void
+Tlb::reset()
+{
+    entries_.assign(entries_.size(), Entry{});
+    repl_->reset(sets_, ways_);
+    stats_.reset();
+}
+
+} // namespace bsim

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Direct-mapped cache augmented with a small fully-associative victim
+ * buffer (Jouppi-style), the paper's main point of comparison (victim16).
+ *
+ * The buffer is probed sequentially after a main-array miss, so victim hits
+ * cost one extra cycle (Section 2.1 of the paper); a buffer hit swaps the
+ * buffered block with the conflicting main-array block.
+ */
+
+#ifndef BSIM_CACHE_VICTIM_CACHE_HH
+#define BSIM_CACHE_VICTIM_CACHE_HH
+
+#include <vector>
+
+#include "cache/base_cache.hh"
+
+namespace bsim {
+
+class VictimCache : public BaseCache
+{
+  public:
+    /**
+     * @param geom geometry of the direct-mapped main array (ways must be 1)
+     * @param victim_entries number of fully-associative buffer entries
+     */
+    VictimCache(std::string name, const CacheGeometry &geom,
+                Cycles hit_latency, MemLevel *next,
+                std::size_t victim_entries = 16);
+
+    AccessOutcome access(const MemAccess &req) override;
+    void writeback(Addr addr) override;
+    void reset() override;
+
+    std::size_t victimEntries() const { return buffer_.size(); }
+    /** Hits served out of the victim buffer (one extra cycle each). */
+    std::uint64_t victimHits() const { return victimHits_; }
+    /** Buffer probes (every main-array miss). */
+    std::uint64_t victimProbes() const { return victimProbes_; }
+
+    bool mainContains(Addr addr) const;
+    bool bufferContains(Addr addr) const;
+
+  private:
+    struct Line
+    {
+        bool valid = false;
+        bool dirty = false;
+        Addr tag = 0; // main array: geometry tag
+    };
+
+    struct BufEntry
+    {
+        bool valid = false;
+        bool dirty = false;
+        Addr blockAddr = 0; // full block-aligned address
+        Tick lastUse = 0;
+    };
+
+    int findBuffer(Addr block_addr) const;
+    std::size_t bufferVictim();
+    /** Insert a block evicted from the main array into the buffer. */
+    void insertVictim(Addr block_addr, bool dirty);
+
+    std::vector<Line> main_;
+    std::vector<BufEntry> buffer_;
+    Tick now_ = 0;
+    std::uint64_t victimHits_ = 0;
+    std::uint64_t victimProbes_ = 0;
+};
+
+} // namespace bsim
+
+#endif // BSIM_CACHE_VICTIM_CACHE_HH

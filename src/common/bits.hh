@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Bit-manipulation helpers used by the cache decoders and geometry code.
+ */
+
+#ifndef BSIM_COMMON_BITS_HH
+#define BSIM_COMMON_BITS_HH
+
+#include <cassert>
+#include <cstdint>
+
+#include "common/types.hh"
+
+namespace bsim {
+
+/** True iff @p v is a power of two (zero is not). */
+constexpr bool
+isPowerOfTwo(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/**
+ * Floor of log2. @p v must be non-zero.
+ */
+constexpr unsigned
+floorLog2(std::uint64_t v)
+{
+    assert(v != 0);
+    unsigned l = 0;
+    while (v >>= 1)
+        ++l;
+    return l;
+}
+
+/** Ceiling of log2. @p v must be non-zero. */
+constexpr unsigned
+ceilLog2(std::uint64_t v)
+{
+    return isPowerOfTwo(v) ? floorLog2(v) : floorLog2(v) + 1;
+}
+
+/** A mask with the low @p nbits bits set. nbits may be 0..64. */
+constexpr std::uint64_t
+mask(unsigned nbits)
+{
+    return nbits >= 64 ? ~std::uint64_t{0}
+                       : ((std::uint64_t{1} << nbits) - 1);
+}
+
+/**
+ * Extract the bit field [first, first + nbits) of @p v
+ * (first = bit index of the least significant bit of the field).
+ */
+constexpr std::uint64_t
+bitsRange(std::uint64_t v, unsigned first, unsigned nbits)
+{
+    return (v >> first) & mask(nbits);
+}
+
+/** Extract a single bit. */
+constexpr bool
+bit(std::uint64_t v, unsigned pos)
+{
+    return (v >> pos) & 1;
+}
+
+/**
+ * Insert value @p field into bits [first, first + nbits) of @p v and
+ * return the result.
+ */
+constexpr std::uint64_t
+insertBits(std::uint64_t v, unsigned first, unsigned nbits,
+           std::uint64_t field)
+{
+    const std::uint64_t m = mask(nbits) << first;
+    return (v & ~m) | ((field << first) & m);
+}
+
+/** Population count. */
+constexpr unsigned
+popCount(std::uint64_t v)
+{
+    unsigned c = 0;
+    while (v) {
+        v &= v - 1;
+        ++c;
+    }
+    return c;
+}
+
+/** XOR-fold @p v down to @p nbits bits (used by skewed index functions). */
+constexpr std::uint64_t
+xorFold(std::uint64_t v, unsigned nbits)
+{
+    assert(nbits > 0 && nbits < 64);
+    std::uint64_t r = 0;
+    while (v) {
+        r ^= v & mask(nbits);
+        v >>= nbits;
+    }
+    return r;
+}
+
+/** Reverse the low @p nbits bits of @p v. */
+constexpr std::uint64_t
+reverseBits(std::uint64_t v, unsigned nbits)
+{
+    std::uint64_t r = 0;
+    for (unsigned i = 0; i < nbits; ++i)
+        if (bit(v, i))
+            r |= std::uint64_t{1} << (nbits - 1 - i);
+    return r;
+}
+
+} // namespace bsim
+
+#endif // BSIM_COMMON_BITS_HH

@@ -1,0 +1,198 @@
+#include "common/json.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+namespace bsim {
+
+std::string
+JsonWriter::escape(const std::string &s)
+{
+    std::string out;
+    out.reserve(s.size() + 2);
+    for (unsigned char c : s) {
+        switch (c) {
+          case '"':
+            out += "\\\"";
+            break;
+          case '\\':
+            out += "\\\\";
+            break;
+          case '\n':
+            out += "\\n";
+            break;
+          case '\r':
+            out += "\\r";
+            break;
+          case '\t':
+            out += "\\t";
+            break;
+          default:
+            if (c < 0x20)
+                out += strprintf("\\u%04x", c);
+            else
+                out += static_cast<char>(c);
+        }
+    }
+    return out;
+}
+
+void
+JsonWriter::separator()
+{
+    if (pendingKey_) {
+        pendingKey_ = false;
+        return; // the key already emitted "k":
+    }
+    if (!stack_.empty()) {
+        if (hasElement_.back())
+            out_ += ',';
+        hasElement_.back() = true;
+    }
+}
+
+JsonWriter &
+JsonWriter::beginObject()
+{
+    separator();
+    started_ = true;
+    out_ += '{';
+    stack_.push_back(Ctx::Object);
+    hasElement_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endObject()
+{
+    bsim_assert(!stack_.empty() && stack_.back() == Ctx::Object,
+                "endObject outside an object");
+    out_ += '}';
+    stack_.pop_back();
+    hasElement_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::beginArray()
+{
+    separator();
+    started_ = true;
+    out_ += '[';
+    stack_.push_back(Ctx::Array);
+    hasElement_.push_back(false);
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::endArray()
+{
+    bsim_assert(!stack_.empty() && stack_.back() == Ctx::Array,
+                "endArray outside an array");
+    out_ += ']';
+    stack_.pop_back();
+    hasElement_.pop_back();
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::key(const std::string &k)
+{
+    bsim_assert(!stack_.empty() && stack_.back() == Ctx::Object,
+                "key outside an object");
+    bsim_assert(!pendingKey_, "two keys in a row");
+    if (hasElement_.back())
+        out_ += ',';
+    hasElement_.back() = true;
+    out_ += '"' + escape(k) + "\":";
+    pendingKey_ = true;
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const std::string &v)
+{
+    separator();
+    started_ = true;
+    out_ += '"' + escape(v) + '"';
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(const char *v)
+{
+    return value(std::string(v));
+}
+
+JsonWriter &
+JsonWriter::value(double v)
+{
+    separator();
+    started_ = true;
+    if (std::isfinite(v)) {
+        out_ += strprintf("%.10g", v);
+    } else {
+        // JSON has no NaN/Inf; emit null like most serializers.
+        out_ += "null";
+    }
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::uint64_t v)
+{
+    separator();
+    started_ = true;
+    out_ += strprintf("%llu", static_cast<unsigned long long>(v));
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(std::int64_t v)
+{
+    separator();
+    started_ = true;
+    out_ += strprintf("%lld", static_cast<long long>(v));
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::value(int v)
+{
+    return value(static_cast<std::int64_t>(v));
+}
+
+JsonWriter &
+JsonWriter::value(unsigned v)
+{
+    return value(static_cast<std::uint64_t>(v));
+}
+
+JsonWriter &
+JsonWriter::value(bool v)
+{
+    separator();
+    started_ = true;
+    out_ += v ? "true" : "false";
+    return *this;
+}
+
+JsonWriter &
+JsonWriter::null()
+{
+    separator();
+    started_ = true;
+    out_ += "null";
+    return *this;
+}
+
+std::string
+JsonWriter::str() const
+{
+    bsim_assert(stack_.empty(), "unclosed JSON container");
+    return out_;
+}
+
+} // namespace bsim

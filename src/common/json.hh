@@ -1,0 +1,81 @@
+/**
+ * @file
+ * A minimal JSON *writer* (no parsing) for structured statistics export:
+ * machine-readable output from the CLI and the experiment runners so
+ * downstream analysis (plotting, regression tracking) does not have to
+ * scrape ASCII tables.
+ *
+ * Usage:
+ *     JsonWriter j;
+ *     j.beginObject();
+ *     j.key("missRate").value(0.042);
+ *     j.key("config").beginObject();
+ *     j.key("ways").value(8);
+ *     j.endObject();
+ *     j.endObject();
+ *     std::string out = j.str();
+ */
+
+#ifndef BSIM_COMMON_JSON_HH
+#define BSIM_COMMON_JSON_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace bsim {
+
+class JsonWriter
+{
+  public:
+    JsonWriter &beginObject();
+    JsonWriter &endObject();
+    JsonWriter &beginArray();
+    JsonWriter &endArray();
+
+    /** Emit an object key (must be inside an object). */
+    JsonWriter &key(const std::string &k);
+
+    JsonWriter &value(const std::string &v);
+    JsonWriter &value(const char *v);
+    JsonWriter &value(double v);
+    JsonWriter &value(std::uint64_t v);
+    JsonWriter &value(std::int64_t v);
+    JsonWriter &value(int v);
+    JsonWriter &value(unsigned v);
+    JsonWriter &value(bool v);
+    JsonWriter &null();
+
+    /** Shorthand: key + value. */
+    template <typename T>
+    JsonWriter &
+    kv(const std::string &k, const T &v)
+    {
+        key(k);
+        return value(v);
+    }
+
+    /** The serialized document. All containers must be closed. */
+    std::string str() const;
+
+    /** True when every beginObject/beginArray has been closed. */
+    bool complete() const { return stack_.empty() && started_; }
+
+    /** Escape a string per RFC 8259 (exposed for tests). */
+    static std::string escape(const std::string &s);
+
+  private:
+    enum class Ctx : std::uint8_t { Object, Array };
+    void separator();
+
+    std::string out_;
+    std::vector<Ctx> stack_;
+    /** Whether the current container already holds an element. */
+    std::vector<bool> hasElement_;
+    bool pendingKey_ = false;
+    bool started_ = false;
+};
+
+} // namespace bsim
+
+#endif // BSIM_COMMON_JSON_HH

@@ -1,0 +1,88 @@
+#include "common/strings.hh"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+
+namespace bsim {
+
+std::string
+strprintf(const char *fmt, ...)
+{
+    va_list args;
+    va_start(args, fmt);
+    va_list args2;
+    va_copy(args2, args);
+    const int n = std::vsnprintf(nullptr, 0, fmt, args);
+    va_end(args);
+    std::string out;
+    if (n > 0) {
+        out.resize(static_cast<std::size_t>(n) + 1);
+        std::vsnprintf(out.data(), out.size(), fmt, args2);
+        out.resize(static_cast<std::size_t>(n));
+    }
+    va_end(args2);
+    return out;
+}
+
+std::string
+sizeString(std::uint64_t bytes)
+{
+    if (bytes >= (1ull << 20) && bytes % (1ull << 20) == 0)
+        return strprintf("%lluMB",
+                         static_cast<unsigned long long>(bytes >> 20));
+    if (bytes >= (1ull << 10) && bytes % (1ull << 10) == 0)
+        return strprintf("%llukB",
+                         static_cast<unsigned long long>(bytes >> 10));
+    return strprintf("%lluB", static_cast<unsigned long long>(bytes));
+}
+
+std::vector<std::string>
+split(const std::string &s, char delim)
+{
+    std::vector<std::string> out;
+    std::string cur;
+    for (char c : s) {
+        if (c == delim) {
+            if (!cur.empty())
+                out.push_back(cur);
+            cur.clear();
+        } else {
+            cur.push_back(c);
+        }
+    }
+    if (!cur.empty())
+        out.push_back(cur);
+    return out;
+}
+
+std::string
+toLower(std::string s)
+{
+    std::transform(s.begin(), s.end(), s.begin(), [](unsigned char c) {
+        return static_cast<char>(std::tolower(c));
+    });
+    return s;
+}
+
+bool
+startsWith(const std::string &s, const std::string &prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.compare(0, prefix.size(), prefix) == 0;
+}
+
+std::string
+join(const std::vector<std::string> &parts, const std::string &sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+} // namespace bsim

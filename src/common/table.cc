@@ -1,0 +1,152 @@
+#include "common/table.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+namespace bsim {
+
+Table::Table(std::vector<std::string> headers)
+    : headers_(std::move(headers))
+{
+    bsim_assert(!headers_.empty());
+}
+
+Table &
+Table::row()
+{
+    rows_.emplace_back();
+    return *this;
+}
+
+Table &
+Table::cell(const std::string &v)
+{
+    bsim_assert(!rows_.empty(), "cell() before row()");
+    bsim_assert(rows_.back().size() < headers_.size(),
+                "row has more cells than headers");
+    rows_.back().push_back(v);
+    return *this;
+}
+
+Table &
+Table::cell(const char *v)
+{
+    return cell(std::string(v));
+}
+
+Table &
+Table::cell(double v, int precision)
+{
+    return cell(strprintf("%.*f", precision, v));
+}
+
+Table &
+Table::cell(std::uint64_t v)
+{
+    return cell(strprintf("%llu", static_cast<unsigned long long>(v)));
+}
+
+Table &
+Table::cell(std::int64_t v)
+{
+    return cell(strprintf("%lld", static_cast<long long>(v)));
+}
+
+Table &
+Table::cell(int v)
+{
+    return cell(static_cast<std::int64_t>(v));
+}
+
+Table &
+Table::cell(unsigned v)
+{
+    return cell(static_cast<std::uint64_t>(v));
+}
+
+const std::string &
+Table::at(std::size_t r, std::size_t c) const
+{
+    bsim_assert(r < rows_.size() && c < rows_[r].size());
+    return rows_[r][c];
+}
+
+namespace {
+
+bool
+looksNumeric(const std::string &s)
+{
+    if (s.empty())
+        return false;
+    for (char c : s)
+        if (!(std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
+              c == '-' || c == '+' || c == '%' || c == 'e'))
+            return false;
+    return true;
+}
+
+} // namespace
+
+std::string
+Table::toString() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &r : rows_)
+        for (std::size_t c = 0; c < r.size(); ++c)
+            widths[c] = std::max(widths[c], r[c].size());
+
+    std::ostringstream os;
+    auto emit = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            const std::string v = c < cells.size() ? cells[c] : "";
+            const auto w = static_cast<int>(widths[c]);
+            if (c)
+                os << "  ";
+            if (looksNumeric(v))
+                os << strprintf("%*s", w, v.c_str());
+            else
+                os << strprintf("%-*s", w, v.c_str());
+        }
+        os << "\n";
+    };
+    emit(headers_);
+    std::size_t rule = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        rule += widths[c] + (c ? 2 : 0);
+    os << std::string(rule, '-') << "\n";
+    for (const auto &r : rows_)
+        emit(r);
+    return os.str();
+}
+
+std::string
+Table::toCsv() const
+{
+    std::ostringstream os;
+    os << join(headers_, ",") << "\n";
+    for (const auto &r : rows_)
+        os << join(r, ",") << "\n";
+    return os.str();
+}
+
+void
+Table::print(const std::string &title) const
+{
+    // BSIM_CSV=1 switches every harness to machine-readable output.
+    const char *csv = std::getenv("BSIM_CSV");
+    if (csv && *csv && *csv != '0')
+        std::printf("\n# %s\n%s", title.c_str(), toCsv().c_str());
+    else
+        std::printf("\n== %s ==\n%s", title.c_str(),
+                    toString().c_str());
+    std::fflush(stdout);
+}
+
+} // namespace bsim

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * ASCII/CSV table rendering used by the benchmark harnesses to print the
+ * paper's tables and figure series.
+ */
+
+#ifndef BSIM_COMMON_TABLE_HH
+#define BSIM_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace bsim {
+
+/**
+ * A simple column-aligned table. Cells are strings; numeric helpers format
+ * with a fixed precision. Rendered with a header rule, right-aligned
+ * numeric-looking cells, and optional CSV output.
+ */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> headers);
+
+    /** Begin a new row. */
+    Table &row();
+
+    /** Append a cell to the current row. */
+    Table &cell(const std::string &v);
+    Table &cell(const char *v);
+    Table &cell(double v, int precision = 2);
+    Table &cell(std::uint64_t v);
+    Table &cell(std::int64_t v);
+    Table &cell(int v);
+    Table &cell(unsigned v);
+
+    std::size_t numRows() const { return rows_.size(); }
+    std::size_t numCols() const { return headers_.size(); }
+    /** Cell text by row/col (for tests). */
+    const std::string &at(std::size_t r, std::size_t c) const;
+
+    /** Render as an aligned ASCII table. */
+    std::string toString() const;
+
+    /** Render as CSV. */
+    std::string toCsv() const;
+
+    /** Print the ASCII rendering to stdout with a title line. */
+    void print(const std::string &title) const;
+
+  private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace bsim
+
+#endif // BSIM_COMMON_TABLE_HH

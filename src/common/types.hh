@@ -1,0 +1,30 @@
+/**
+ * @file
+ * Fundamental scalar types shared across the simulator.
+ */
+
+#ifndef BSIM_COMMON_TYPES_HH
+#define BSIM_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace bsim {
+
+/** A physical/virtual memory address. The simulator is byte addressed. */
+using Addr = std::uint64_t;
+
+/** A count of clock cycles. */
+using Cycles = std::uint64_t;
+
+/** A tick/step counter for statistics and replacement timestamps. */
+using Tick = std::uint64_t;
+
+/** Energy in picojoules. */
+using PicoJoules = double;
+
+/** Delay in nanoseconds. */
+using NanoSeconds = double;
+
+} // namespace bsim
+
+#endif // BSIM_COMMON_TYPES_HH

@@ -1,0 +1,133 @@
+#include "cpu/ooo_core.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace bsim {
+
+OooCore::OooCore(const CoreParams &params, CacheHierarchy &hierarchy)
+    : params_(params), hier_(hierarchy)
+{
+    bsim_assert(params_.fetchWidth > 0 && params_.commitWidth > 0 &&
+                params_.windowSize > 0 && params_.numFus > 0);
+}
+
+CpuResult
+OooCore::run(SyntheticProgram &program, std::uint64_t num_uops)
+{
+    const std::uint32_t W = params_.windowSize;
+    const std::uint32_t FUS = params_.numFus;
+
+    // Ring buffers over the last W µops.
+    std::vector<Cycles> completion(W, 0); // execution completion time
+    std::vector<Cycles> commit(W, 0);     // in-order commit time
+    std::vector<Cycles> fuFree(FUS, 0);   // next free cycle per FU
+
+    Cycles fetch_cycle = 1;      // cycle the next fetch group starts
+    std::uint32_t fetched_in_cycle = 0;
+    Cycles last_commit = 0;
+    std::uint32_t committed_in_cycle = 0;
+    Cycles commit_cycle_of_last = 0;
+
+    const std::uint32_t line_bytes = hier_.l1i().geometry().lineBytes();
+    Addr last_fetch_line = ~Addr{0};
+
+    CpuResult res;
+    for (std::uint64_t n = 0; n < num_uops; ++n) {
+        const MicroOp op = program.next();
+        ++res.perClass[static_cast<std::size_t>(op.cls)];
+        const std::uint32_t slot = n % W;
+
+        // ---- Fetch: window slot must be free and bandwidth available.
+        Cycles ft = fetch_cycle;
+        if (n >= W)
+            ft = std::max(ft, commit[slot]); // reuse slot after commit
+        if (ft > fetch_cycle) {
+            fetch_cycle = ft;
+            fetched_in_cycle = 0;
+        }
+        // I$ access on line crossings (sequential fetches within a line
+        // ride the same fill).
+        const Addr line = op.pc / line_bytes;
+        if (line != last_fetch_line) {
+            last_fetch_line = line;
+            const AccessOutcome ic = hier_.fetch(op.pc);
+            if (ic.latency > hier_.params().l1HitLatency) {
+                // Front end stalls for the extra fill latency.
+                const Cycles stall =
+                    ic.latency - hier_.params().l1HitLatency;
+                res.icacheStallCycles += stall;
+                fetch_cycle = ft + stall;
+                fetched_in_cycle = 0;
+                ft = fetch_cycle;
+            }
+        }
+        if (fetched_in_cycle >= params_.fetchWidth) {
+            ++fetch_cycle;
+            fetched_in_cycle = 0;
+            ft = std::max(ft, fetch_cycle);
+        }
+        ++fetched_in_cycle;
+
+        // ---- Ready: after the front end and all producers.
+        Cycles ready = ft + params_.frontendDepth;
+        if (op.dep1 && op.dep1 <= n)
+            ready = std::max(ready, completion[(n - op.dep1) % W]);
+        if (op.dep2 && op.dep2 <= n)
+            ready = std::max(ready, completion[(n - op.dep2) % W]);
+
+        // ---- Issue: first functional unit free at or after ready.
+        std::uint32_t best_fu = 0;
+        for (std::uint32_t f = 1; f < FUS; ++f)
+            if (fuFree[f] < fuFree[best_fu])
+                best_fu = f;
+        const Cycles issue = std::max(ready, fuFree[best_fu]);
+        fuFree[best_fu] = issue + 1;
+
+        // ---- Execute.
+        Cycles lat = op.latency;
+        if (op.cls == OpClass::Load) {
+            lat = hier_.load(op.mem).latency;
+            if (lat > hier_.params().l1HitLatency)
+                res.loadMissCycles +=
+                    lat - hier_.params().l1HitLatency;
+        } else if (op.cls == OpClass::Store) {
+            // Stores commit through a write buffer; the D$ access happens
+            // but does not stall the pipe beyond the hit latency.
+            hier_.store(op.mem);
+            lat = hier_.params().l1HitLatency;
+        }
+        const Cycles done = issue + lat;
+        completion[slot] = done;
+
+        // ---- Commit: in order, commitWidth per cycle.
+        Cycles ct = std::max(done, last_commit);
+        if (ct == commit_cycle_of_last &&
+            committed_in_cycle >= params_.commitWidth)
+            ++ct;
+        if (ct != commit_cycle_of_last) {
+            commit_cycle_of_last = ct;
+            committed_in_cycle = 0;
+        }
+        ++committed_in_cycle;
+        commit[slot] = ct;
+        last_commit = ct;
+
+        // ---- Branch redirect: front end restarts after resolution.
+        if (op.cls == OpClass::Branch && op.mispredicted) {
+            ++res.mispredicts;
+            res.mispredictCycles += params_.mispredictPenalty;
+            fetch_cycle =
+                std::max(fetch_cycle, done + params_.mispredictPenalty);
+            fetched_in_cycle = 0;
+            last_fetch_line = ~Addr{0};
+        }
+    }
+
+    res.uops = num_uops;
+    res.cycles = last_commit;
+    return res;
+}
+
+} // namespace bsim

@@ -1,0 +1,31 @@
+#include "mem/access.hh"
+
+namespace bsim {
+
+const char *
+writePolicyName(WritePolicy p)
+{
+    switch (p) {
+      case WritePolicy::WriteBackAllocate:
+        return "write-back";
+      case WritePolicy::WriteThroughNoAllocate:
+        return "write-through";
+    }
+    return "?";
+}
+
+const char *
+accessTypeName(AccessType t)
+{
+    switch (t) {
+      case AccessType::Read:
+        return "read";
+      case AccessType::Write:
+        return "write";
+      case AccessType::Fetch:
+        return "fetch";
+    }
+    return "?";
+}
+
+} // namespace bsim

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Memory access request/response types shared by all cache models.
+ */
+
+#ifndef BSIM_MEM_ACCESS_HH
+#define BSIM_MEM_ACCESS_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace bsim {
+
+/** Kind of memory reference. */
+enum class AccessType : std::uint8_t {
+    Read,   ///< data load
+    Write,  ///< data store
+    Fetch,  ///< instruction fetch
+};
+
+/** True for Read and Fetch. */
+constexpr bool
+isRead(AccessType t)
+{
+    return t != AccessType::Write;
+}
+
+const char *accessTypeName(AccessType t);
+
+/** Write-handling policy of a cache. */
+enum class WritePolicy : std::uint8_t {
+    /** Write-back, write-allocate (the paper's configuration). */
+    WriteBackAllocate,
+    /** Write-through, no-write-allocate. */
+    WriteThroughNoAllocate,
+};
+
+const char *writePolicyName(WritePolicy p);
+
+/** A single memory reference. */
+struct MemAccess
+{
+    Addr addr = 0;
+    AccessType type = AccessType::Read;
+};
+
+/** Outcome of presenting an access to a memory level. */
+struct AccessOutcome
+{
+    /** Hit at this level (victim-buffer hits count as hits). */
+    bool hit = false;
+    /** Total latency in cycles including any lower-level time. */
+    Cycles latency = 0;
+};
+
+} // namespace bsim
+
+#endif // BSIM_MEM_ACCESS_HH

@@ -1,0 +1,41 @@
+#include "mem/geometry.hh"
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+namespace bsim {
+
+CacheGeometry::CacheGeometry(std::uint64_t size_bytes,
+                             std::uint32_t line_bytes, std::uint32_t ways)
+    : sizeBytes_(size_bytes), lineBytes_(line_bytes), ways_(ways)
+{
+    if (!isPowerOfTwo(size_bytes))
+        bsim_fatal("cache size must be a power of two, got ", size_bytes);
+    if (!isPowerOfTwo(line_bytes))
+        bsim_fatal("line size must be a power of two, got ", line_bytes);
+    if (!isPowerOfTwo(ways))
+        bsim_fatal("associativity must be a power of two, got ", ways);
+    if (size_bytes < static_cast<std::uint64_t>(line_bytes) * ways)
+        bsim_fatal("cache smaller than one set: size=", size_bytes,
+                   " line=", line_bytes, " ways=", ways);
+    numSets_ = size_bytes / line_bytes / ways;
+    offsetBits_ = floorLog2(line_bytes);
+    indexBits_ = floorLog2(numSets_);
+}
+
+Addr
+CacheGeometry::rebuild(Addr tag_v, std::uint64_t index_v) const
+{
+    return (tag_v << (offsetBits_ + indexBits_)) |
+           (index_v << offsetBits_);
+}
+
+std::string
+CacheGeometry::toString() const
+{
+    return strprintf("%s/%uB/%u-way (%llu sets)",
+                     sizeString(sizeBytes_).c_str(), lineBytes_, ways_,
+                     static_cast<unsigned long long>(numSets_));
+}
+
+} // namespace bsim

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * CacheGeometry: the size / line / associativity arithmetic every cache
+ * model shares, including the offset/index/tag split of an address.
+ */
+
+#ifndef BSIM_MEM_GEOMETRY_HH
+#define BSIM_MEM_GEOMETRY_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/bits.hh"
+#include "common/types.hh"
+
+namespace bsim {
+
+/**
+ * Geometry of a set-associative cache.
+ *
+ * For the paper's 16 kB direct-mapped baseline with 32-byte lines:
+ * sets = 512, offsetBits = 5, indexBits = 9 (the "OI" of the paper).
+ */
+class CacheGeometry
+{
+  public:
+    /**
+     * @param size_bytes total data capacity (power of two)
+     * @param line_bytes cache line size (power of two)
+     * @param ways associativity (power of two; 1 = direct mapped)
+     */
+    CacheGeometry(std::uint64_t size_bytes, std::uint32_t line_bytes,
+                  std::uint32_t ways);
+
+    std::uint64_t sizeBytes() const { return sizeBytes_; }
+    std::uint32_t lineBytes() const { return lineBytes_; }
+    std::uint32_t ways() const { return ways_; }
+    std::uint64_t numSets() const { return numSets_; }
+    std::uint64_t numLines() const { return numSets_ * ways_; }
+
+    unsigned offsetBits() const { return offsetBits_; }
+    unsigned indexBits() const { return indexBits_; }
+
+    /** Line-aligned block address (offset stripped, not shifted). */
+    Addr blockAlign(Addr a) const { return a & ~Addr{lineBytes_ - 1}; }
+
+    /** Block number = address >> offsetBits. */
+    Addr blockNumber(Addr a) const { return a >> offsetBits_; }
+
+    /** Set index of an address. */
+    std::uint64_t index(Addr a) const
+    {
+        return bitsRange(a, offsetBits_, indexBits_);
+    }
+
+    /** Tag of an address (all bits above the index). */
+    Addr tag(Addr a) const { return a >> (offsetBits_ + indexBits_); }
+
+    /** Rebuild a block-aligned address from tag and index. */
+    Addr rebuild(Addr tag_v, std::uint64_t index_v) const;
+
+    std::string toString() const;
+
+    bool operator==(const CacheGeometry &) const = default;
+
+  private:
+    std::uint64_t sizeBytes_;
+    std::uint32_t lineBytes_;
+    std::uint32_t ways_;
+    std::uint64_t numSets_;
+    unsigned offsetBits_;
+    unsigned indexBits_;
+};
+
+} // namespace bsim
+
+#endif // BSIM_MEM_GEOMETRY_HH

@@ -1,0 +1,31 @@
+#include "mem/main_memory.hh"
+
+namespace bsim {
+
+MainMemory::MainMemory(Cycles latency) : latency_(latency)
+{
+}
+
+AccessOutcome
+MainMemory::access(const MemAccess &req)
+{
+    if (isRead(req.type))
+        ++reads_;
+    else
+        ++writes_;
+    return {true, latency_};
+}
+
+void
+MainMemory::writeback(Addr)
+{
+    ++writebacks_;
+}
+
+void
+MainMemory::reset()
+{
+    reads_ = writes_ = writebacks_ = 0;
+}
+
+} // namespace bsim

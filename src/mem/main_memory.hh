@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Terminal memory level: always hits, fixed latency (the paper's Table 4
+ * models main memory as infinite size with a 100-cycle access).
+ */
+
+#ifndef BSIM_MEM_MAIN_MEMORY_HH
+#define BSIM_MEM_MAIN_MEMORY_HH
+
+#include "mem/mem_level.hh"
+
+namespace bsim {
+
+class MainMemory : public MemLevel
+{
+  public:
+    explicit MainMemory(Cycles latency = 100);
+
+    AccessOutcome access(const MemAccess &req) override;
+    void writeback(Addr addr) override;
+    void reset() override;
+    std::string name() const override { return "main-memory"; }
+
+    Cycles latency() const { return latency_; }
+    std::uint64_t reads() const { return reads_; }
+    std::uint64_t writes() const { return writes_; }
+    std::uint64_t writebacks() const { return writebacks_; }
+    std::uint64_t totalAccesses() const
+    {
+        return reads_ + writes_ + writebacks_;
+    }
+
+  private:
+    Cycles latency_;
+    std::uint64_t reads_ = 0;
+    std::uint64_t writes_ = 0;
+    std::uint64_t writebacks_ = 0;
+};
+
+} // namespace bsim
+
+#endif // BSIM_MEM_MAIN_MEMORY_HH

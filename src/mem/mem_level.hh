@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Abstract interface for one level of the memory hierarchy.
+ */
+
+#ifndef BSIM_MEM_MEM_LEVEL_HH
+#define BSIM_MEM_MEM_LEVEL_HH
+
+#include <string>
+
+#include "mem/access.hh"
+
+namespace bsim {
+
+/**
+ * One level of the memory hierarchy (cache or main memory).
+ *
+ * Levels are chained: a cache forwards misses and dirty writebacks to the
+ * next level and accumulates the returned latency onto its own.
+ */
+class MemLevel
+{
+  public:
+    virtual ~MemLevel() = default;
+
+    /** Present one access; returns hit/latency at this level. */
+    virtual AccessOutcome access(const MemAccess &req) = 0;
+
+    /**
+     * Deliver a dirty-eviction writeback from the level above.
+     * Writebacks are assumed buffered: they update state and counters but
+     * add no latency to the critical path.
+     */
+    virtual void writeback(Addr addr) = 0;
+
+    /** Reset contents and statistics. */
+    virtual void reset() = 0;
+
+    /** Human-readable identifier. */
+    virtual std::string name() const = 0;
+};
+
+} // namespace bsim
+
+#endif // BSIM_MEM_MEM_LEVEL_HH

@@ -1,0 +1,80 @@
+#include "power/drowsy.hh"
+
+#include "common/strings.hh"
+
+namespace bsim {
+
+std::string
+DrowsyReport::toString() const
+{
+    return strprintf("drowsy=%.1f%% of line-ticks, leakage=%.3fx, "
+                     "wakeups=%llu (%.4f cycles/access)",
+                     100.0 * drowsyFraction, leakageFactor,
+                     static_cast<unsigned long long>(wakeups),
+                     avgWakePenaltyPerAccess);
+}
+
+DrowsyEstimator::DrowsyEstimator(std::size_t num_lines,
+                                 const DrowsyParams &params)
+    : params_(params), lastAccess_(num_lines, 0)
+{
+}
+
+void
+DrowsyEstimator::onLineAccess(std::size_t physical_line, bool)
+{
+    ++now_;
+    std::uint64_t &last = lastAccess_[physical_line];
+    if (last != 0) {
+        const std::uint64_t gap = now_ - last;
+        if (gap > params_.windowTicks) {
+            drowsyTicks_ += gap - params_.windowTicks;
+            ++wakeups_;
+        }
+    } else {
+        // Never-touched lines have been drowsy since the start.
+        if (now_ > params_.windowTicks) {
+            drowsyTicks_ += now_ - params_.windowTicks;
+            ++wakeups_;
+        }
+    }
+    last = now_;
+}
+
+DrowsyReport
+DrowsyEstimator::report() const
+{
+    DrowsyReport r;
+    r.ticks = now_;
+    r.lines = lastAccess_.size();
+    if (now_ == 0 || lastAccess_.empty())
+        return r;
+
+    // Tail: lines idle (or never touched) through the end of the run.
+    std::uint64_t drowsy = drowsyTicks_;
+    for (const std::uint64_t last : lastAccess_) {
+        const std::uint64_t gap = now_ - (last ? last : 0);
+        if (gap > params_.windowTicks)
+            drowsy += gap - params_.windowTicks;
+    }
+
+    const double line_ticks = double(now_) * double(r.lines);
+    r.drowsyFraction = double(drowsy) / line_ticks;
+    r.wakeups = wakeups_;
+    r.leakageFactor = (1.0 - r.drowsyFraction) +
+                      r.drowsyFraction * params_.drowsyLeakFactor;
+    r.avgWakePenaltyPerAccess =
+        double(wakeups_ * params_.wakePenalty) / double(now_);
+    return r;
+}
+
+void
+DrowsyEstimator::reset()
+{
+    now_ = 0;
+    std::fill(lastAccess_.begin(), lastAccess_.end(), 0);
+    drowsyTicks_ = 0;
+    wakeups_ = 0;
+}
+
+} // namespace bsim

@@ -1,0 +1,57 @@
+#include "power/energy_model.hh"
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+namespace bsim {
+
+std::string
+EnergyTotals::toString() const
+{
+    return strprintf("dyn=%.3g pJ static=%.3g pJ total=%.3g pJ", dynamic,
+                     staticE, total());
+}
+
+PicoJoules
+SystemEnergyModel::dynamicEnergy(const ActivityCounts &a) const
+{
+    PicoJoules e = 0;
+    // L1 accesses (every access reads the arrays)...
+    e += double(a.l1iAccesses) * rates_.l1iAccess;
+    e += double(a.l1dAccesses) * rates_.l1dAccess;
+    // ...except PD-predicted misses, which skip the tag/data read.
+    e -= double(a.pdPredictedMisses) * rates_.pdMissRefund;
+    // Victim-buffer probes on main-array misses.
+    e += double(a.victimProbes) * rates_.victimProbe;
+    // L1 misses refill a block into the L1 arrays.
+    e += double(a.l1iMisses + a.l1dMisses) * rates_.l1Refill;
+    // Next levels.
+    e += double(a.l2Accesses) * rates_.l2Access;
+    e += double(a.l2Misses) * rates_.l2Refill;
+    e += double(a.offchipAccesses) * rates_.offchipAccess;
+    return e;
+}
+
+EnergyTotals
+SystemEnergyModel::evaluate(const ActivityCounts &a) const
+{
+    EnergyTotals t;
+    t.dynamic = dynamicEnergy(a);
+    t.staticE = double(a.cycles) * rates_.staticPerCycle;
+    return t;
+}
+
+PicoJoules
+SystemEnergyModel::calibrateStaticPerCycle(PicoJoules baseline_dynamic,
+                                           Cycles baseline_cycles,
+                                           double k_static)
+{
+    bsim_assert(baseline_cycles > 0);
+    bsim_assert(k_static >= 0.0 && k_static < 1.0);
+    // static = k * (dynamic + static)  =>  static = dynamic * k / (1 - k)
+    const PicoJoules total_static =
+        baseline_dynamic * k_static / (1.0 - k_static);
+    return total_static / double(baseline_cycles);
+}
+
+} // namespace bsim

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Total memory-related energy, implementing the paper's Figure 10
+ * equations:
+ *
+ *   E_mem    = E_dyn + E_static
+ *   E_dyn    = cache_access * E_cache_access + cache_miss * E_misses
+ *   E_misses = E_next_level_mem + E_cache_block_refill
+ *   E_static = cycles * E_static_per_cycle
+ *
+ * with the paper's methodology choices: off-chip access energy is 100x a
+ * baseline L1 access, and E_static_per_cycle is calibrated so that static
+ * energy is 50% of the baseline's total (k_static = 0.5, Section 6.2).
+ */
+
+#ifndef BSIM_POWER_ENERGY_MODEL_HH
+#define BSIM_POWER_ENERGY_MODEL_HH
+
+#include <string>
+
+#include "common/types.hh"
+
+namespace bsim {
+
+/** Activity extracted from a simulation run. */
+struct ActivityCounts
+{
+    std::uint64_t l1iAccesses = 0;
+    std::uint64_t l1iMisses = 0;
+    std::uint64_t l1dAccesses = 0;
+    std::uint64_t l1dMisses = 0;
+    std::uint64_t l2Accesses = 0;
+    std::uint64_t l2Misses = 0;
+    /** Main-memory reads + writes + writebacks. */
+    std::uint64_t offchipAccesses = 0;
+    Cycles cycles = 0;
+
+    /** Victim-buffer probes (victim configuration only). */
+    std::uint64_t victimProbes = 0;
+    /**
+     * L1 misses predicted by the B-Cache PD: the tag and data arrays are
+     * not read for these accesses, refunding most of the access energy
+     * (Section 6.2).
+     */
+    std::uint64_t pdPredictedMisses = 0;
+};
+
+/** Per-event energies of one configuration. */
+struct EnergyRates
+{
+    PicoJoules l1iAccess = 0;
+    PicoJoules l1dAccess = 0;
+    PicoJoules l2Access = 0;
+    PicoJoules offchipAccess = 0;
+    /** Writing a refilled block into the L1 array. */
+    PicoJoules l1Refill = 0;
+    PicoJoules l2Refill = 0;
+    PicoJoules victimProbe = 0;
+    /** Energy refunded per PD-predicted miss (arrays not read). */
+    PicoJoules pdMissRefund = 0;
+    PicoJoules staticPerCycle = 0;
+};
+
+/** Result of the Figure 10 evaluation. */
+struct EnergyTotals
+{
+    PicoJoules dynamic = 0;
+    PicoJoules staticE = 0;
+    PicoJoules total() const { return dynamic + staticE; }
+
+    std::string toString() const;
+};
+
+class SystemEnergyModel
+{
+  public:
+    explicit SystemEnergyModel(const EnergyRates &rates) : rates_(rates)
+    {
+    }
+
+    const EnergyRates &rates() const { return rates_; }
+
+    /** Dynamic energy only (Figure 10's E_dyn). */
+    PicoJoules dynamicEnergy(const ActivityCounts &a) const;
+
+    /** Full evaluation. */
+    EnergyTotals evaluate(const ActivityCounts &a) const;
+
+    /**
+     * Calibrate E_static_per_cycle so static energy equals k_static of
+     * the *baseline's* total energy (the paper uses k_static = 0.5, i.e.
+     * static == dynamic for the baseline). Returns the per-cycle value to
+     * store into every configuration's EnergyRates.
+     */
+    static PicoJoules calibrateStaticPerCycle(PicoJoules baseline_dynamic,
+                                              Cycles baseline_cycles,
+                                              double k_static = 0.5);
+
+  private:
+    EnergyRates rates_;
+};
+
+} // namespace bsim
+
+#endif // BSIM_POWER_ENERGY_MODEL_HH

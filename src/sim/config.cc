@@ -1,0 +1,211 @@
+#include "sim/config.hh"
+
+#include "alt/column_assoc_cache.hh"
+#include "alt/hac_cache.hh"
+#include "alt/partial_match_cache.hh"
+#include "alt/skewed_assoc_cache.hh"
+#include "alt/xor_index_cache.hh"
+#include "bcache/bcache.hh"
+#include "cache/set_assoc_cache.hh"
+#include "cache/victim_cache.hh"
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+namespace bsim {
+
+BCacheParams
+CacheConfig::bcacheParams() const
+{
+    bsim_assert(kind == CacheKind::BCache);
+    BCacheParams p;
+    p.sizeBytes = sizeBytes;
+    p.lineBytes = lineBytes;
+    p.mf = mf;
+    p.bas = bas;
+    p.repl = repl;
+    p.writePolicy = writePolicy;
+    return p;
+}
+
+std::unique_ptr<BaseCache>
+CacheConfig::build(const std::string &name, Cycles hit_latency,
+                   MemLevel *next) const
+{
+    switch (kind) {
+      case CacheKind::SetAssoc:
+        return std::make_unique<SetAssocCache>(
+            name, CacheGeometry(sizeBytes, lineBytes, ways), hit_latency,
+            next, repl, /*repl_seed=*/1, writePolicy);
+      case CacheKind::Victim:
+        return std::make_unique<VictimCache>(
+            name, CacheGeometry(sizeBytes, lineBytes, 1), hit_latency,
+            next, victimEntries);
+      case CacheKind::BCache:
+        return std::make_unique<BCache>(name, bcacheParams(),
+                                        hit_latency, next);
+      case CacheKind::ColumnAssoc:
+        return std::make_unique<ColumnAssocCache>(
+            name, CacheGeometry(sizeBytes, lineBytes, 1), hit_latency,
+            next);
+      case CacheKind::Skewed:
+        return std::make_unique<SkewedAssocCache>(
+            name, CacheGeometry(sizeBytes, lineBytes, 2), hit_latency,
+            next);
+      case CacheKind::Hac:
+        return std::make_unique<HacCache>(name, sizeBytes, lineBytes,
+                                          hacSubarrayBytes, hit_latency,
+                                          next, repl);
+      case CacheKind::XorDm:
+        return std::make_unique<XorIndexCache>(
+            name, CacheGeometry(sizeBytes, lineBytes, 1), hit_latency,
+            next);
+      case CacheKind::PartialMatch:
+        return std::make_unique<PartialMatchCache>(
+            name, CacheGeometry(sizeBytes, lineBytes, ways), hit_latency,
+            next, partialBits, repl);
+    }
+    bsim_panic("bad cache kind");
+}
+
+CacheConfig
+CacheConfig::directMapped(std::uint64_t size, std::uint32_t line)
+{
+    CacheConfig c;
+    c.kind = CacheKind::SetAssoc;
+    c.sizeBytes = size;
+    c.lineBytes = line;
+    c.ways = 1;
+    c.label = sizeString(size) + "-dm";
+    return c;
+}
+
+CacheConfig
+CacheConfig::setAssoc(std::uint64_t size, std::uint32_t ways,
+                      ReplPolicyKind repl, std::uint32_t line)
+{
+    CacheConfig c;
+    c.kind = CacheKind::SetAssoc;
+    c.sizeBytes = size;
+    c.lineBytes = line;
+    c.ways = ways;
+    c.repl = repl;
+    c.label = strprintf("%uway", ways);
+    return c;
+}
+
+CacheConfig
+CacheConfig::victim(std::uint64_t size, std::size_t entries,
+                    std::uint32_t line)
+{
+    CacheConfig c;
+    c.kind = CacheKind::Victim;
+    c.sizeBytes = size;
+    c.lineBytes = line;
+    c.victimEntries = entries;
+    c.label = strprintf("victim%zu", entries);
+    return c;
+}
+
+CacheConfig
+CacheConfig::bcache(std::uint64_t size, std::uint32_t mf,
+                    std::uint32_t bas, ReplPolicyKind repl,
+                    std::uint32_t line)
+{
+    CacheConfig c;
+    c.kind = CacheKind::BCache;
+    c.sizeBytes = size;
+    c.lineBytes = line;
+    c.mf = mf;
+    c.bas = bas;
+    c.repl = repl;
+    c.label = strprintf("MF%u-BAS%u", mf, bas);
+    return c;
+}
+
+CacheConfig
+CacheConfig::columnAssoc(std::uint64_t size, std::uint32_t line)
+{
+    CacheConfig c;
+    c.kind = CacheKind::ColumnAssoc;
+    c.sizeBytes = size;
+    c.lineBytes = line;
+    c.label = "column";
+    return c;
+}
+
+CacheConfig
+CacheConfig::skewed(std::uint64_t size, std::uint32_t line)
+{
+    CacheConfig c;
+    c.kind = CacheKind::Skewed;
+    c.sizeBytes = size;
+    c.lineBytes = line;
+    c.ways = 2;
+    c.label = "skewed2";
+    return c;
+}
+
+CacheConfig
+CacheConfig::hac(std::uint64_t size, std::uint64_t subarray,
+                 std::uint32_t line)
+{
+    CacheConfig c;
+    c.kind = CacheKind::Hac;
+    c.sizeBytes = size;
+    c.lineBytes = line;
+    c.hacSubarrayBytes = subarray;
+    c.label = "hac32";
+    return c;
+}
+
+CacheConfig
+CacheConfig::xorDm(std::uint64_t size, std::uint32_t line)
+{
+    CacheConfig c;
+    c.kind = CacheKind::XorDm;
+    c.sizeBytes = size;
+    c.lineBytes = line;
+    c.label = "xor-dm";
+    return c;
+}
+
+CacheConfig
+CacheConfig::partialMatch(std::uint64_t size, std::uint32_t ways,
+                          unsigned partial_bits, std::uint32_t line)
+{
+    CacheConfig c;
+    c.kind = CacheKind::PartialMatch;
+    c.sizeBytes = size;
+    c.lineBytes = line;
+    c.ways = ways;
+    c.partialBits = partial_bits;
+    c.label = strprintf("pad%u-%uway", partial_bits, ways);
+    return c;
+}
+
+std::vector<CacheConfig>
+figure4Configs(std::uint64_t size_bytes)
+{
+    std::vector<CacheConfig> v;
+    for (std::uint32_t w : {2u, 4u, 8u, 32u})
+        v.push_back(CacheConfig::setAssoc(size_bytes, w));
+    v.push_back(CacheConfig::victim(size_bytes, 16));
+    for (std::uint32_t mf : {2u, 4u, 8u, 16u})
+        v.push_back(CacheConfig::bcache(size_bytes, mf, 8));
+    return v;
+}
+
+std::vector<CacheConfig>
+figure12Configs(std::uint64_t size_bytes)
+{
+    std::vector<CacheConfig> v;
+    for (std::uint32_t w : {2u, 4u, 8u})
+        v.push_back(CacheConfig::setAssoc(size_bytes, w));
+    v.push_back(CacheConfig::victim(size_bytes, 16));
+    for (std::uint32_t bas : {4u, 8u})
+        for (std::uint32_t mf : {2u, 4u, 8u, 16u})
+            v.push_back(CacheConfig::bcache(size_bytes, mf, bas));
+    return v;
+}
+
+} // namespace bsim

@@ -1,0 +1,203 @@
+#include "sim/experiment_file.hh"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+#include "workload/spec2k.hh"
+
+namespace bsim {
+
+namespace {
+
+/** Strip whitespace and a trailing ';' comment. */
+std::string
+cleaned(std::string line)
+{
+    const auto comment = line.find_first_of(";#");
+    if (comment != std::string::npos)
+        line.erase(comment);
+    const auto b = line.find_first_not_of(" \t\r");
+    if (b == std::string::npos)
+        return "";
+    const auto e = line.find_last_not_of(" \t\r");
+    return line.substr(b, e - b + 1);
+}
+
+std::uint64_t
+parseNumber(const std::string &v, int lineno)
+{
+    char *end = nullptr;
+    const std::uint64_t n = std::strtoull(v.c_str(), &end, 0);
+    if (end == v.c_str() || *end != '\0')
+        bsim_fatal("experiment file line ", lineno, ": bad number '", v,
+                   "'");
+    return n;
+}
+
+struct PendingCache
+{
+    std::string kind = "bcache";
+    std::uint64_t size = 16 * 1024;
+    std::uint32_t line = 32;
+    std::uint32_t ways = 8;
+    std::uint32_t mf = 8;
+    std::uint32_t bas = 8;
+    std::size_t victimEntries = 16;
+    std::uint64_t hacSubarray = 1024;
+    ReplPolicyKind repl = ReplPolicyKind::LRU;
+    WritePolicy wp = WritePolicy::WriteBackAllocate;
+
+    CacheConfig
+    materialize(int lineno) const
+    {
+        CacheConfig c;
+        if (kind == "dm")
+            c = CacheConfig::directMapped(size, line);
+        else if (kind == "setassoc")
+            c = CacheConfig::setAssoc(size, ways, repl, line);
+        else if (kind == "victim")
+            c = CacheConfig::victim(size, victimEntries, line);
+        else if (kind == "bcache")
+            c = CacheConfig::bcache(size, mf, bas, repl, line);
+        else if (kind == "column")
+            c = CacheConfig::columnAssoc(size, line);
+        else if (kind == "skewed")
+            c = CacheConfig::skewed(size, line);
+        else if (kind == "hac")
+            c = CacheConfig::hac(size, hacSubarray, line);
+        else if (kind == "xor")
+            c = CacheConfig::xorDm(size, line);
+        else
+            bsim_fatal("experiment file line ", lineno,
+                       ": unknown cache kind '", kind, "'");
+        c.repl = repl;
+        c.writePolicy = wp;
+        return c;
+    }
+};
+
+} // namespace
+
+ExperimentSpec
+parseExperimentText(const std::string &text)
+{
+    ExperimentSpec spec;
+    PendingCache cache;
+    int cache_kind_line = 0;
+
+    std::istringstream in(text);
+    std::string raw;
+    std::string section;
+    int lineno = 0;
+    while (std::getline(in, raw)) {
+        ++lineno;
+        const std::string line = cleaned(raw);
+        if (line.empty())
+            continue;
+        if (line.front() == '[') {
+            if (line.back() != ']')
+                bsim_fatal("experiment file line ", lineno,
+                           ": unterminated section header");
+            section = toLower(line.substr(1, line.size() - 2));
+            if (section != "cache" && section != "run")
+                bsim_fatal("experiment file line ", lineno,
+                           ": unknown section [", section, "]");
+            continue;
+        }
+        const auto eq = line.find('=');
+        if (eq == std::string::npos)
+            bsim_fatal("experiment file line ", lineno,
+                       ": expected key = value");
+        const std::string key = toLower(cleaned(line.substr(0, eq)));
+        const std::string val = cleaned(line.substr(eq + 1));
+        if (section.empty())
+            bsim_fatal("experiment file line ", lineno,
+                       ": key outside any section");
+        if (val.empty())
+            bsim_fatal("experiment file line ", lineno,
+                       ": empty value for '", key, "'");
+
+        if (section == "cache") {
+            if (key == "kind") {
+                cache.kind = toLower(val);
+                cache_kind_line = lineno;
+            } else if (key == "size") {
+                cache.size = parseNumber(val, lineno);
+            } else if (key == "line") {
+                cache.line = static_cast<std::uint32_t>(
+                    parseNumber(val, lineno));
+            } else if (key == "ways") {
+                cache.ways = static_cast<std::uint32_t>(
+                    parseNumber(val, lineno));
+            } else if (key == "mf") {
+                cache.mf = static_cast<std::uint32_t>(
+                    parseNumber(val, lineno));
+            } else if (key == "bas") {
+                cache.bas = static_cast<std::uint32_t>(
+                    parseNumber(val, lineno));
+            } else if (key == "victim_entries") {
+                cache.victimEntries = static_cast<std::size_t>(
+                    parseNumber(val, lineno));
+            } else if (key == "hac_subarray") {
+                cache.hacSubarray = parseNumber(val, lineno);
+            } else if (key == "repl") {
+                cache.repl = replPolicyFromName(val);
+            } else if (key == "write_policy") {
+                const std::string w = toLower(val);
+                if (w == "wb")
+                    cache.wp = WritePolicy::WriteBackAllocate;
+                else if (w == "wt")
+                    cache.wp = WritePolicy::WriteThroughNoAllocate;
+                else
+                    bsim_fatal("experiment file line ", lineno,
+                               ": write_policy must be wb or wt");
+            } else {
+                bsim_fatal("experiment file line ", lineno,
+                           ": unknown cache key '", key, "'");
+            }
+        } else { // run
+            if (key == "workload") {
+                if (!isSpec2kName(val))
+                    bsim_fatal("experiment file line ", lineno,
+                               ": unknown workload '", val, "'");
+                spec.workload = val;
+            } else if (key == "side") {
+                const std::string s = toLower(val);
+                if (s == "data")
+                    spec.side = StreamSide::Data;
+                else if (s == "inst")
+                    spec.side = StreamSide::Inst;
+                else
+                    bsim_fatal("experiment file line ", lineno,
+                               ": side must be data or inst");
+            } else if (key == "trace") {
+                spec.tracePath = val;
+            } else if (key == "accesses") {
+                spec.accesses = parseNumber(val, lineno);
+            } else if (key == "seed") {
+                spec.seed = parseNumber(val, lineno);
+            } else {
+                bsim_fatal("experiment file line ", lineno,
+                           ": unknown run key '", key, "'");
+            }
+        }
+    }
+    spec.cache = cache.materialize(cache_kind_line);
+    return spec;
+}
+
+ExperimentSpec
+parseExperimentFile(const std::string &path)
+{
+    std::ifstream f(path);
+    if (!f)
+        bsim_fatal("cannot open experiment file '", path, "'");
+    std::ostringstream buf;
+    buf << f.rdbuf();
+    return parseExperimentText(buf.str());
+}
+
+} // namespace bsim

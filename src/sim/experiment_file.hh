@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Declarative experiment files: a small INI-style format describing one
+ * cache configuration and one run, so experiments can be versioned and
+ * replayed without recompiling (used by `bsim_cli --config`).
+ *
+ *     # 16 kB B-Cache on equake
+ *     [cache]
+ *     kind = bcache        ; dm|setassoc|victim|bcache|column|skewed|
+ *     size = 16384         ;   hac|xor
+ *     line = 32
+ *     mf = 8
+ *     bas = 8
+ *     repl = lru
+ *     write_policy = wb    ; wb|wt
+ *
+ *     [run]
+ *     workload = equake    ; or: trace = /path/to/trace.bst
+ *     side = data          ; data|inst
+ *     accesses = 1000000
+ *     seed = 742893
+ */
+
+#ifndef BSIM_SIM_EXPERIMENT_FILE_HH
+#define BSIM_SIM_EXPERIMENT_FILE_HH
+
+#include <string>
+
+#include "sim/runner.hh"
+
+namespace bsim {
+
+/** One fully described experiment. */
+struct ExperimentSpec
+{
+    CacheConfig cache = CacheConfig::bcache(16 * 1024, 8, 8);
+    std::string workload = "gcc";
+    StreamSide side = StreamSide::Data;
+    std::string tracePath; ///< non-empty overrides the workload
+    std::uint64_t accesses = 1'000'000;
+    std::uint64_t seed = 0xb5eedULL;
+};
+
+/**
+ * Parse an experiment description. Unknown sections/keys, malformed
+ * lines and invalid values are fatal (configuration errors).
+ */
+ExperimentSpec parseExperimentText(const std::string &text);
+
+/** Parse from a file. Fatal on I/O failure. */
+ExperimentSpec parseExperimentFile(const std::string &path);
+
+} // namespace bsim
+
+#endif // BSIM_SIM_EXPERIMENT_FILE_HH

@@ -1,0 +1,97 @@
+#include "sim/report.hh"
+
+namespace bsim {
+
+void
+writeJson(JsonWriter &j, const CacheStats &s)
+{
+    j.beginObject();
+    j.kv("accesses", s.accesses);
+    j.kv("hits", s.hits);
+    j.kv("misses", s.misses);
+    j.kv("missRate", s.missRate());
+    j.kv("readAccesses", s.readAccesses);
+    j.kv("readMisses", s.readMisses);
+    j.kv("writeAccesses", s.writeAccesses);
+    j.kv("writeMisses", s.writeMisses);
+    j.kv("fetchAccesses", s.fetchAccesses);
+    j.kv("fetchMisses", s.fetchMisses);
+    j.kv("writebacks", s.writebacks);
+    j.kv("writethroughs", s.writethroughs);
+    j.kv("refills", s.refills);
+    j.endObject();
+}
+
+void
+writeJson(JsonWriter &j, const PdStats &s)
+{
+    j.beginObject();
+    j.kv("pdHitCacheMiss", s.pdHitCacheMiss);
+    j.kv("pdMiss", s.pdMiss);
+    j.kv("pdHitRateOnMiss", s.pdHitRateOnMiss());
+    j.kv("missPredictionRate", s.missPredictionRate());
+    j.endObject();
+}
+
+void
+writeJson(JsonWriter &j, const BalanceReport &b)
+{
+    j.beginObject();
+    j.kv("frequentHitSetsPct", b.fhsPct);
+    j.kv("hitsInFrequentHitSetsPct", b.chPct);
+    j.kv("frequentMissSetsPct", b.fmsPct);
+    j.kv("missesInFrequentMissSetsPct", b.cmPct);
+    j.kv("lessAccessedSetsPct", b.lasPct);
+    j.kv("accessesInLessAccessedSetsPct", b.tcaPct);
+    j.endObject();
+}
+
+std::string
+toJson(const MissRateResult &r)
+{
+    JsonWriter j;
+    j.beginObject();
+    j.kv("workload", r.workload);
+    j.kv("config", r.config);
+    j.key("stats");
+    writeJson(j, r.stats);
+    if (r.pd) {
+        j.key("pd");
+        writeJson(j, *r.pd);
+    }
+    if (r.victimHits)
+        j.kv("victimHits", r.victimHits);
+    j.key("balance");
+    writeJson(j, r.balance);
+    j.endObject();
+    return j.str();
+}
+
+std::string
+toJson(const TimedResult &r)
+{
+    JsonWriter j;
+    j.beginObject();
+    j.kv("workload", r.workload);
+    j.kv("config", r.config);
+    j.kv("uops", r.cpu.uops);
+    j.kv("cycles", r.cpu.cycles);
+    j.kv("ipc", r.cpu.ipc());
+    j.key("l1i");
+    writeJson(j, r.l1i);
+    j.key("l1d");
+    writeJson(j, r.l1d);
+    j.key("l2");
+    writeJson(j, r.l2);
+    j.key("activity");
+    j.beginObject();
+    j.kv("l2Accesses", r.activity.l2Accesses);
+    j.kv("offchipAccesses", r.activity.offchipAccesses);
+    j.kv("victimProbes", r.activity.victimProbes);
+    j.kv("pdPredictedMisses", r.activity.pdPredictedMisses);
+    j.endObject();
+    j.endObject();
+    return j.str();
+}
+
+} // namespace bsim

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Structured (JSON) reporting of experiment results, for machine
+ * consumption of the same data the ASCII tables show.
+ */
+
+#ifndef BSIM_SIM_REPORT_HH
+#define BSIM_SIM_REPORT_HH
+
+#include <string>
+
+#include "common/json.hh"
+#include "sim/runner.hh"
+
+namespace bsim {
+
+/** Append a CacheStats object under the writer's current key. */
+void writeJson(JsonWriter &j, const CacheStats &s);
+
+/** Append a PdStats object. */
+void writeJson(JsonWriter &j, const PdStats &s);
+
+/** Append a BalanceReport. */
+void writeJson(JsonWriter &j, const BalanceReport &b);
+
+/** Serialize one standalone miss-rate run. */
+std::string toJson(const MissRateResult &r);
+
+/** Serialize one timed (OOO core) run. */
+std::string toJson(const TimedResult &r);
+
+} // namespace bsim
+
+#endif // BSIM_SIM_REPORT_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Experiment runners shared by the benchmark harnesses and the examples:
+ * standalone miss-rate runs over one address stream, and full timed runs
+ * (OOO core + two-level hierarchy) that also collect the activity counts
+ * the energy model consumes.
+ */
+
+#ifndef BSIM_SIM_RUNNER_HH
+#define BSIM_SIM_RUNNER_HH
+
+#include <optional>
+
+#include "bcache/balance.hh"
+#include "bcache/bcache.hh"
+#include "cpu/ooo_core.hh"
+#include "power/energy_model.hh"
+#include "sim/config.hh"
+#include "workload/spec2k.hh"
+
+namespace bsim {
+
+/** Which of a workload's streams to run. */
+enum class StreamSide : std::uint8_t { Inst, Data };
+
+/** Result of a standalone miss-rate run. */
+struct MissRateResult
+{
+    std::string workload;
+    std::string config;
+    CacheStats stats;
+    std::optional<PdStats> pd;       ///< B-Cache runs only
+    std::uint64_t victimHits = 0;    ///< victim runs only
+    BalanceReport balance;           ///< Table 7 classification
+
+    double missRate() const { return stats.missRate(); }
+};
+
+/**
+ * Run @p accesses of one side of a workload through a standalone cache
+ * (misses are counted but not forwarded).
+ */
+MissRateResult runMissRate(const std::string &workload_name,
+                           StreamSide side, const CacheConfig &config,
+                           std::uint64_t accesses,
+                           std::uint64_t seed = 0xb5eedULL);
+
+/** As above but over an explicit stream (trace replay etc.). */
+MissRateResult runMissRateOn(AccessStream &stream,
+                             const CacheConfig &config,
+                             std::uint64_t accesses,
+                             const std::string &workload_label);
+
+/** Result of a timed run. */
+struct TimedResult
+{
+    std::string workload;
+    std::string config;
+    CpuResult cpu;
+    CacheStats l1i;
+    CacheStats l1d;
+    CacheStats l2;
+    ActivityCounts activity;
+    double ipc() const { return cpu.ipc(); }
+};
+
+/**
+ * Run @p uops through the OOO core (paper Table 4 processor) with both L1
+ * caches built from @p config, a shared 256 kB L2 and 100-cycle memory.
+ */
+TimedResult runTimed(const std::string &workload_name,
+                     const CacheConfig &config, std::uint64_t uops,
+                     std::uint64_t seed = 0xb5eedULL,
+                     const HierarchyParams &hierarchy_params = {});
+
+/** Per-event energy rates for @p config (CactiLite + paper methodology). */
+EnergyRates energyRatesFor(const CacheConfig &config,
+                           PicoJoules static_per_cycle = 0);
+
+/** Environment-tunable run lengths (BSIM_ACCESSES / BSIM_UOPS). */
+std::uint64_t defaultAccesses(std::uint64_t fallback = 2'000'000);
+std::uint64_t defaultUops(std::uint64_t fallback = 1'000'000);
+
+} // namespace bsim
+
+#endif // BSIM_SIM_RUNNER_HH

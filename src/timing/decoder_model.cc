@@ -1,0 +1,215 @@
+#include "timing/decoder_model.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+#include "mem/geometry.hh"
+
+namespace bsim {
+
+namespace {
+
+/** Split @p bits into NAND predecode groups of width <= 3 (paper style:
+ *  8 -> 3+3+2, 7 -> 3+2+2, 6 -> 2+2+2, 5 -> 3+2, 4 -> 2+2). */
+std::vector<unsigned>
+predecodeGroups(unsigned bits)
+{
+    bsim_assert(bits >= 1);
+    switch (bits) {
+      case 1:
+        return {1};
+      case 2:
+        return {2};
+      case 3:
+        return {3};
+      case 4:
+        return {2, 2};
+      case 5:
+        return {3, 2};
+      case 6:
+        return {2, 2, 2};
+      case 7:
+        return {3, 2, 2};
+      case 8:
+        return {3, 3, 2};
+      default: {
+        std::vector<unsigned> g;
+        unsigned rest = bits;
+        while (rest > 3) {
+            g.push_back(3);
+            rest -= 3;
+        }
+        g.push_back(rest);
+        return g;
+      }
+    }
+}
+
+GateKind
+nandOfWidth(unsigned w)
+{
+    switch (w) {
+      case 1:
+        return GateKind::Inverter;
+      case 2:
+        return GateKind::Nand2;
+      case 3:
+        return GateKind::Nand3;
+      default:
+        bsim_panic("NAND wider than 3 in a decoder");
+    }
+}
+
+GateKind
+norOfWidth(unsigned w)
+{
+    switch (w) {
+      case 2:
+        return GateKind::Nor2;
+      case 3:
+        return GateKind::Nor3;
+      default:
+        bsim_panic("NOR wider than 3 in a decoder");
+    }
+}
+
+std::string
+compositionName(const std::vector<unsigned> &groups)
+{
+    const unsigned max_nand =
+        *std::max_element(groups.begin(), groups.end());
+    if (groups.size() == 1)
+        return max_nand == 1 ? "INV"
+                             : strprintf("NAND%u", max_nand);
+    return strprintf("%uD-%zuR", max_nand, groups.size());
+}
+
+} // namespace
+
+DecoderTiming
+conventionalDecoder(unsigned bits, double wl_fanout)
+{
+    const auto groups = predecodeGroups(bits);
+    DecoderTiming t;
+    t.composition = compositionName(groups);
+
+    if (groups.size() == 1) {
+        // Single NAND straight into the wordline driver.
+        t.delay = gateDelay(nandOfWidth(groups[0]), 2.0) +
+                  gateDelay(GateKind::Inverter, wl_fanout);
+        return t;
+    }
+    // Worst predecode output load: a NAND over the smallest group feeds
+    // the most NOR gates (2^bits / 2^group outputs use each value).
+    const std::uint64_t outputs = std::uint64_t{1} << bits;
+    double worst = 0;
+    unsigned worst_w = groups[0];
+    for (unsigned g : groups) {
+        const double fo = double(outputs >> g) / 4.0; // buffered in 4s
+        if (fo > worst) {
+            worst = fo;
+            worst_w = g;
+        }
+    }
+    t.delay = gateDelay(nandOfWidth(worst_w), std::max(worst, 1.0)) +
+              gateDelay(norOfWidth(unsigned(groups.size())), 1.0) +
+              gateDelay(GateKind::Inverter, wl_fanout);
+    return t;
+}
+
+DecoderTiming
+bcacheNpd(unsigned bits, double gate_fanout)
+{
+    const auto groups = predecodeGroups(bits);
+    DecoderTiming t;
+    t.composition = compositionName(groups);
+    if (groups.size() == 1) {
+        // A bare NAND/INV whose output fans out to the wordline NANDs of
+        // all lines sharing the NPI value (the paper's fanout-32 NAND2).
+        // Large fanouts are driven through a sized-up repeater stage.
+        if (gate_fanout <= 4.0) {
+            t.delay = gateDelay(nandOfWidth(groups[0]), gate_fanout);
+        } else {
+            t.delay = gateDelay(nandOfWidth(groups[0]), 4.0) +
+                      gateDelay(GateKind::Inverter,
+                                std::min(gate_fanout / 4.0, 8.0));
+        }
+        return t;
+    }
+    const std::uint64_t outputs = std::uint64_t{1} << bits;
+    double worst = 0;
+    unsigned worst_w = groups[0];
+    for (unsigned g : groups) {
+        const double fo = double(outputs >> g) / 4.0;
+        if (fo > worst) {
+            worst = fo;
+            worst_w = g;
+        }
+    }
+    t.delay = gateDelay(nandOfWidth(worst_w), std::max(worst, 1.0)) +
+              gateDelay(norOfWidth(unsigned(groups.size())),
+                        std::min(gate_fanout / 8.0, 8.0));
+    return t;
+}
+
+DecoderTiming
+bcachePd(unsigned pattern_bits, std::uint64_t entries)
+{
+    DecoderTiming t;
+    t.composition = "CAM";
+    t.delay = camSearchDelay(pattern_bits, entries);
+    return t;
+}
+
+std::vector<DecoderTableRow>
+decoderTimingTable(unsigned pd_bits)
+{
+    // Subarray sizes 8 kB .. 512 B with 32 B lines => 256 .. 16 lines.
+    std::vector<DecoderTableRow> rows;
+    for (unsigned bits = 8; bits >= 4; --bits) {
+        DecoderTableRow r;
+        r.origBits = bits;
+        r.outputs = std::uint64_t{1} << bits;
+        r.subarrayBytes = r.outputs * 32;
+        r.original = conventionalDecoder(bits);
+        // MF = 8 moves 3 bits into the PD; the NPD output drives the
+        // wordline NANDs of all BAS lines sharing the NPI value (the
+        // paper's 4x16 example: fanout 8 x 4 = 32).
+        const unsigned npd_bits = bits - 3;
+        const double fanout = 8.0 * 4.0 * double(r.outputs) / 128.0;
+        r.npd = bcacheNpd(npd_bits, std::max(fanout, 4.0));
+        r.pd = bcachePd(pd_bits, std::min<std::uint64_t>(r.outputs, 16));
+        rows.push_back(r);
+    }
+    return rows;
+}
+
+} // namespace bsim
+
+namespace bsim {
+
+NanoSeconds
+cacheAccessTime(std::uint64_t size_bytes, std::uint32_t line_bytes,
+                std::uint32_t ways)
+{
+    const CacheGeometry g(size_bytes, line_bytes, ways);
+    // Local decoder over a 4-subarray data organisation.
+    const unsigned dec_bits =
+        g.indexBits() >= 2 ? std::min(g.indexBits() - 2, 8u) : 4u;
+    const NanoSeconds t_dec =
+        conventionalDecoder(std::max(dec_bits, 4u)).delay;
+    // Wordline/bitline/sense/compare chain grows weakly with rows.
+    const double rows = double(g.numLines()) / 4.0;
+    const NanoSeconds t_arr = 0.25 + 0.0008 * rows;
+    NanoSeconds t = t_dec + t_arr;
+    if (ways > 1) {
+        // Way-select comparator fan-in plus the output mux tree.
+        t += gateDelay(GateKind::Nand2, 4.0) +
+             0.018 * std::log2(double(ways)) * 4.0;
+    }
+    return t;
+}
+
+} // namespace bsim

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Decoder structure and timing model reproducing the paper's Table 1: the
+ * access time of conventional local wordline decoders (NAND predecode +
+ * NOR combine) versus the B-Cache's split decoder (a CAM-based PD in
+ * parallel with a shortened NPD, merged in the wordline driver's NAND).
+ */
+
+#ifndef BSIM_TIMING_DECODER_MODEL_HH
+#define BSIM_TIMING_DECODER_MODEL_HH
+
+#include <string>
+#include <vector>
+
+#include "timing/logical_effort.hh"
+
+namespace bsim {
+
+/** Timing and human-readable composition of one decoder. */
+struct DecoderTiming
+{
+    std::string composition; ///< e.g. "3D-3R", "CAM", "NAND2"
+    NanoSeconds delay = 0;
+};
+
+/**
+ * A conventional n-bit x 2^n local decoder: NAND predecode groups (width
+ * <= 3) ORed by a NOR, driving the wordline driver. @p wl_fanout is the
+ * load the final driver sees.
+ */
+DecoderTiming conventionalDecoder(unsigned bits, double wl_fanout = 8.0);
+
+/**
+ * The B-Cache's non-programmable decoder: @p bits inputs (3 fewer than
+ * the original at MF = 8), whose output feeds the wordline NAND shared
+ * with the PD. @p gate_fanout is the number of gates the output drives
+ * (the paper's 4x16 example has 8 x 4 = 32).
+ */
+DecoderTiming bcacheNpd(unsigned bits, double gate_fanout);
+
+/** The programmable decoder: a @p pattern_bits wide CAM search. */
+DecoderTiming bcachePd(unsigned pattern_bits, std::uint64_t entries);
+
+/** One row of the Table 1 reproduction. */
+struct DecoderTableRow
+{
+    std::uint64_t subarrayBytes = 0;
+    unsigned origBits = 0;       ///< original decoder input bits
+    std::uint64_t outputs = 0;   ///< wordlines decoded
+    DecoderTiming original;
+    DecoderTiming pd;
+    DecoderTiming npd;
+
+    /** Positive when the B-Cache decoder beats the original. */
+    NanoSeconds slack() const
+    {
+        return original.delay - std::max(pd.delay, npd.delay);
+    }
+};
+
+/**
+ * Produce the Table 1 sweep: subarrays of 8 kB down to 512 B with 32 B
+ * lines (decoders 8x256 ... 4x16), at a given PD pattern width (6 bits
+ * for the paper's MF = 8, BAS = 8 design).
+ */
+std::vector<DecoderTableRow> decoderTimingTable(unsigned pd_bits = 6);
+
+/**
+ * End-to-end access-time estimate of a cache: local decoder plus the
+ * array/sense/compare chain, with the way-select mux for ways > 1. The
+ * B-Cache's access time equals the direct-mapped value (ways = 1) by
+ * the Table 1 slack argument. Used for the Section 1 motivation numbers
+ * and the AMAT clock-impact analysis.
+ */
+NanoSeconds cacheAccessTime(std::uint64_t size_bytes,
+                            std::uint32_t line_bytes, std::uint32_t ways);
+
+} // namespace bsim
+
+#endif // BSIM_TIMING_DECODER_MODEL_HH

@@ -1,0 +1,106 @@
+#include "timing/logical_effort.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace bsim {
+
+namespace {
+// tau such that an FO4 inverter (d = p + g*4 = 1 + 4 = 5 tau) is 90 ps.
+constexpr double kTauNs = 0.018;
+} // namespace
+
+const char *
+gateKindName(GateKind k)
+{
+    switch (k) {
+      case GateKind::Inverter:
+        return "INV";
+      case GateKind::Nand2:
+        return "NAND2";
+      case GateKind::Nand3:
+        return "NAND3";
+      case GateKind::Nor2:
+        return "NOR2";
+      case GateKind::Nor3:
+        return "NOR3";
+    }
+    return "?";
+}
+
+double
+logicalEffort(GateKind k)
+{
+    switch (k) {
+      case GateKind::Inverter:
+        return 1.0;
+      case GateKind::Nand2:
+        return 4.0 / 3.0;
+      case GateKind::Nand3:
+        return 5.0 / 3.0;
+      case GateKind::Nor2:
+        return 5.0 / 3.0;
+      case GateKind::Nor3:
+        return 7.0 / 3.0;
+    }
+    bsim_panic("bad gate kind");
+}
+
+double
+parasiticDelay(GateKind k)
+{
+    switch (k) {
+      case GateKind::Inverter:
+        return 1.0;
+      case GateKind::Nand2:
+        return 2.0;
+      case GateKind::Nand3:
+        return 3.0;
+      case GateKind::Nor2:
+        return 2.0;
+      case GateKind::Nor3:
+        return 3.0;
+    }
+    bsim_panic("bad gate kind");
+}
+
+NanoSeconds
+gateDelay(GateKind k, double fanout)
+{
+    bsim_assert(fanout >= 0);
+    return kTauNs * (parasiticDelay(k) + logicalEffort(k) * fanout);
+}
+
+NanoSeconds
+chainDelay(const std::vector<GateStage> &stages)
+{
+    NanoSeconds d = 0;
+    for (const auto &s : stages)
+        d += gateDelay(s.kind, s.fanout);
+    return d;
+}
+
+NanoSeconds
+camSearchDelay(unsigned pattern_bits, std::uint64_t entries)
+{
+    // Search-line driver loads one XOR gate per entry; segmentation
+    // (Section 5.1 / Figure 6c) bounds the driven segment to 16 entries
+    // and the driver is sized up, so its effective fanout is segment/3.
+    const double segment = std::min<double>(double(entries), 16.0);
+    const NanoSeconds search_line =
+        gateDelay(GateKind::Inverter, segment / 3.0);
+    // Dynamic XOR compare pulling the matchline.
+    const NanoSeconds compare = gateDelay(GateKind::Nand2, 1.0);
+    // Matchline discharge: diffusion load grows with pattern width.
+    const NanoSeconds matchline =
+        kTauNs * (1.0 + 0.20 * double(pattern_bits));
+    // Extra repeater per additional 16-entry segment.
+    const double segments = std::ceil(double(entries) / 16.0);
+    const NanoSeconds repeaters =
+        (segments > 1 ? (segments - 1) * gateDelay(GateKind::Inverter, 2.0)
+                      : 0.0) * 0.25;
+    return search_line + compare + matchline + repeaters;
+}
+
+} // namespace bsim

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Logical-effort gate delay model at 0.18 µm, standing in for the paper's
+ * HSPICE measurements (Section 5.1). Delay of a gate is
+ *
+ *     d = tau * (p + g * h)
+ *
+ * with g the logical effort, p the parasitic delay and h the electrical
+ * effort (fanout). tau is calibrated so an FO4 inverter is ~90 ps, the
+ * usual figure for 0.18 µm.
+ */
+
+#ifndef BSIM_TIMING_LOGICAL_EFFORT_HH
+#define BSIM_TIMING_LOGICAL_EFFORT_HH
+
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace bsim {
+
+/** Gate kinds used in the decoder structures of Table 1. */
+enum class GateKind : std::uint8_t {
+    Inverter,
+    Nand2,
+    Nand3,
+    Nor2,
+    Nor3,
+};
+
+const char *gateKindName(GateKind k);
+
+/** Logical effort g of a gate. */
+double logicalEffort(GateKind k);
+/** Parasitic delay p of a gate (in units of tau). */
+double parasiticDelay(GateKind k);
+
+/** Delay of one gate driving @p fanout identical loads, in nanoseconds. */
+NanoSeconds gateDelay(GateKind k, double fanout);
+
+/** Delay of a chain of (gate, fanout) stages. */
+struct GateStage
+{
+    GateKind kind;
+    double fanout;
+};
+NanoSeconds chainDelay(const std::vector<GateStage> &stages);
+
+/**
+ * Search/match delay of a CAM with @p pattern_bits bit patterns and
+ * @p entries matchlines, with segmented search bitlines (Figure 6c):
+ * search-line drive + XOR compare + matchline resolve.
+ */
+NanoSeconds camSearchDelay(unsigned pattern_bits, std::uint64_t entries);
+
+} // namespace bsim
+
+#endif // BSIM_TIMING_LOGICAL_EFFORT_HH

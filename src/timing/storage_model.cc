@@ -1,0 +1,65 @@
+#include "timing/storage_model.hh"
+
+#include "common/strings.hh"
+
+namespace bsim {
+
+std::string
+StorageCost::toString() const
+{
+    return strprintf("tag=%llu data=%llu cam=%llu repl=%llu "
+                     "(%.0f SRAM-bit equiv)",
+                     static_cast<unsigned long long>(tagBits),
+                     static_cast<unsigned long long>(dataBits),
+                     static_cast<unsigned long long>(camBits),
+                     static_cast<unsigned long long>(replBits),
+                     sramEquivalent());
+}
+
+StorageCost
+conventionalStorage(std::uint64_t size_bytes, std::uint32_t line_bytes,
+                    std::uint32_t ways, unsigned addr_bits)
+{
+    const CacheGeometry geom(size_bytes, line_bytes, ways);
+    const unsigned tag_bits =
+        addr_bits - geom.offsetBits() - geom.indexBits();
+    StorageCost c;
+    // Stored per line: tag + valid + dirty (the paper's 20 bits for the
+    // 16 kB baseline: 18-bit tag + 2 status bits).
+    c.tagBits = geom.numLines() * (tag_bits + 2);
+    c.dataBits = geom.numLines() * line_bytes * 8ull;
+    if (ways > 1) {
+        // True-LRU cost: log2(ways) bits per line (excluded from the
+        // paper's area comparison, kept separately here).
+        c.replBits = geom.numLines() * floorLog2(ways);
+    }
+    return c;
+}
+
+StorageCost
+bcacheStorage(const BCacheParams &params, unsigned addr_bits)
+{
+    const CacheGeometry geom = bcacheArrayGeometry(params);
+    const BCacheLayout layout = deriveLayout(params);
+    const unsigned tag_bits =
+        layout.bcacheTagBits(addr_bits, geom.offsetBits());
+    StorageCost c;
+    c.tagBits = geom.numLines() * (tag_bits + 2);
+    c.dataBits = geom.numLines() * params.lineBytes * 8ull;
+    // Every line owns a PI-bit PD entry on the tag side and another on
+    // the data side (Table 2: 64x 6x8 CAMs + 32x 6x16 CAMs at 16 kB).
+    c.camBits = 2ull * geom.numLines() * layout.piBits;
+    c.replBits = geom.numLines() * layout.basLog;
+    return c;
+}
+
+double
+areaOverheadPct(const StorageCost &base, const StorageCost &x,
+                bool include_repl)
+{
+    const double b = base.sramEquivalent(include_repl);
+    const double v = x.sramEquivalent(include_repl);
+    return b == 0.0 ? 0.0 : 100.0 * (v - b) / b;
+}
+
+} // namespace bsim

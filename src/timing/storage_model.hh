@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Storage/area model reproducing the paper's Table 2: SRAM-bit-equivalent
+ * cost of the baseline direct-mapped cache, the B-Cache (whose CAM cells
+ * are 25% larger than SRAM cells), and conventional set-associative
+ * organisations for comparison.
+ */
+
+#ifndef BSIM_TIMING_STORAGE_MODEL_HH
+#define BSIM_TIMING_STORAGE_MODEL_HH
+
+#include <string>
+
+#include "bcache/bcache_params.hh"
+
+namespace bsim {
+
+/** CAM cell area relative to an SRAM cell (Section 5.3). */
+constexpr double kCamAreaFactor = 1.25;
+
+/** Bit-level storage of one cache organisation. */
+struct StorageCost
+{
+    std::uint64_t tagBits = 0;   ///< stored tag + status bits
+    std::uint64_t dataBits = 0;
+    std::uint64_t camBits = 0;   ///< programmable-decoder CAM cells
+    std::uint64_t replBits = 0;  ///< replacement policy state (LRU etc.)
+
+    /** Area in SRAM-bit equivalents (CAM cells weighted 1.25x). */
+    double sramEquivalent(bool include_repl = false) const
+    {
+        return double(tagBits) + double(dataBits) +
+               kCamAreaFactor * double(camBits) +
+               (include_repl ? double(replBits) : 0.0);
+    }
+
+    std::string toString() const;
+};
+
+/** Conventional cache of @p ways (1 = the baseline direct-mapped). */
+StorageCost conventionalStorage(std::uint64_t size_bytes,
+                                std::uint32_t line_bytes,
+                                std::uint32_t ways,
+                                unsigned addr_bits = 32);
+
+/** The B-Cache: shortened tags plus tag-side and data-side PD CAMs. */
+StorageCost bcacheStorage(const BCacheParams &params,
+                          unsigned addr_bits = 32);
+
+/** Percent area increase of @p x over @p base (SRAM equivalents). */
+double areaOverheadPct(const StorageCost &base, const StorageCost &x,
+                       bool include_repl = false);
+
+} // namespace bsim
+
+#endif // BSIM_TIMING_STORAGE_MODEL_HH

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * AccessStream: the interface every synthetic address generator and trace
+ * reader implements. Streams are deterministic: two streams constructed
+ * with the same parameters and seed produce identical sequences.
+ */
+
+#ifndef BSIM_WORKLOAD_ACCESS_STREAM_HH
+#define BSIM_WORKLOAD_ACCESS_STREAM_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mem/access.hh"
+
+namespace bsim {
+
+/** An unbounded, restartable source of memory accesses. */
+class AccessStream
+{
+  public:
+    virtual ~AccessStream() = default;
+
+    /** Produce the next access. */
+    virtual MemAccess next() = 0;
+
+    /** Restart from the beginning (same sequence again). */
+    virtual void reset() = 0;
+
+    virtual std::string name() const = 0;
+};
+
+using AccessStreamPtr = std::unique_ptr<AccessStream>;
+
+/** Drain @p n accesses into a vector (testing / trace capture helper). */
+std::vector<MemAccess> drain(AccessStream &stream, std::size_t n);
+
+} // namespace bsim
+
+#endif // BSIM_WORKLOAD_ACCESS_STREAM_HH

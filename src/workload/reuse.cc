@@ -1,0 +1,124 @@
+#include "workload/reuse.hh"
+
+#include <limits>
+
+#include "common/bits.hh"
+#include "common/logging.hh"
+
+namespace bsim {
+
+namespace {
+/** Reuse-distance histogram: 64-line buckets, 1024 of them (64 k lines
+ *  = 2 MB at 32 B lines) before overflow. */
+constexpr std::uint64_t kBucketWidth = 64;
+constexpr std::size_t kBuckets = 1024;
+} // namespace
+
+ReuseDistanceProfiler::ReuseDistanceProfiler(std::uint32_t line_bytes,
+                                             std::uint64_t max_tracked)
+    : lineBytes_(line_bytes), hist_(kBucketWidth, kBuckets)
+{
+    bsim_assert(isPowerOfTwo(line_bytes));
+    (void)max_tracked;
+}
+
+void
+ReuseDistanceProfiler::fenwickAdd(std::size_t pos, int delta)
+{
+    mark_[pos] = static_cast<std::uint8_t>(
+        static_cast<int>(mark_[pos]) + delta);
+    for (std::size_t i = pos + 1; i <= tree_.size();
+         i += i & (~i + 1))
+        tree_[i - 1] += static_cast<std::uint64_t>(delta);
+}
+
+std::uint64_t
+ReuseDistanceProfiler::fenwickSum(std::size_t pos) const
+{
+    std::uint64_t s = 0;
+    for (std::size_t i = pos + 1; i > 0; i -= i & (~i + 1))
+        s += tree_[i - 1];
+    return s;
+}
+
+std::uint64_t
+ReuseDistanceProfiler::observe(Addr addr)
+{
+    const Addr block = addr / lineBytes_;
+    // Grow the index structures (doubling; the Fenwick tree must be
+    // rebuilt from the marks, zero-padding it would corrupt prefixes).
+    if (time_ >= tree_.size()) {
+        const std::size_t n =
+            std::max<std::size_t>(1024, tree_.size() * 2);
+        mark_.resize(n, 0);
+        tree_.assign(n, 0);
+        for (std::size_t p = 0; p < n; ++p) {
+            if (!mark_[p])
+                continue;
+            for (std::size_t i = p + 1; i <= n; i += i & (~i + 1))
+                ++tree_[i - 1];
+        }
+    }
+
+    std::uint64_t distance = std::numeric_limits<std::uint64_t>::max();
+    auto it = lastPos_.find(block);
+    if (it == lastPos_.end()) {
+        ++cold_;
+    } else {
+        const std::uint64_t last = it->second - 1;
+        // Distinct blocks touched strictly after 'last' and before now.
+        distance = fenwickSum(static_cast<std::size_t>(time_ ? time_ - 1
+                                                             : 0)) -
+                   fenwickSum(static_cast<std::size_t>(last));
+        hist_.add(distance);
+        fenwickAdd(static_cast<std::size_t>(last), -1);
+    }
+    fenwickAdd(static_cast<std::size_t>(time_), 1);
+    lastPos_[block] = time_ + 1;
+    ++time_;
+    return distance;
+}
+
+double
+ReuseDistanceProfiler::hitFractionWithin(std::uint64_t lines) const
+{
+    if (time_ == 0)
+        return 0.0;
+    // Sum histogram buckets whose distances are wholly below 'lines'.
+    std::uint64_t hits = 0;
+    const std::size_t full_buckets =
+        static_cast<std::size_t>(lines / hist_.bucketWidth());
+    for (std::size_t b = 0;
+         b < full_buckets && b < hist_.numBuckets(); ++b)
+        hits += hist_.bucketCount(b);
+    return double(hits) / double(time_);
+}
+
+std::uint64_t
+ReuseDistanceProfiler::capacityForHitFraction(double fraction) const
+{
+    if (time_ == 0)
+        return 0;
+    const auto target = static_cast<std::uint64_t>(
+        fraction * double(time_));
+    std::uint64_t seen = 0;
+    for (std::size_t b = 0; b < hist_.numBuckets(); ++b) {
+        seen += hist_.bucketCount(b);
+        if (seen >= target)
+            return (b + 1) * hist_.bucketWidth();
+    }
+    return hist_.numBuckets() * hist_.bucketWidth();
+}
+
+void
+ReuseDistanceProfiler::reset()
+{
+    time_ = 0;
+    cold_ = 0;
+    lastPos_.clear();
+    mark_.clear();
+    tree_.clear();
+    hist_.reset();
+}
+
+} // namespace bsim

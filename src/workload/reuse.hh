@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Exact reuse-distance (LRU stack distance) profiling for address
+ * streams, at cache-line granularity. Used by the workload_profile bench
+ * to document that each synthetic benchmark exercises the locality class
+ * claimed for it in DESIGN.md: a reference with stack distance d hits in
+ * any fully-associative LRU cache of more than d lines, so the reuse CDF
+ * *is* the workload's miss-rate-vs-capacity curve.
+ *
+ * Implementation: the classic Bennett-Kruskal / Olken algorithm with a
+ * Fenwick (binary indexed) tree over access timestamps — O(log n) per
+ * reference.
+ */
+
+#ifndef BSIM_WORKLOAD_REUSE_HH
+#define BSIM_WORKLOAD_REUSE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace bsim {
+
+class ReuseDistanceProfiler
+{
+  public:
+    /**
+     * @param line_bytes granularity of a "block" (cache line)
+     * @param max_tracked distances >= this land in the overflow bucket
+     */
+    explicit ReuseDistanceProfiler(std::uint32_t line_bytes = 32,
+                                   std::uint64_t max_tracked = 1u << 16);
+
+    /** Observe one reference. Returns its stack distance, or
+     *  UINT64_MAX for a cold (first-touch) reference. */
+    std::uint64_t observe(Addr addr);
+
+    std::uint64_t references() const { return time_; }
+    std::uint64_t coldReferences() const { return cold_; }
+    std::uint64_t distinctBlocks() const { return lastPos_.size(); }
+
+    /**
+     * Fraction of all references with stack distance < @p lines (i.e.
+     * the hit rate of a fully-associative LRU cache of that many lines;
+     * cold references count as misses).
+     */
+    double hitFractionWithin(std::uint64_t lines) const;
+
+    /** Smallest capacity (lines) covering @p fraction of references. */
+    std::uint64_t capacityForHitFraction(double fraction) const;
+
+    const Histogram &histogram() const { return hist_; }
+
+    void reset();
+
+  private:
+    void fenwickAdd(std::size_t pos, int delta);
+    std::uint64_t fenwickSum(std::size_t pos) const; // prefix [0, pos]
+
+    std::uint32_t lineBytes_;
+    std::uint64_t time_ = 0;
+    std::uint64_t cold_ = 0;
+    /** block -> (last access time + 1); 0 means absent. */
+    std::unordered_map<Addr, std::uint64_t> lastPos_;
+    /** 1 at the latest access time of each live block. */
+    std::vector<std::uint8_t> mark_;
+    /** Fenwick tree over mark_ (rebuilt when the stream grows past its
+     *  capacity; growing a Fenwick tree by zero-padding is invalid). */
+    std::vector<std::uint64_t> tree_;
+    Histogram hist_;
+};
+
+} // namespace bsim
+
+#endif // BSIM_WORKLOAD_REUSE_HH

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * The 26 named synthetic workloads standing in for the SPEC2K suite the
+ * paper evaluates (SPEC2K binaries/traces are license-gated; DESIGN.md
+ * documents the substitution).
+ *
+ * Each workload couples an instruction-fetch stream and a data stream with
+ * a CPU profile for the timing model. Personalities are chosen so the
+ * suite spans the qualitative classes the paper reports:
+ *
+ *  - streaming / capacity bound (art, swim, lucas, mcf): large sweeps or
+ *    pointer chases; no cache organisation helps much.
+ *  - deep conflicts (equake, crafty, fma3d, twolf): 6-8 arrays aliasing at
+ *    multiples of 32 kB with line-granular sweeps, so 8-way associativity
+ *    (and the B-Cache with BAS = 8) removes the misses but a 16-entry
+ *    victim buffer cannot hold the conflict working set.
+ *  - shallow conflicts (gzip, bzip2, vpr, ...): 2-3 aliasing arrays with
+ *    short reuse distances; 2-way, the victim buffer and the B-Cache all
+ *    fix them.
+ *  - PD-hostile strides: wupwise conflicts at a 512 kB (2^19) stride so
+ *    the conflicting addresses share the B-Cache's programmable-index
+ *    bits until MF reaches 64 (Figure 3's cliff); facerec/galgel/sixtrack
+ *    use 128 kB (2^17) strides, which MF = 16 resolves but MF = 8 does
+ *    not (why their B-Cache bars trail a 4-way cache in Figure 4).
+ *  - wide conflicts (perlbmk): 16 aliasing arrays, which only the 32-way
+ *    cache fully absorbs (its Figure 4 outlier).
+ */
+
+#ifndef BSIM_WORKLOAD_SPEC2K_HH
+#define BSIM_WORKLOAD_SPEC2K_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/access_stream.hh"
+
+namespace bsim {
+
+/** Per-workload instruction mix for the OOO timing model. */
+struct CpuProfile
+{
+    double loadFrac = 0.25;    ///< fraction of µops that are loads
+    double storeFrac = 0.10;   ///< fraction that are stores
+    double branchFrac = 0.15;  ///< fraction that are branches
+    double longLatFrac = 0.0;  ///< fraction with multi-cycle latency (FP)
+    std::uint32_t longLatency = 4;
+    double mispredictPerBranch = 0.05; ///< branch misprediction rate
+};
+
+/** A complete synthetic benchmark. */
+struct SpecWorkload
+{
+    std::string name;
+    bool floatingPoint = false;
+    AccessStreamPtr inst;
+    AccessStreamPtr data;
+    CpuProfile cpu;
+};
+
+/** All 26 benchmark names (CINT2K then CFP2K, paper spelling). */
+const std::vector<std::string> &spec2kNames();
+/** The 12 integer benchmarks. */
+const std::vector<std::string> &spec2kIntNames();
+/** The 14 floating-point benchmarks. */
+const std::vector<std::string> &spec2kFpNames();
+/**
+ * The 15 benchmarks whose I$ results the paper reports (the others have
+ * instruction miss rates below 0.01%; Section 4.2).
+ */
+const std::vector<std::string> &spec2kIcacheReportedNames();
+
+/** True if @p name is one of the 26. */
+bool isSpec2kName(const std::string &name);
+
+/**
+ * Build the named workload. The default seed matches the one used for all
+ * tables in EXPERIMENTS.md; pass a different seed to check robustness.
+ * Fatal on unknown names.
+ */
+SpecWorkload makeSpecWorkload(const std::string &name,
+                              std::uint64_t seed = 0xb5eedULL);
+
+} // namespace bsim
+
+#endif // BSIM_WORKLOAD_SPEC2K_HH

@@ -1,0 +1,180 @@
+#include "workload/trace.hh"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+namespace bsim {
+
+namespace {
+
+constexpr char kMagic[4] = {'B', 'S', 'T', '1'};
+
+struct FileCloser
+{
+    void operator()(std::FILE *f) const
+    {
+        if (f)
+            std::fclose(f);
+    }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+FilePtr
+openOrDie(const std::string &path, const char *mode)
+{
+    FilePtr f(std::fopen(path.c_str(), mode));
+    if (!f)
+        bsim_fatal("cannot open '", path, "' (mode ", mode, ")");
+    return f;
+}
+
+int
+dineroLabel(AccessType t)
+{
+    switch (t) {
+      case AccessType::Read:
+        return 0;
+      case AccessType::Write:
+        return 1;
+      case AccessType::Fetch:
+        return 2;
+    }
+    return 0;
+}
+
+AccessType
+typeFromLabel(int label, const std::string &path)
+{
+    switch (label) {
+      case 0:
+        return AccessType::Read;
+      case 1:
+        return AccessType::Write;
+      case 2:
+        return AccessType::Fetch;
+      default:
+        bsim_fatal("bad record label ", label, " in '", path, "'");
+    }
+}
+
+} // namespace
+
+void
+writeBinaryTrace(const std::string &path,
+                 const std::vector<MemAccess> &accesses)
+{
+    FilePtr f = openOrDie(path, "wb");
+    if (std::fwrite(kMagic, 1, 4, f.get()) != 4)
+        bsim_fatal("write failed on '", path, "'");
+    const std::uint64_t n = accesses.size();
+    if (std::fwrite(&n, sizeof n, 1, f.get()) != 1)
+        bsim_fatal("write failed on '", path, "'");
+    for (const auto &a : accesses) {
+        const std::uint8_t t = static_cast<std::uint8_t>(a.type);
+        if (std::fwrite(&a.addr, sizeof a.addr, 1, f.get()) != 1 ||
+            std::fwrite(&t, sizeof t, 1, f.get()) != 1)
+            bsim_fatal("write failed on '", path, "'");
+    }
+}
+
+std::vector<MemAccess>
+readBinaryTrace(const std::string &path)
+{
+    FilePtr f = openOrDie(path, "rb");
+    char magic[4];
+    if (std::fread(magic, 1, 4, f.get()) != 4 ||
+        std::memcmp(magic, kMagic, 4) != 0)
+        bsim_fatal("'", path, "' is not a BST1 trace");
+    std::uint64_t n = 0;
+    if (std::fread(&n, sizeof n, 1, f.get()) != 1)
+        bsim_fatal("truncated trace '", path, "'");
+    std::vector<MemAccess> out;
+    out.reserve(n);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        MemAccess a;
+        std::uint8_t t = 0;
+        if (std::fread(&a.addr, sizeof a.addr, 1, f.get()) != 1 ||
+            std::fread(&t, sizeof t, 1, f.get()) != 1)
+            bsim_fatal("truncated trace '", path, "' at record ", i);
+        a.type = typeFromLabel(t, path);
+        out.push_back(a);
+    }
+    return out;
+}
+
+void
+writeTextTrace(const std::string &path,
+               const std::vector<MemAccess> &accesses)
+{
+    FilePtr f = openOrDie(path, "w");
+    for (const auto &a : accesses) {
+        if (std::fprintf(f.get(), "%d %llx\n", dineroLabel(a.type),
+                         static_cast<unsigned long long>(a.addr)) < 0)
+            bsim_fatal("write failed on '", path, "'");
+    }
+}
+
+std::vector<MemAccess>
+readTextTrace(const std::string &path)
+{
+    FilePtr f = openOrDie(path, "r");
+    std::vector<MemAccess> out;
+    char line[256];
+    std::size_t lineno = 0;
+    while (std::fgets(line, sizeof line, f.get())) {
+        ++lineno;
+        const char *p = line;
+        while (*p == ' ' || *p == '\t')
+            ++p;
+        if (*p == '\0' || *p == '\n' || *p == '#')
+            continue;
+        int label = 0;
+        unsigned long long addr = 0;
+        if (std::sscanf(p, "%d %llx", &label, &addr) != 2)
+            bsim_fatal("bad trace line ", lineno, " in '", path, "'");
+        out.push_back({static_cast<Addr>(addr),
+                       typeFromLabel(label, path)});
+    }
+    return out;
+}
+
+std::vector<MemAccess>
+loadTrace(const std::string &path)
+{
+    if (path.size() >= 4 &&
+        path.compare(path.size() - 4, 4, ".bst") == 0)
+        return readBinaryTrace(path);
+    return readTextTrace(path);
+}
+
+RecordingStream::RecordingStream(AccessStreamPtr child)
+    : child_(std::move(child))
+{
+    bsim_assert(child_ != nullptr);
+}
+
+MemAccess
+RecordingStream::next()
+{
+    const MemAccess a = child_->next();
+    recorded_.push_back(a);
+    return a;
+}
+
+void
+RecordingStream::reset()
+{
+    child_->reset();
+}
+
+std::string
+RecordingStream::name() const
+{
+    return "recording(" + child_->name() + ")";
+}
+
+} // namespace bsim

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Trace capture and replay so externally produced address traces (e.g.
+ * converted SimpleScalar/ChampSim traces) can drive every cache model, and
+ * synthetic workloads can be captured for exact replay.
+ *
+ * Two formats:
+ *  - binary ".bst": magic "BST1", u64 record count, then packed records
+ *    of {u64 address, u8 type}
+ *  - text (Dinero-style "din"): one record per line, "<label> <hex-addr>"
+ *    with label 0 = read, 1 = write, 2 = instruction fetch
+ */
+
+#ifndef BSIM_WORKLOAD_TRACE_HH
+#define BSIM_WORKLOAD_TRACE_HH
+
+#include <string>
+#include <vector>
+
+#include "workload/access_stream.hh"
+
+namespace bsim {
+
+/** Write accesses to a binary .bst trace. Fatal on I/O failure. */
+void writeBinaryTrace(const std::string &path,
+                      const std::vector<MemAccess> &accesses);
+
+/** Read a binary .bst trace. Fatal on I/O or format failure. */
+std::vector<MemAccess> readBinaryTrace(const std::string &path);
+
+/** Write accesses in Dinero din text format. */
+void writeTextTrace(const std::string &path,
+                    const std::vector<MemAccess> &accesses);
+
+/** Read a Dinero din text trace; blank lines and '#' comments skipped. */
+std::vector<MemAccess> readTextTrace(const std::string &path);
+
+/** Load either format by extension (.bst = binary, anything else text). */
+std::vector<MemAccess> loadTrace(const std::string &path);
+
+/**
+ * Wrap a stream, recording everything produced (for capture-then-replay
+ * tests and the trace_analysis example).
+ */
+class RecordingStream : public AccessStream
+{
+  public:
+    explicit RecordingStream(AccessStreamPtr child);
+
+    MemAccess next() override;
+    void reset() override;
+    std::string name() const override;
+
+    const std::vector<MemAccess> &recorded() const { return recorded_; }
+    void clearRecorded() { recorded_.clear(); }
+
+  private:
+    AccessStreamPtr child_;
+    std::vector<MemAccess> recorded_;
+};
+
+} // namespace bsim
+
+#endif // BSIM_WORKLOAD_TRACE_HH

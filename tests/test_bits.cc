@@ -1,0 +1,97 @@
+/** Unit tests for common/bits.hh. */
+
+#include <gtest/gtest.h>
+
+#include "common/bits.hh"
+
+namespace bsim {
+namespace {
+
+TEST(Bits, PowerOfTwo)
+{
+    EXPECT_FALSE(isPowerOfTwo(0));
+    EXPECT_TRUE(isPowerOfTwo(1));
+    EXPECT_TRUE(isPowerOfTwo(2));
+    EXPECT_FALSE(isPowerOfTwo(3));
+    EXPECT_TRUE(isPowerOfTwo(1ull << 40));
+    EXPECT_FALSE(isPowerOfTwo((1ull << 40) + 1));
+}
+
+TEST(Bits, FloorLog2)
+{
+    EXPECT_EQ(floorLog2(1), 0u);
+    EXPECT_EQ(floorLog2(2), 1u);
+    EXPECT_EQ(floorLog2(3), 1u);
+    EXPECT_EQ(floorLog2(512), 9u);
+    EXPECT_EQ(floorLog2(1ull << 63), 63u);
+}
+
+TEST(Bits, CeilLog2)
+{
+    EXPECT_EQ(ceilLog2(1), 0u);
+    EXPECT_EQ(ceilLog2(2), 1u);
+    EXPECT_EQ(ceilLog2(3), 2u);
+    EXPECT_EQ(ceilLog2(513), 10u);
+}
+
+TEST(Bits, Mask)
+{
+    EXPECT_EQ(mask(0), 0u);
+    EXPECT_EQ(mask(1), 1u);
+    EXPECT_EQ(mask(9), 0x1ffu);
+    EXPECT_EQ(mask(64), ~std::uint64_t{0});
+}
+
+TEST(Bits, BitsRange)
+{
+    // The paper's 16 kB example: offset 5, index 9, tag above.
+    const std::uint64_t addr = 0xdeadbeef;
+    EXPECT_EQ(bitsRange(addr, 0, 5), addr & 0x1f);
+    EXPECT_EQ(bitsRange(addr, 5, 9), (addr >> 5) & 0x1ff);
+    EXPECT_EQ(bitsRange(addr, 14, 18), addr >> 14);
+}
+
+TEST(Bits, InsertBits)
+{
+    EXPECT_EQ(insertBits(0, 4, 4, 0xf), 0xf0u);
+    EXPECT_EQ(insertBits(0xff, 4, 4, 0x0), 0x0fu);
+    // Field wider than nbits is truncated.
+    EXPECT_EQ(insertBits(0, 0, 4, 0x1ff), 0xfu);
+}
+
+TEST(Bits, RoundTripInsertExtract)
+{
+    for (unsigned first = 0; first < 32; first += 3) {
+        for (unsigned n = 1; n <= 16; n += 5) {
+            const std::uint64_t v =
+                insertBits(0xaaaa5555aaaa5555ull, first, n, 0x2d);
+            EXPECT_EQ(bitsRange(v, first, n), 0x2dull & mask(n));
+        }
+    }
+}
+
+TEST(Bits, PopCount)
+{
+    EXPECT_EQ(popCount(0), 0u);
+    EXPECT_EQ(popCount(0xff), 8u);
+    EXPECT_EQ(popCount(0x8000000000000001ull), 2u);
+}
+
+TEST(Bits, XorFold)
+{
+    // Folding a value narrower than nbits is the identity.
+    EXPECT_EQ(xorFold(0x1a, 9), 0x1au);
+    // 2-segment fold.
+    EXPECT_EQ(xorFold(0x3'0001ull, 16), (0x3ull ^ 0x1ull));
+}
+
+TEST(Bits, ReverseBits)
+{
+    EXPECT_EQ(reverseBits(0b001, 3), 0b100u);
+    EXPECT_EQ(reverseBits(0b101, 3), 0b101u);
+    for (std::uint64_t v = 0; v < 64; ++v)
+        EXPECT_EQ(reverseBits(reverseBits(v, 6), 6), v);
+}
+
+} // namespace
+} // namespace bsim

@@ -1,0 +1,121 @@
+/** Unit tests for the declarative experiment-file parser. */
+
+#include <gtest/gtest.h>
+
+#include "sim/experiment_file.hh"
+
+namespace bsim {
+namespace {
+
+TEST(ExperimentFile, FullBCacheSpec)
+{
+    const ExperimentSpec s = parseExperimentText(R"(
+# a comment
+[cache]
+kind = bcache
+size = 32768
+line = 32
+mf = 16
+bas = 4
+repl = random       ; inline comment
+write_policy = wt
+
+[run]
+workload = equake
+side = inst
+accesses = 123456
+seed = 99
+)");
+    EXPECT_EQ(s.cache.kind, CacheKind::BCache);
+    EXPECT_EQ(s.cache.sizeBytes, 32768u);
+    EXPECT_EQ(s.cache.mf, 16u);
+    EXPECT_EQ(s.cache.bas, 4u);
+    EXPECT_EQ(s.cache.repl, ReplPolicyKind::Random);
+    EXPECT_EQ(s.cache.writePolicy,
+              WritePolicy::WriteThroughNoAllocate);
+    EXPECT_EQ(s.workload, "equake");
+    EXPECT_EQ(s.side, StreamSide::Inst);
+    EXPECT_EQ(s.accesses, 123456u);
+    EXPECT_EQ(s.seed, 99u);
+}
+
+TEST(ExperimentFile, DefaultsWhenSparse)
+{
+    const ExperimentSpec s = parseExperimentText("[cache]\nkind = dm\n");
+    EXPECT_EQ(s.cache.kind, CacheKind::SetAssoc);
+    EXPECT_EQ(s.cache.ways, 1u);
+    EXPECT_EQ(s.workload, "gcc");
+    EXPECT_EQ(s.accesses, 1'000'000u);
+}
+
+TEST(ExperimentFile, EveryKindParses)
+{
+    for (const char *k : {"dm", "setassoc", "victim", "bcache",
+                          "column", "skewed", "hac", "xor"}) {
+        const ExperimentSpec s = parseExperimentText(
+            std::string("[cache]\nkind = ") + k + "\n");
+        auto cache = s.cache.build("x");
+        EXPECT_NE(cache, nullptr) << k;
+    }
+}
+
+TEST(ExperimentFile, TracePathOverride)
+{
+    const ExperimentSpec s = parseExperimentText(
+        "[cache]\nkind = dm\n[run]\ntrace = /tmp/foo.bst\n");
+    EXPECT_EQ(s.tracePath, "/tmp/foo.bst");
+}
+
+TEST(ExperimentFile, HexNumbersAccepted)
+{
+    const ExperimentSpec s = parseExperimentText(
+        "[cache]\nkind = dm\nsize = 0x4000\n[run]\nseed = 0xdead\n");
+    EXPECT_EQ(s.cache.sizeBytes, 0x4000u);
+    EXPECT_EQ(s.seed, 0xdeadu);
+}
+
+TEST(ExperimentFile, SpecRunsEndToEnd)
+{
+    const ExperimentSpec s = parseExperimentText(R"(
+[cache]
+kind = bcache
+mf = 8
+bas = 8
+[run]
+workload = vpr
+accesses = 20000
+)");
+    const MissRateResult r =
+        runMissRate(s.workload, s.side, s.cache, s.accesses, s.seed);
+    EXPECT_EQ(r.stats.accesses, 20000u);
+    EXPECT_TRUE(r.pd.has_value());
+}
+
+TEST(ExperimentFileDeathTest, Malformed)
+{
+    EXPECT_EXIT(parseExperimentText("[cache\nkind = dm\n"),
+                ::testing::ExitedWithCode(1), "unterminated section");
+    EXPECT_EXIT(parseExperimentText("[cpu]\n"),
+                ::testing::ExitedWithCode(1), "unknown section");
+    EXPECT_EXIT(parseExperimentText("kind = dm\n"),
+                ::testing::ExitedWithCode(1), "outside any section");
+    EXPECT_EXIT(parseExperimentText("[cache]\nkind dm\n"),
+                ::testing::ExitedWithCode(1), "expected key = value");
+    EXPECT_EXIT(parseExperimentText("[cache]\nkind = warp\n"),
+                ::testing::ExitedWithCode(1), "unknown cache kind");
+    EXPECT_EXIT(parseExperimentText("[cache]\nsize = banana\n"),
+                ::testing::ExitedWithCode(1), "bad number");
+    EXPECT_EXIT(parseExperimentText("[run]\nworkload = quake3\n"),
+                ::testing::ExitedWithCode(1), "unknown workload");
+    EXPECT_EXIT(parseExperimentText("[cache]\nwrite_policy = maybe\n"),
+                ::testing::ExitedWithCode(1), "wb or wt");
+}
+
+TEST(ExperimentFileDeathTest, MissingFileIsFatal)
+{
+    EXPECT_EXIT(parseExperimentFile("/nonexistent/exp.ini"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace bsim

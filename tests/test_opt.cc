@@ -1,0 +1,118 @@
+/** Unit tests for the Belady/OPT analyzer. */
+
+#include <gtest/gtest.h>
+
+#include "cache/opt.hh"
+#include "cache/set_assoc_cache.hh"
+#include "common/random.hh"
+#include "workload/generators.hh"
+
+namespace bsim {
+namespace {
+
+std::vector<MemAccess>
+blocks(std::initializer_list<Addr> seq)
+{
+    std::vector<MemAccess> v;
+    for (Addr b : seq)
+        v.push_back({b * 32, AccessType::Read});
+    return v;
+}
+
+TEST(Opt, EmptyTrace)
+{
+    const OptResult r = optSimulate({}, CacheGeometry(1024, 32, 2));
+    EXPECT_EQ(r.accesses, 0u);
+    EXPECT_EQ(r.misses, 0u);
+}
+
+TEST(Opt, ColdMissesOnly)
+{
+    const auto t = blocks({0, 1, 2, 0, 1, 2});
+    const OptResult r = optSimulate(t, CacheGeometry(1024, 32, 32));
+    EXPECT_EQ(r.misses, 3u);
+    EXPECT_EQ(r.coldMisses, 3u);
+}
+
+TEST(Opt, TextbookBeladyExample)
+{
+    // 2-entry fully-associative cache, sequence a b c b a:
+    // a(miss) b(miss) c(miss: evict a? OPT evicts the one used
+    // farther: a used at 4, b at 3 -> evict a) b(hit) a(miss).
+    const auto t = blocks({0, 1, 2, 1, 0});
+    const OptResult r = optSimulate(t, CacheGeometry(64, 32, 2));
+    EXPECT_EQ(r.misses, 4u);
+}
+
+TEST(Opt, BeatsLruOnItsPathology)
+{
+    // Cyclic sweep over ways+1 blocks: LRU misses always, OPT keeps
+    // most of the working set.
+    std::vector<MemAccess> t;
+    for (int round = 0; round < 100; ++round)
+        for (Addr b = 0; b < 5; ++b)
+            t.push_back({b * 1024, AccessType::Read}); // same set, 4-way
+
+    const CacheGeometry g(4 * 1024, 32, 4);
+    SetAssocCache lru("lru", g, 1, nullptr);
+    for (const auto &a : t)
+        lru.access(a);
+    const OptResult opt = optSimulate(t, g);
+    EXPECT_GT(lru.stats().missRate(), 0.95);
+    EXPECT_LT(opt.missRate(), 0.35);
+}
+
+TEST(Opt, NeverWorseThanLru)
+{
+    // Property over random and structured streams.
+    const CacheGeometry g(4 * 1024, 32, 4);
+    Rng rng(77);
+    for (int trial = 0; trial < 5; ++trial) {
+        std::vector<MemAccess> t;
+        for (int i = 0; i < 20000; ++i)
+            t.push_back({rng.next() & mask(15), AccessType::Read});
+        SetAssocCache lru("lru", g, 1, nullptr);
+        for (const auto &a : t)
+            lru.access(a);
+        const OptResult opt = optSimulate(t, g);
+        EXPECT_LE(opt.misses, lru.stats().misses);
+    }
+}
+
+TEST(Opt, RespectsSetMapping)
+{
+    // Two blocks in different sets never conflict even at 1-way.
+    const auto t = blocks({0, 1, 0, 1, 0, 1});
+    const OptResult r = optSimulate(t, CacheGeometry(1024, 32, 1));
+    EXPECT_EQ(r.misses, 2u);
+}
+
+TEST(Opt, DirectMappedOptEqualsDirectMappedLru)
+{
+    // With one way there is no replacement choice: OPT == LRU exactly.
+    const CacheGeometry g(2048, 32, 1);
+    Rng rng(5);
+    std::vector<MemAccess> t;
+    for (int i = 0; i < 30000; ++i)
+        t.push_back({rng.next() & mask(14), AccessType::Read});
+    SetAssocCache lru("dm", g, 1, nullptr);
+    for (const auto &a : t)
+        lru.access(a);
+    EXPECT_EQ(optSimulate(t, g).misses, lru.stats().misses);
+}
+
+TEST(Opt, FullAssocIsLowerBoundOfSetAssoc)
+{
+    Rng rng(9);
+    std::vector<MemAccess> t;
+    for (int i = 0; i < 30000; ++i)
+        t.push_back({rng.next() & mask(16), AccessType::Read});
+    const OptResult full =
+        optSimulate(t, CacheGeometry(4096, 32, 128));
+    const OptResult sa = optSimulate(t, CacheGeometry(4096, 32, 4));
+    EXPECT_LE(full.misses, sa.misses);
+    EXPECT_GE(full.misses, full.coldMisses);
+}
+
+} // namespace
+} // namespace bsim

@@ -1,0 +1,124 @@
+/** Unit tests for the partial-address-matching (way-predicting) cache. */
+
+#include <gtest/gtest.h>
+
+#include "alt/partial_match_cache.hh"
+#include "cache/set_assoc_cache.hh"
+#include "common/random.hh"
+#include "mem/main_memory.hh"
+
+namespace bsim {
+namespace {
+
+MemAccess
+rd(Addr a)
+{
+    return {a, AccessType::Read};
+}
+
+CacheGeometry
+geom2w()
+{
+    return CacheGeometry(16 * 1024, 32, 2);
+}
+
+TEST(PartialMatch, HitMissSequenceMatchesPlainSetAssoc)
+{
+    // Way prediction changes latency and energy, never hit/miss.
+    PartialMatchCache pad("pad", geom2w(), 1, nullptr, 5);
+    SetAssocCache sa("sa", geom2w(), 1, nullptr);
+    Rng rng(3);
+    for (int i = 0; i < 40000; ++i) {
+        const MemAccess a = {rng.next() & mask(17),
+                             rng.nextBool(0.3) ? AccessType::Write
+                                               : AccessType::Read};
+        ASSERT_EQ(pad.access(a).hit, sa.access(a).hit);
+    }
+    EXPECT_EQ(pad.stats().misses, sa.stats().misses);
+}
+
+TEST(PartialMatch, CorrectPredictionIsOneCycle)
+{
+    PartialMatchCache c("pad", geom2w(), 1, nullptr, 5);
+    c.access(rd(0x1000));
+    EXPECT_EQ(c.access(rd(0x1000)).latency, 1u);
+    EXPECT_EQ(c.slowHits(), 0u);
+}
+
+TEST(PartialMatch, AliasedPartialTagsCostASecondCycle)
+{
+    // Two blocks in the same set whose tags agree in the low 5 bits:
+    // the PAD predicts the first matching way, so hitting the other
+    // way takes the extra cycle.
+    PartialMatchCache c("pad", geom2w(), 1, nullptr, 5);
+    const Addr A = 0x0000;
+    // Same set (index bits equal), tags differ only above bit 5:
+    // tag stride for this geometry is 16 kB/2 = 8 kB per way-set...
+    // tag = addr >> 13; partial = tag & 31. A's tag 0; B's tag 32.
+    const Addr B = Addr{32} << 13;
+    c.access(rd(A)); // way 0
+    c.access(rd(B)); // way 1, same partial tag 0
+    // Whichever way the PAD ranks second now pays the penalty.
+    const Cycles la = c.access(rd(A)).latency;
+    const Cycles lb = c.access(rd(B)).latency;
+    EXPECT_EQ(la + lb, 3u); // one fast (1) + one slow (2)
+    EXPECT_EQ(c.slowHits(), 1u);
+    EXPECT_GE(c.padAliases(), 1u);
+}
+
+TEST(PartialMatch, DistinctPartialTagsAllFast)
+{
+    PartialMatchCache c("pad", geom2w(), 1, nullptr, 5);
+    const Addr A = 0x0000;
+    const Addr B = Addr{1} << 13; // tag 1: different partial tag
+    c.access(rd(A));
+    c.access(rd(B));
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_EQ(c.access(rd(A)).latency, 1u);
+        EXPECT_EQ(c.access(rd(B)).latency, 1u);
+    }
+    EXPECT_EQ(c.slowHits(), 0u);
+}
+
+TEST(PartialMatch, WiderPartialTagsAliasLess)
+{
+    auto aliases = [](unsigned bits) {
+        PartialMatchCache c("pad", geom2w(), 1, nullptr, bits);
+        Rng rng(7);
+        for (int i = 0; i < 40000; ++i)
+            c.access(rd(rng.next() & mask(22)));
+        return c.padAliases();
+    };
+    EXPECT_GT(aliases(2), aliases(8));
+}
+
+TEST(PartialMatch, DirtyWritebacks)
+{
+    MainMemory mem(10);
+    PartialMatchCache c("pad", CacheGeometry(1024, 32, 2), 1, &mem, 5);
+    c.access({0x0000, AccessType::Write});
+    c.access({0x0000 + 512, AccessType::Write});
+    c.access({0x0000 + 1024, AccessType::Write});
+    EXPECT_GE(mem.writebacks(), 1u);
+}
+
+TEST(PartialMatch, ResetClears)
+{
+    PartialMatchCache c("pad", geom2w(), 1, nullptr, 5);
+    c.access(rd(0x40));
+    c.reset();
+    EXPECT_FALSE(c.contains(0x40));
+    EXPECT_EQ(c.stats().accesses, 0u);
+    EXPECT_EQ(c.slowHits(), 0u);
+}
+
+TEST(PartialMatchDeathTest, NeedsAssociativity)
+{
+    EXPECT_DEATH(PartialMatchCache("pad",
+                                   CacheGeometry(16 * 1024, 32, 1), 1,
+                                   nullptr, 5),
+                 "set-associative");
+}
+
+} // namespace
+} // namespace bsim

@@ -1,0 +1,188 @@
+/** Unit tests for the cacti-lite energy model and the Figure 10 system
+ *  energy equations, checked against the paper's stated anchors. */
+
+#include <gtest/gtest.h>
+
+#include "power/cacti_lite.hh"
+#include "power/energy_model.hh"
+
+namespace bsim {
+namespace {
+
+CacheOrg
+org16k(std::uint32_t ways)
+{
+    CacheOrg o;
+    o.sizeBytes = 16 * 1024;
+    o.lineBytes = 32;
+    o.ways = ways;
+    return o;
+}
+
+BCacheParams
+paperBParams()
+{
+    BCacheParams p;
+    p.sizeBytes = 16 * 1024;
+    p.lineBytes = 32;
+    p.mf = 8;
+    p.bas = 8;
+    return p;
+}
+
+TEST(CactiLite, CamAnchorsMatchPaper)
+{
+    // Section 5.4: a 6x8 CAM search is 0.78 pJ, a 6x16 search 1.62 pJ.
+    EXPECT_NEAR(CactiLite::camSearchEnergy(6, 8), 0.78, 0.05);
+    EXPECT_NEAR(CactiLite::camSearchEnergy(6, 16), 1.62, 0.10);
+}
+
+TEST(CactiLite, EnergyGrowsWithAssociativity)
+{
+    const double e1 = CactiLite::conventional(org16k(1)).total();
+    const double e2 = CactiLite::conventional(org16k(2)).total();
+    const double e4 = CactiLite::conventional(org16k(4)).total();
+    const double e8 = CactiLite::conventional(org16k(8)).total();
+    EXPECT_LT(e1, e2);
+    EXPECT_LT(e2, e4);
+    EXPECT_LT(e4, e8);
+}
+
+TEST(CactiLite, DirectMappedFarBelowEightWay)
+{
+    // Section 1: a direct-mapped cache consumes ~68.8% less power than a
+    // same-sized 8-way cache at 16 kB. Allow a generous band.
+    const double e1 = CactiLite::conventional(org16k(1)).total();
+    const double e8 = CactiLite::conventional(org16k(8)).total();
+    const double saving = 100.0 * (e8 - e1) / e8;
+    EXPECT_GT(saving, 55.0);
+    EXPECT_LT(saving, 85.0);
+}
+
+TEST(CactiLite, BCacheOverheadNearTenPercent)
+{
+    // Section 5.4: the B-Cache consumes ~10.5% more per access than the
+    // baseline but stays below the 2-way cache.
+    const double base = CactiLite::conventional(org16k(1)).total();
+    const double bc = CactiLite::bcache(paperBParams()).total();
+    const double two = CactiLite::conventional(org16k(2)).total();
+    const double overhead = 100.0 * (bc - base) / base;
+    EXPECT_GT(overhead, 5.0);
+    EXPECT_LT(overhead, 16.0);
+    EXPECT_LT(bc, two);
+}
+
+TEST(CactiLite, BCacheBreakdownHasCamAndShorterTag)
+{
+    const CacheEnergyBreakdown base =
+        CactiLite::conventional(org16k(1));
+    const CacheEnergyBreakdown bc = CactiLite::bcache(paperBParams());
+    EXPECT_GT(bc.camSearch, 0.0);
+    EXPECT_LT(bc.tagBitWordline, base.tagBitWordline);
+    EXPECT_DOUBLE_EQ(bc.dataBitWordline, base.dataBitWordline);
+}
+
+TEST(CactiLite, EnergyGrowsWithSize)
+{
+    CacheOrg small = org16k(1);
+    small.sizeBytes = 8 * 1024;
+    CacheOrg big = org16k(1);
+    big.sizeBytes = 32 * 1024;
+    EXPECT_LT(CactiLite::conventional(small).total(),
+              CactiLite::conventional(big).total());
+}
+
+TEST(CactiLite, VictimProbeSmallButNonzero)
+{
+    const double probe = CactiLite::victimBufferProbeEnergy(16, 32);
+    const double base = CactiLite::conventional(org16k(1)).total();
+    EXPECT_GT(probe, 0.0);
+    EXPECT_LT(probe, base);
+}
+
+TEST(EnergyModel, DynamicEnergyComposition)
+{
+    EnergyRates r;
+    r.l1iAccess = 10;
+    r.l1dAccess = 20;
+    r.l2Access = 100;
+    r.offchipAccess = 1000;
+    r.l1Refill = 5;
+    r.l2Refill = 50;
+    SystemEnergyModel m(r);
+
+    ActivityCounts a;
+    a.l1iAccesses = 10;
+    a.l1dAccesses = 4;
+    a.l1iMisses = 2;
+    a.l1dMisses = 1;
+    a.l2Accesses = 3;
+    a.l2Misses = 1;
+    a.offchipAccesses = 1;
+    // 10*10 + 4*20 + 3*5 + 3*100 + 1*50 + 1*1000 = 1545
+    EXPECT_DOUBLE_EQ(m.dynamicEnergy(a), 1545.0);
+}
+
+TEST(EnergyModel, PdRefundReducesEnergy)
+{
+    EnergyRates r;
+    r.l1dAccess = 100;
+    r.pdMissRefund = 80;
+    SystemEnergyModel m(r);
+    ActivityCounts a;
+    a.l1dAccesses = 10;
+    a.pdPredictedMisses = 3;
+    EXPECT_DOUBLE_EQ(m.dynamicEnergy(a), 1000.0 - 240.0);
+}
+
+TEST(EnergyModel, VictimProbesAddEnergy)
+{
+    EnergyRates r;
+    r.l1dAccess = 100;
+    r.victimProbe = 10;
+    SystemEnergyModel m(r);
+    ActivityCounts a;
+    a.l1dAccesses = 10;
+    a.victimProbes = 4;
+    EXPECT_DOUBLE_EQ(m.dynamicEnergy(a), 1040.0);
+}
+
+TEST(EnergyModel, StaticCalibrationMakesHalfTotal)
+{
+    // k_static = 0.5: the baseline's static energy equals its dynamic.
+    const PicoJoules per_cycle =
+        SystemEnergyModel::calibrateStaticPerCycle(1'000'000.0, 5000);
+    EnergyRates r;
+    r.staticPerCycle = per_cycle;
+    SystemEnergyModel m(r);
+    ActivityCounts a;
+    a.cycles = 5000;
+    const EnergyTotals t = m.evaluate(a);
+    EXPECT_NEAR(t.staticE, 1'000'000.0, 1.0);
+}
+
+TEST(EnergyModel, FewerCyclesSaveStaticEnergy)
+{
+    EnergyRates r;
+    r.staticPerCycle = 10.0;
+    SystemEnergyModel m(r);
+    ActivityCounts fast, slow;
+    fast.cycles = 1000;
+    slow.cycles = 1200;
+    EXPECT_LT(m.evaluate(fast).total(), m.evaluate(slow).total());
+}
+
+TEST(EnergyModel, OffchipDominatesWhenMissy)
+{
+    EnergyRates r;
+    r.l1dAccess = 1.0;
+    r.offchipAccess = 100.0;
+    SystemEnergyModel m(r);
+    ActivityCounts a;
+    a.l1dAccesses = 100;
+    a.offchipAccesses = 10;
+    EXPECT_GT(m.dynamicEnergy(a), 1000.0);
+}
+
+} // namespace
+} // namespace bsim

@@ -1,0 +1,146 @@
+/** Unit tests for the deterministic RNG and the Zipf sampler. */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/random.hh"
+
+namespace bsim {
+namespace {
+
+TEST(Rng, DeterministicFromSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 1000; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer)
+{
+    Rng a(1), b(2);
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += (a.next() == b.next());
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Rng, BoundedStaysInBounds)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LT(rng.nextBounded(13), 13u);
+}
+
+TEST(Rng, BoundedIsRoughlyUniform)
+{
+    Rng rng(11);
+    std::vector<int> counts(8, 0);
+    const int n = 80000;
+    for (int i = 0; i < n; ++i)
+        ++counts[rng.nextBounded(8)];
+    for (int c : counts) {
+        EXPECT_GT(c, n / 8 * 0.9);
+        EXPECT_LT(c, n / 8 * 1.1);
+    }
+}
+
+TEST(Rng, RangeInclusive)
+{
+    Rng rng(3);
+    bool saw_lo = false, saw_hi = false;
+    for (int i = 0; i < 10000; ++i) {
+        const auto v = rng.nextRange(-2, 2);
+        EXPECT_GE(v, -2);
+        EXPECT_LE(v, 2);
+        saw_lo |= (v == -2);
+        saw_hi |= (v == 2);
+    }
+    EXPECT_TRUE(saw_lo);
+    EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, DoubleInUnitInterval)
+{
+    Rng rng(5);
+    for (int i = 0; i < 10000; ++i) {
+        const double d = rng.nextDouble();
+        EXPECT_GE(d, 0.0);
+        EXPECT_LT(d, 1.0);
+    }
+}
+
+TEST(Rng, BernoulliMatchesProbability)
+{
+    Rng rng(9);
+    int hits = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hits += rng.nextBool(0.3);
+    EXPECT_NEAR(double(hits) / n, 0.3, 0.01);
+}
+
+TEST(Rng, GeometricMeanMatches)
+{
+    Rng rng(13);
+    double sum = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        sum += double(rng.nextGeometric(0.25));
+    // Mean of failures-before-success = (1-p)/p = 3.
+    EXPECT_NEAR(sum / n, 3.0, 0.1);
+}
+
+TEST(Rng, GeometricRespectsCap)
+{
+    Rng rng(17);
+    for (int i = 0; i < 10000; ++i)
+        EXPECT_LE(rng.nextGeometric(0.01, 5), 5u);
+}
+
+TEST(Rng, SplitIsIndependent)
+{
+    Rng a(21);
+    Rng b = a.split();
+    int equal = 0;
+    for (int i = 0; i < 100; ++i)
+        equal += (a.next() == b.next());
+    EXPECT_LT(equal, 3);
+}
+
+TEST(Zipf, RankZeroMostPopular)
+{
+    ZipfSampler z(100, 1.0);
+    Rng rng(1);
+    std::vector<int> counts(100, 0);
+    for (int i = 0; i < 50000; ++i)
+        ++counts[z(rng)];
+    EXPECT_GT(counts[0], counts[10]);
+    EXPECT_GT(counts[10], counts[90]);
+}
+
+TEST(Zipf, AlphaZeroIsUniform)
+{
+    ZipfSampler z(10, 0.0);
+    Rng rng(2);
+    std::vector<int> counts(10, 0);
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        ++counts[z(rng)];
+    for (int c : counts)
+        EXPECT_NEAR(double(c) / n, 0.1, 0.01);
+}
+
+TEST(Zipf, CoversDomain)
+{
+    ZipfSampler z(4, 2.0);
+    Rng rng(3);
+    std::vector<bool> seen(4, false);
+    for (int i = 0; i < 100000; ++i)
+        seen[z(rng)] = true;
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+} // namespace
+} // namespace bsim

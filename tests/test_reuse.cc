@@ -1,0 +1,123 @@
+/** Unit tests for the exact reuse-distance profiler. */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/bits.hh"
+#include "common/random.hh"
+#include "workload/reuse.hh"
+
+namespace bsim {
+namespace {
+
+constexpr std::uint64_t kCold =
+    std::numeric_limits<std::uint64_t>::max();
+
+TEST(Reuse, ColdReferences)
+{
+    ReuseDistanceProfiler p(32);
+    EXPECT_EQ(p.observe(0x00), kCold);
+    EXPECT_EQ(p.observe(0x40), kCold);
+    EXPECT_EQ(p.coldReferences(), 2u);
+    EXPECT_EQ(p.distinctBlocks(), 2u);
+}
+
+TEST(Reuse, ImmediateReuseIsZero)
+{
+    ReuseDistanceProfiler p(32);
+    p.observe(0x100);
+    EXPECT_EQ(p.observe(0x104), 0u); // same line
+}
+
+TEST(Reuse, ClassicStackDistances)
+{
+    // Blocks: a b c b a -> distances: -, -, -, 1 (c), 2 (b, c).
+    ReuseDistanceProfiler p(32);
+    EXPECT_EQ(p.observe(0 * 32), kCold);
+    EXPECT_EQ(p.observe(1 * 32), kCold);
+    EXPECT_EQ(p.observe(2 * 32), kCold);
+    EXPECT_EQ(p.observe(1 * 32), 1u);
+    EXPECT_EQ(p.observe(0 * 32), 2u);
+}
+
+TEST(Reuse, RepeatedScanHasDistanceN)
+{
+    // Sweeping N blocks repeatedly: steady-state distance = N - 1.
+    ReuseDistanceProfiler p(32);
+    const int N = 100;
+    for (int round = 0; round < 3; ++round)
+        for (int b = 0; b < N; ++b) {
+            const std::uint64_t d = p.observe(Addr(b) * 32);
+            if (round > 0) {
+                EXPECT_EQ(d, std::uint64_t(N - 1));
+            }
+        }
+}
+
+TEST(Reuse, HitFractionMatchesLruCapacity)
+{
+    // A scan over 100 blocks: a 128-line LRU cache captures all reuse,
+    // a 64-line one captures none (distance 99 >= 64).
+    ReuseDistanceProfiler p(32);
+    for (int round = 0; round < 4; ++round)
+        for (int b = 0; b < 100; ++b)
+            p.observe(Addr(b) * 32);
+    EXPECT_NEAR(p.hitFractionWithin(128), 300.0 / 400.0, 1e-9);
+    EXPECT_NEAR(p.hitFractionWithin(64), 0.0, 1e-9);
+}
+
+TEST(Reuse, CapacityForHitFraction)
+{
+    ReuseDistanceProfiler p(32);
+    for (int round = 0; round < 10; ++round)
+        for (int b = 0; b < 100; ++b)
+            p.observe(Addr(b) * 32);
+    // 90% of references hit within ~100 lines (bucket-rounded).
+    EXPECT_LE(p.capacityForHitFraction(0.89), 128u);
+}
+
+TEST(Reuse, MixedGranularity)
+{
+    // 64-byte lines fold pairs of 32-byte blocks together.
+    ReuseDistanceProfiler p64(64);
+    p64.observe(0x00);
+    EXPECT_EQ(p64.observe(0x20), 0u); // same 64B line
+}
+
+TEST(Reuse, RandomStreamSelfConsistency)
+{
+    // cold + counted distances == total references.
+    ReuseDistanceProfiler p(32);
+    Rng rng(31);
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        p.observe(rng.next() & mask(16));
+    EXPECT_EQ(p.references(), std::uint64_t(n));
+    EXPECT_EQ(p.histogram().totalCount() + p.coldReferences(),
+              std::uint64_t(n));
+}
+
+TEST(Reuse, DistanceBoundedByDistinctBlocks)
+{
+    ReuseDistanceProfiler p(32);
+    Rng rng(17);
+    for (int i = 0; i < 5000; ++i) {
+        const std::uint64_t d = p.observe(rng.nextBounded(64) * 32);
+        if (d != kCold) {
+            EXPECT_LT(d, 64u);
+        }
+    }
+}
+
+TEST(Reuse, ResetClears)
+{
+    ReuseDistanceProfiler p(32);
+    p.observe(0);
+    p.reset();
+    EXPECT_EQ(p.references(), 0u);
+    EXPECT_EQ(p.observe(0), kCold);
+}
+
+} // namespace
+} // namespace bsim

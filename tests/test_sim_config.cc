@@ -1,0 +1,92 @@
+/** Unit tests for the named configuration layer. */
+
+#include <gtest/gtest.h>
+
+#include "alt/column_assoc_cache.hh"
+#include "alt/hac_cache.hh"
+#include "alt/skewed_assoc_cache.hh"
+#include "bcache/bcache.hh"
+#include "cache/set_assoc_cache.hh"
+#include "cache/victim_cache.hh"
+#include "mem/main_memory.hh"
+#include "sim/config.hh"
+
+namespace bsim {
+namespace {
+
+TEST(Config, BuildsMatchingTypes)
+{
+    EXPECT_NE(dynamic_cast<SetAssocCache *>(
+                  CacheConfig::setAssoc(16 * 1024, 4).build("x").get()),
+              nullptr);
+    EXPECT_NE(dynamic_cast<VictimCache *>(
+                  CacheConfig::victim(16 * 1024).build("x").get()),
+              nullptr);
+    EXPECT_NE(dynamic_cast<BCache *>(
+                  CacheConfig::bcache(16 * 1024, 8, 8).build("x").get()),
+              nullptr);
+    EXPECT_NE(dynamic_cast<ColumnAssocCache *>(
+                  CacheConfig::columnAssoc(16 * 1024).build("x").get()),
+              nullptr);
+    EXPECT_NE(dynamic_cast<SkewedAssocCache *>(
+                  CacheConfig::skewed(16 * 1024).build("x").get()),
+              nullptr);
+    EXPECT_NE(dynamic_cast<HacCache *>(
+                  CacheConfig::hac(16 * 1024).build("x").get()),
+              nullptr);
+}
+
+TEST(Config, LabelsAreDescriptive)
+{
+    EXPECT_EQ(CacheConfig::setAssoc(16 * 1024, 8).label, "8way");
+    EXPECT_EQ(CacheConfig::victim(16 * 1024, 16).label, "victim16");
+    EXPECT_EQ(CacheConfig::bcache(16 * 1024, 8, 8).label, "MF8-BAS8");
+    EXPECT_EQ(CacheConfig::directMapped(16 * 1024).label, "16kB-dm");
+}
+
+TEST(Config, BCacheParamsPropagate)
+{
+    const CacheConfig c =
+        CacheConfig::bcache(32 * 1024, 16, 4, ReplPolicyKind::Random);
+    const BCacheParams p = c.bcacheParams();
+    EXPECT_EQ(p.sizeBytes, 32u * 1024);
+    EXPECT_EQ(p.mf, 16u);
+    EXPECT_EQ(p.bas, 4u);
+    EXPECT_EQ(p.repl, ReplPolicyKind::Random);
+}
+
+TEST(Config, Figure4SetHasNineConfigs)
+{
+    const auto v = figure4Configs(16 * 1024);
+    ASSERT_EQ(v.size(), 9u);
+    EXPECT_EQ(v[0].label, "2way");
+    EXPECT_EQ(v[3].label, "32way");
+    EXPECT_EQ(v[4].label, "victim16");
+    EXPECT_EQ(v[5].label, "MF2-BAS8");
+    EXPECT_EQ(v[8].label, "MF16-BAS8");
+}
+
+TEST(Config, Figure12SetHasTwelveConfigs)
+{
+    const auto v = figure12Configs(8 * 1024);
+    ASSERT_EQ(v.size(), 12u);
+    for (const auto &c : v)
+        EXPECT_EQ(c.sizeBytes, 8u * 1024);
+}
+
+TEST(Config, BuiltCachesUseRequestedGeometry)
+{
+    auto c = CacheConfig::setAssoc(32 * 1024, 4).build("x");
+    EXPECT_EQ(c->geometry().sizeBytes(), 32u * 1024);
+    EXPECT_EQ(c->geometry().ways(), 4u);
+}
+
+TEST(Config, BuildWiresNextLevel)
+{
+    MainMemory mem(50);
+    auto c = CacheConfig::directMapped(1024).build("x", 1, &mem);
+    EXPECT_EQ(c->access({0, AccessType::Read}).latency, 51u);
+}
+
+} // namespace
+} // namespace bsim

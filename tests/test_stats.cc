@@ -1,0 +1,117 @@
+/** Unit tests for the statistics primitives. */
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hh"
+
+namespace bsim {
+namespace {
+
+TEST(RunningStat, Empty)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, SingleSample)
+{
+    RunningStat s;
+    s.add(4.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(s.min(), 4.0);
+    EXPECT_DOUBLE_EQ(s.max(), 4.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStat, KnownMoments)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStat, ResetClears)
+{
+    RunningStat s;
+    s.add(1.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.sum(), 0.0);
+}
+
+TEST(Histogram, BucketsAndOverflow)
+{
+    Histogram h(10, 4); // [0,10) [10,20) [20,30) [30,40)
+    h.add(0);
+    h.add(9);
+    h.add(10);
+    h.add(39);
+    h.add(40);  // overflow
+    h.add(400); // overflow
+    EXPECT_EQ(h.bucketCount(0), 2u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(2), 0u);
+    EXPECT_EQ(h.bucketCount(3), 1u);
+    EXPECT_EQ(h.overflowCount(), 2u);
+    EXPECT_EQ(h.totalCount(), 6u);
+}
+
+TEST(Histogram, WeightedAdd)
+{
+    Histogram h(1, 4);
+    h.add(2, 5);
+    EXPECT_EQ(h.bucketCount(2), 5u);
+    EXPECT_EQ(h.totalCount(), 5u);
+}
+
+TEST(Histogram, Percentile)
+{
+    Histogram h(1, 100);
+    for (std::uint64_t v = 0; v < 100; ++v)
+        h.add(v);
+    EXPECT_LE(h.percentile(0.5), 51u);
+    EXPECT_GE(h.percentile(0.5), 48u);
+    EXPECT_GE(h.percentile(1.0), 99u);
+}
+
+TEST(Histogram, ResetClears)
+{
+    Histogram h(1, 4);
+    h.add(1);
+    h.reset();
+    EXPECT_EQ(h.totalCount(), 0u);
+    EXPECT_EQ(h.bucketCount(1), 0u);
+}
+
+TEST(Ratios, SafeRatioHandlesZero)
+{
+    EXPECT_DOUBLE_EQ(safeRatio(1, 0), 0.0);
+    EXPECT_DOUBLE_EQ(safeRatio(1, 2), 0.5);
+}
+
+TEST(Ratios, Pct)
+{
+    EXPECT_DOUBLE_EQ(pct(1, 4), 25.0);
+    EXPECT_DOUBLE_EQ(pct(0, 0), 0.0);
+}
+
+TEST(Ratios, ReductionPct)
+{
+    // The paper's metric: miss-rate reduction over the baseline.
+    EXPECT_DOUBLE_EQ(reductionPct(0.10, 0.05), 50.0);
+    EXPECT_DOUBLE_EQ(reductionPct(0.10, 0.10), 0.0);
+    EXPECT_DOUBLE_EQ(reductionPct(0.10, 0.20), -100.0);
+    EXPECT_DOUBLE_EQ(reductionPct(0.0, 0.1), 0.0);
+}
+
+} // namespace
+} // namespace bsim

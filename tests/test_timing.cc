@@ -1,0 +1,169 @@
+/** Unit tests for the logical-effort timing model (Table 1) and the
+ *  storage model (Table 2). */
+
+#include <gtest/gtest.h>
+
+#include "timing/decoder_model.hh"
+#include "timing/storage_model.hh"
+
+namespace bsim {
+namespace {
+
+TEST(LogicalEffort, Fo4Around90ps)
+{
+    // d = tau * (1 + 1*4) with tau calibrated for 0.18 um.
+    EXPECT_NEAR(gateDelay(GateKind::Inverter, 4.0), 0.090, 0.001);
+}
+
+TEST(LogicalEffort, WiderGatesAreSlower)
+{
+    EXPECT_LT(gateDelay(GateKind::Nand2, 2.0),
+              gateDelay(GateKind::Nand3, 2.0));
+    EXPECT_LT(gateDelay(GateKind::Nor2, 2.0),
+              gateDelay(GateKind::Nor3, 2.0));
+}
+
+TEST(LogicalEffort, DelayGrowsWithFanout)
+{
+    EXPECT_LT(gateDelay(GateKind::Nand2, 1.0),
+              gateDelay(GateKind::Nand2, 8.0));
+}
+
+TEST(LogicalEffort, ChainSumsStages)
+{
+    const std::vector<GateStage> chain = {{GateKind::Nand2, 2.0},
+                                          {GateKind::Nor2, 1.0}};
+    EXPECT_DOUBLE_EQ(chainDelay(chain),
+                     gateDelay(GateKind::Nand2, 2.0) +
+                         gateDelay(GateKind::Nor2, 1.0));
+}
+
+TEST(Cam, DelayGrowsWithPatternWidth)
+{
+    EXPECT_LT(camSearchDelay(6, 16), camSearchDelay(26, 16));
+}
+
+TEST(Decoder, CompositionsMatchPaperTable1)
+{
+    // Original decoders: 8->3D-3R, 7->3D-3R, 6->2D-3R, 5->3D-2R,
+    // 4->2D-2R (Table 1).
+    EXPECT_EQ(conventionalDecoder(8).composition, "3D-3R");
+    EXPECT_EQ(conventionalDecoder(7).composition, "3D-3R");
+    EXPECT_EQ(conventionalDecoder(6).composition, "2D-3R");
+    EXPECT_EQ(conventionalDecoder(5).composition, "3D-2R");
+    EXPECT_EQ(conventionalDecoder(4).composition, "2D-2R");
+}
+
+TEST(Decoder, BCacheNpdCompositions)
+{
+    // NPDs have three fewer inputs: 5->3D-2R, 4->2D-2R, 3->NAND3,
+    // 2->NAND2, 1->INV.
+    EXPECT_EQ(bcacheNpd(5, 8).composition, "3D-2R");
+    EXPECT_EQ(bcacheNpd(4, 32).composition, "2D-2R");
+    EXPECT_EQ(bcacheNpd(3, 8).composition, "NAND3");
+    EXPECT_EQ(bcacheNpd(2, 8).composition, "NAND2");
+    EXPECT_EQ(bcacheNpd(1, 8).composition, "INV");
+}
+
+TEST(Decoder, BiggerDecodersAreSlower)
+{
+    EXPECT_LT(conventionalDecoder(4).delay,
+              conventionalDecoder(8).delay);
+}
+
+TEST(Decoder, Table1AllRowsHaveSlack)
+{
+    // The paper's headline timing claim: at every subarray size, both
+    // halves of the B-Cache decoder are at least as fast as the original
+    // local decoder, so the access time is unchanged.
+    const auto rows = decoderTimingTable(6);
+    ASSERT_EQ(rows.size(), 5u);
+    for (const auto &r : rows) {
+        EXPECT_GE(r.slack(), 0.0)
+            << "subarray " << r.subarrayBytes << " pd=" << r.pd.delay
+            << " npd=" << r.npd.delay << " orig=" << r.original.delay;
+    }
+}
+
+TEST(Decoder, Table1SubarraySweep)
+{
+    const auto rows = decoderTimingTable(6);
+    EXPECT_EQ(rows.front().subarrayBytes, 8u * 1024);
+    EXPECT_EQ(rows.front().origBits, 8u);
+    EXPECT_EQ(rows.back().subarrayBytes, 512u);
+    EXPECT_EQ(rows.back().origBits, 4u);
+}
+
+TEST(Decoder, HacWidePatternWouldBeSlower)
+{
+    // Section 6.7: the HAC's 26-bit CAM is slower than the B-Cache's
+    // 6-bit PD (one reason the HAC has a longer access time).
+    EXPECT_GT(bcachePd(26, 32).delay, bcachePd(6, 16).delay);
+}
+
+TEST(Storage, BaselineMatchesPaperTable2)
+{
+    // 16 kB baseline: 20-bit tags x 512 lines, 256-bit data x 512.
+    const StorageCost c = conventionalStorage(16 * 1024, 32, 1);
+    EXPECT_EQ(c.tagBits, 20u * 512);
+    EXPECT_EQ(c.dataBits, 256u * 512);
+    EXPECT_EQ(c.camBits, 0u);
+}
+
+TEST(Storage, BCacheMatchesPaperTable2)
+{
+    BCacheParams p;
+    p.sizeBytes = 16 * 1024;
+    p.lineBytes = 32;
+    p.mf = 8;
+    p.bas = 8;
+    const StorageCost c = bcacheStorage(p);
+    EXPECT_EQ(c.tagBits, 17u * 512); // 3 tag bits moved into the PD
+    EXPECT_EQ(c.dataBits, 256u * 512);
+    EXPECT_EQ(c.camBits, 2u * 512 * 6); // 64x 6x8 + 32x 6x16 CAMs
+}
+
+TEST(Storage, BCacheAreaOverheadIs4Point3Percent)
+{
+    // Section 5.3: the B-Cache adds 4.3% to the baseline's area.
+    BCacheParams p;
+    p.sizeBytes = 16 * 1024;
+    p.lineBytes = 32;
+    p.mf = 8;
+    p.bas = 8;
+    const double pct = areaOverheadPct(
+        conventionalStorage(16 * 1024, 32, 1), bcacheStorage(p));
+    EXPECT_NEAR(pct, 4.3, 0.15);
+}
+
+TEST(Storage, LargerMfCostsMoreCam)
+{
+    BCacheParams p;
+    p.sizeBytes = 16 * 1024;
+    p.lineBytes = 32;
+    p.bas = 8;
+    p.mf = 8;
+    const StorageCost c8 = bcacheStorage(p);
+    p.mf = 64;
+    const StorageCost c64 = bcacheStorage(p);
+    EXPECT_GT(c64.camBits, c8.camBits);
+}
+
+TEST(Storage, SetAssocTracksReplacementBits)
+{
+    const StorageCost c = conventionalStorage(16 * 1024, 32, 8);
+    EXPECT_GT(c.replBits, 0u);
+    EXPECT_GT(c.sramEquivalent(true), c.sramEquivalent(false));
+}
+
+TEST(Storage, OverheadPctSignsAreRight)
+{
+    const StorageCost base = conventionalStorage(16 * 1024, 32, 1);
+    StorageCost smaller = base;
+    smaller.tagBits /= 2;
+    EXPECT_LT(areaOverheadPct(base, smaller), 0.0);
+    EXPECT_GT(areaOverheadPct(smaller, base), 0.0);
+}
+
+} // namespace
+} // namespace bsim

@@ -1,0 +1,154 @@
+/** Unit tests for the direct-mapped + victim-buffer organisation. */
+
+#include <gtest/gtest.h>
+
+#include "cache/victim_cache.hh"
+#include "mem/main_memory.hh"
+
+namespace bsim {
+namespace {
+
+MemAccess
+rd(Addr a)
+{
+    return {a, AccessType::Read};
+}
+
+CacheGeometry
+geom16k()
+{
+    return CacheGeometry(16 * 1024, 32, 1);
+}
+
+TEST(Victim, ConflictPairServedByBuffer)
+{
+    VictimCache c("v", geom16k(), 1, nullptr, 16);
+    const Addr A = 0x0000, B = A + 16 * 1024;
+    EXPECT_FALSE(c.access(rd(A)).hit);
+    EXPECT_FALSE(c.access(rd(B)).hit); // A -> buffer
+    // From now on every access hits (via buffer swap).
+    for (int i = 0; i < 20; ++i) {
+        EXPECT_TRUE(c.access(rd(A)).hit);
+        EXPECT_TRUE(c.access(rd(B)).hit);
+    }
+    EXPECT_EQ(c.stats().misses, 2u);
+    EXPECT_EQ(c.victimHits(), 40u);
+}
+
+TEST(Victim, BufferHitCostsExtraCycle)
+{
+    VictimCache c("v", geom16k(), 1, nullptr, 16);
+    const Addr A = 0x0000, B = A + 16 * 1024;
+    c.access(rd(A));
+    c.access(rd(B));
+    EXPECT_EQ(c.access(rd(A)).latency, 2u); // buffer swap
+    EXPECT_EQ(c.access(rd(A)).latency, 1u); // now in main array
+}
+
+TEST(Victim, SwapMovesBlocks)
+{
+    VictimCache c("v", geom16k(), 1, nullptr, 16);
+    const Addr A = 0x0000, B = A + 16 * 1024;
+    c.access(rd(A));
+    c.access(rd(B));
+    EXPECT_TRUE(c.mainContains(B));
+    EXPECT_TRUE(c.bufferContains(A));
+    c.access(rd(A)); // swap
+    EXPECT_TRUE(c.mainContains(A));
+    EXPECT_TRUE(c.bufferContains(B));
+}
+
+TEST(Victim, CapacityOfBufferIsRespected)
+{
+    // 17 conflicting blocks with a 16-entry buffer cycle out: after one
+    // full round the needed victim has been pushed out (LRU), so every
+    // access misses.
+    VictimCache c("v", geom16k(), 1, nullptr, 16);
+    const int k = 18; // main line + 17 victims > 16 entries
+    for (int round = 0; round < 4; ++round)
+        for (int i = 0; i < k; ++i)
+            c.access(rd(Addr(i) * 16 * 1024));
+    EXPECT_GT(c.stats().missRate(), 0.95);
+}
+
+TEST(Victim, SmallConflictSetFitsBuffer)
+{
+    VictimCache c("v", geom16k(), 1, nullptr, 16);
+    const int k = 8;
+    int misses = 0;
+    for (int round = 0; round < 10; ++round)
+        for (int i = 0; i < k; ++i)
+            misses += !c.access(rd(Addr(i) * 16 * 1024)).hit;
+    EXPECT_EQ(misses, k); // compulsory only
+}
+
+TEST(Victim, DirtyVictimWritesBackFromBuffer)
+{
+    MainMemory mem(100);
+    VictimCache c("v", geom16k(), 1, &mem, 2);
+    // Dirty A gets evicted to the buffer, then pushed out of the buffer.
+    c.access({0x0000, AccessType::Write});
+    c.access(rd(0x0000 + 16 * 1024)); // A -> buffer (dirty)
+    c.access(rd(0x0000 + 2 * 16 * 1024));
+    c.access(rd(0x0000 + 3 * 16 * 1024)); // buffer overflows, A out
+    EXPECT_EQ(mem.writebacks(), 1u);
+}
+
+TEST(Victim, DirtyBitSurvivesSwap)
+{
+    MainMemory mem(100);
+    VictimCache c("v", geom16k(), 1, &mem, 4);
+    const Addr A = 0x0000, B = A + 16 * 1024;
+    c.access({A, AccessType::Write}); // A dirty in main
+    c.access(rd(B));                  // A (dirty) -> buffer
+    c.access(rd(A));                  // swap back, still dirty
+    c.access(rd(B));                  // A -> buffer again
+    c.access(rd(A + 2 * 16 * 1024));
+    c.access(rd(A + 3 * 16 * 1024));
+    c.access(rd(A + 4 * 16 * 1024));
+    c.access(rd(A + 5 * 16 * 1024)); // push A out of the 4-entry buffer
+    EXPECT_EQ(mem.writebacks(), 1u);
+}
+
+TEST(Victim, ProbesCountedOnEveryMainMiss)
+{
+    VictimCache c("v", geom16k(), 1, nullptr, 16);
+    c.access(rd(0));
+    c.access(rd(0));
+    c.access(rd(32));
+    EXPECT_EQ(c.victimProbes(), 2u); // two main-array misses
+}
+
+TEST(Victim, MissRateCountsBufferHitsAsHits)
+{
+    VictimCache c("v", geom16k(), 1, nullptr, 16);
+    const Addr A = 0x0000, B = A + 16 * 1024;
+    c.access(rd(A));
+    c.access(rd(B));
+    c.access(rd(A));
+    c.access(rd(B));
+    EXPECT_EQ(c.stats().hits, 2u);
+    EXPECT_EQ(c.stats().misses, 2u);
+}
+
+TEST(Victim, ResetClearsEverything)
+{
+    VictimCache c("v", geom16k(), 1, nullptr, 16);
+    c.access(rd(0));
+    c.access(rd(16 * 1024));
+    c.reset();
+    EXPECT_EQ(c.stats().accesses, 0u);
+    EXPECT_EQ(c.victimHits(), 0u);
+    EXPECT_FALSE(c.mainContains(0));
+    EXPECT_FALSE(c.bufferContains(0));
+}
+
+TEST(VictimDeathTest, RequiresDirectMappedMainArray)
+{
+    EXPECT_DEATH(VictimCache("v", CacheGeometry(16 * 1024, 32, 2), 1,
+                             nullptr, 16),
+                 "direct mapped");
+}
+
+} // namespace
+} // namespace bsim

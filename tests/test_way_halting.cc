@@ -1,0 +1,99 @@
+/** Unit + differential tests for the way-halting cache. */
+
+#include <gtest/gtest.h>
+
+#include "alt/way_halting_cache.hh"
+#include "cache/set_assoc_cache.hh"
+#include "common/random.hh"
+#include "mem/main_memory.hh"
+#include "workload/spec2k.hh"
+
+namespace bsim {
+namespace {
+
+CacheGeometry
+geom4w()
+{
+    return CacheGeometry(16 * 1024, 32, 4);
+}
+
+TEST(WayHalting, IdenticalToSetAssocFunctionally)
+{
+    // Way halting is an energy filter only: hit/miss, writebacks and
+    // replacement decisions must match the plain 4-way LRU cache
+    // access by access.
+    MainMemory m1(1), m2(1);
+    WayHaltingCache wh("wh", geom4w(), 1, &m1, 4);
+    SetAssocCache sa("sa", geom4w(), 1, &m2);
+    Rng rng(13);
+    for (int i = 0; i < 50000; ++i) {
+        const MemAccess a = {rng.next() & mask(19),
+                             rng.nextBool(0.3) ? AccessType::Write
+                                               : AccessType::Read};
+        ASSERT_EQ(wh.access(a).hit, sa.access(a).hit);
+    }
+    EXPECT_EQ(wh.stats().writebacks, sa.stats().writebacks);
+    EXPECT_EQ(m1.writebacks(), m2.writebacks());
+}
+
+TEST(WayHalting, MatchesOnRealWorkload)
+{
+    WayHaltingCache wh("wh", geom4w(), 1, nullptr, 4);
+    SetAssocCache sa("sa", geom4w(), 1, nullptr);
+    SpecWorkload w1 = makeSpecWorkload("twolf");
+    SpecWorkload w2 = makeSpecWorkload("twolf");
+    for (int i = 0; i < 50000; ++i)
+        ASSERT_EQ(wh.access(w1.data->next()).hit,
+                  sa.access(w2.data->next()).hit);
+}
+
+TEST(WayHalting, HaltsMostWays)
+{
+    // With 4 halt bits, a random working set activates ~1 + 3/16 ways
+    // per access instead of 4.
+    WayHaltingCache wh("wh", geom4w(), 1, nullptr, 4);
+    Rng rng(5);
+    for (int i = 0; i < 50000; ++i)
+        wh.access({rng.next() & mask(22), AccessType::Read});
+    EXPECT_LT(wh.avgActivatedWays(), 1.6);
+    EXPECT_GT(wh.haltedWays(), wh.activatedWays());
+}
+
+TEST(WayHalting, WiderHaltTagsHaltMore)
+{
+    auto avg = [](unsigned bits) {
+        WayHaltingCache wh("wh", geom4w(), 1, nullptr, bits);
+        Rng rng(7);
+        for (int i = 0; i < 30000; ++i)
+            wh.access({rng.next() & mask(22), AccessType::Read});
+        return wh.avgActivatedWays();
+    };
+    EXPECT_GT(avg(1), avg(8));
+}
+
+TEST(WayHalting, HitsAreOneCycle)
+{
+    WayHaltingCache wh("wh", geom4w(), 1, nullptr, 4);
+    wh.access({0x1000, AccessType::Read});
+    EXPECT_EQ(wh.access({0x1000, AccessType::Read}).latency, 1u);
+}
+
+TEST(WayHalting, ResetClears)
+{
+    WayHaltingCache wh("wh", geom4w(), 1, nullptr, 4);
+    wh.access({0x40, AccessType::Read});
+    wh.reset();
+    EXPECT_FALSE(wh.contains(0x40));
+    EXPECT_EQ(wh.haltedWays(), 0u);
+    EXPECT_EQ(wh.stats().accesses, 0u);
+}
+
+TEST(WayHaltingDeathTest, NeedsAssociativity)
+{
+    EXPECT_DEATH(WayHaltingCache("wh", CacheGeometry(16 * 1024, 32, 1),
+                                 1, nullptr, 4),
+                 "multiple ways");
+}
+
+} // namespace
+} // namespace bsim

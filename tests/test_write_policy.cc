@@ -1,0 +1,148 @@
+/** Unit tests for the write-through / no-write-allocate mode of the
+ *  set-associative cache and the B-Cache. */
+
+#include <gtest/gtest.h>
+
+#include "bcache/bcache.hh"
+#include "cache/set_assoc_cache.hh"
+#include "common/bits.hh"
+#include "common/random.hh"
+#include "mem/main_memory.hh"
+#include "sim/config.hh"
+
+namespace bsim {
+namespace {
+
+constexpr auto kWT = WritePolicy::WriteThroughNoAllocate;
+
+MemAccess
+wr(Addr a)
+{
+    return {a, AccessType::Write};
+}
+
+MemAccess
+rd(Addr a)
+{
+    return {a, AccessType::Read};
+}
+
+TEST(WritePolicyNames, Render)
+{
+    EXPECT_STREQ(writePolicyName(WritePolicy::WriteBackAllocate),
+                 "write-back");
+    EXPECT_STREQ(writePolicyName(kWT), "write-through");
+}
+
+TEST(WtSetAssoc, WriteMissDoesNotAllocate)
+{
+    MainMemory mem(10);
+    SetAssocCache c("c", CacheGeometry(1024, 32, 2), 1, &mem,
+                    ReplPolicyKind::LRU, 1, kWT);
+    EXPECT_FALSE(c.access(wr(0x100)).hit);
+    EXPECT_FALSE(c.contains(0x100));
+    EXPECT_EQ(c.stats().writethroughs, 1u);
+    EXPECT_EQ(c.stats().refills, 0u);
+    EXPECT_EQ(mem.writebacks(), 1u); // store forwarded
+}
+
+TEST(WtSetAssoc, WriteHitForwardsAndStaysClean)
+{
+    MainMemory mem(10);
+    SetAssocCache c("c", CacheGeometry(1024, 32, 2), 1, &mem,
+                    ReplPolicyKind::LRU, 1, kWT);
+    c.access(rd(0x100)); // allocate via read
+    EXPECT_TRUE(c.access(wr(0x104)).hit);
+    EXPECT_EQ(c.stats().writethroughs, 1u);
+    // Evicting the line later must not write it back (it is clean).
+    c.access(rd(0x100 + 1024));
+    c.access(rd(0x100 + 2048));
+    EXPECT_EQ(c.stats().writebacks, 0u);
+}
+
+TEST(WtSetAssoc, ReadsStillAllocate)
+{
+    SetAssocCache c("c", CacheGeometry(1024, 32, 2), 1, nullptr,
+                    ReplPolicyKind::LRU, 1, kWT);
+    EXPECT_FALSE(c.access(rd(0x200)).hit);
+    EXPECT_TRUE(c.access(rd(0x200)).hit);
+}
+
+TEST(WtSetAssoc, MissRateUnaffectedForReads)
+{
+    // Read behaviour is identical under both policies.
+    SetAssocCache wb("wb", CacheGeometry(1024, 32, 2), 1, nullptr);
+    SetAssocCache wt("wt", CacheGeometry(1024, 32, 2), 1, nullptr,
+                     ReplPolicyKind::LRU, 1, kWT);
+    Rng rng(4);
+    for (int i = 0; i < 20000; ++i) {
+        const Addr a = rng.next() & mask(13);
+        EXPECT_EQ(wb.access(rd(a)).hit, wt.access(rd(a)).hit);
+    }
+}
+
+TEST(WtBCache, WriteMissLeavesPdUntouched)
+{
+    BCacheParams p;
+    p.sizeBytes = 1024;
+    p.lineBytes = 32;
+    p.mf = 4;
+    p.bas = 4;
+    p.writePolicy = kWT;
+    MainMemory mem(10);
+    BCache c("bc", p, 1, &mem);
+
+    EXPECT_FALSE(c.access(wr(0x40)).hit);
+    EXPECT_EQ(c.validLines(), 0u); // nothing allocated
+    EXPECT_EQ(c.stats().writethroughs, 1u);
+    EXPECT_TRUE(c.checkUniqueDecoding());
+}
+
+TEST(WtBCache, PdHitWriteMissKeepsResidentBlock)
+{
+    BCacheParams p;
+    p.sizeBytes = 64;
+    p.lineBytes = 8;
+    p.mf = 2;
+    p.bas = 2;
+    p.writePolicy = kWT;
+    BCache c("bc", p);
+
+    c.access(rd(0 * 8));       // resident, PD pattern 0
+    c.access(wr(16 * 8));      // same PD pattern, different tag
+    EXPECT_TRUE(c.contains(0)); // block 0 survived the store miss
+    EXPECT_FALSE(c.contains(16 * 8));
+    EXPECT_EQ(c.pdStats().pdHitCacheMiss, 1u);
+}
+
+TEST(WtBCache, WriteHitForwards)
+{
+    BCacheParams p;
+    p.sizeBytes = 1024;
+    p.lineBytes = 32;
+    p.mf = 4;
+    p.bas = 4;
+    p.writePolicy = kWT;
+    MainMemory mem(10);
+    BCache c("bc", p, 1, &mem);
+    c.access(rd(0x80));
+    EXPECT_TRUE(c.access(wr(0x84)).hit);
+    EXPECT_EQ(mem.writebacks(), 1u);
+    // No dirty evictions ever happen under WT.
+    for (Addr i = 1; i < 40; ++i)
+        c.access(rd(0x80 + i * 1024 * 16));
+    EXPECT_EQ(c.stats().writebacks, 0u);
+}
+
+TEST(WtConfig, PropagatesThroughCacheConfig)
+{
+    CacheConfig cfg = CacheConfig::bcache(16 * 1024, 8, 8);
+    cfg.writePolicy = kWT;
+    auto cache = cfg.build("x");
+    auto *bc = dynamic_cast<BCache *>(cache.get());
+    ASSERT_NE(bc, nullptr);
+    EXPECT_EQ(bc->params().writePolicy, kWT);
+}
+
+} // namespace
+} // namespace bsim

@@ -1,0 +1,121 @@
+/** Unit tests for the XOR-mapped direct-mapped comparator. */
+
+#include <gtest/gtest.h>
+
+#include "alt/xor_index_cache.hh"
+#include "cache/set_assoc_cache.hh"
+#include "mem/main_memory.hh"
+#include "workload/generators.hh"
+
+namespace bsim {
+namespace {
+
+MemAccess
+rd(Addr a)
+{
+    return {a, AccessType::Read};
+}
+
+CacheGeometry
+geom16k()
+{
+    return CacheGeometry(16 * 1024, 32, 1);
+}
+
+TEST(XorDm, HitAfterFill)
+{
+    XorIndexCache c("x", geom16k(), 1, nullptr);
+    EXPECT_FALSE(c.access(rd(0x1234)).hit);
+    EXPECT_TRUE(c.access(rd(0x1234)).hit);
+    EXPECT_TRUE(c.contains(0x1234));
+}
+
+TEST(XorDm, IndexInRange)
+{
+    XorIndexCache c("x", geom16k(), 1, nullptr);
+    Rng rng(5);
+    for (int i = 0; i < 2000; ++i)
+        EXPECT_LT(c.hashedIndex(rng.next() & mask(34)),
+                  c.geometry().numSets());
+}
+
+TEST(XorDm, DispersesPowerOfTwoStrides)
+{
+    // Blocks at the cache-size stride collide in a conventional DM
+    // cache but hash to distinct sets here.
+    XorIndexCache xdm("x", geom16k(), 1, nullptr);
+    SetAssocCache dm("dm", geom16k(), 1, nullptr);
+    for (int round = 0; round < 100; ++round)
+        for (Addr i = 0; i < 6; ++i) {
+            xdm.access(rd(i * 16 * 1024));
+            dm.access(rd(i * 16 * 1024));
+        }
+    EXPECT_GT(dm.stats().missRate(), 0.9);
+    EXPECT_LT(xdm.stats().missRate(), 0.05);
+}
+
+TEST(XorDm, StillDirectMappedNoAdaptivity)
+{
+    // Two blocks that collide *after* hashing keep thrashing: the XOR
+    // map is static; only the B-Cache can re-map them (the reason the
+    // paper's dynamic approach differs from indexing optimisation).
+    XorIndexCache c("x", geom16k(), 1, nullptr);
+    // Find two colliding blocks.
+    const Addr a = 0;
+    Addr b = 0;
+    for (Addr cand = 1; cand < 4096; ++cand) {
+        if (c.hashedIndex(cand * 32) == c.hashedIndex(a)) {
+            b = cand * 32;
+            break;
+        }
+    }
+    ASSERT_NE(b, 0u);
+    for (int i = 0; i < 50; ++i) {
+        c.access(rd(a));
+        c.access(rd(b));
+    }
+    EXPECT_GT(c.stats().missRate(), 0.9);
+}
+
+TEST(XorDm, DirtyWritebacks)
+{
+    MainMemory mem(10);
+    XorIndexCache c("x", CacheGeometry(1024, 32, 1), 1, &mem);
+    // Write every line twice over a region larger than the cache.
+    for (int round = 0; round < 2; ++round)
+        for (Addr a = 0; a < 4096; a += 32)
+            c.access({a, AccessType::Write});
+    EXPECT_GT(mem.writebacks(), 0u);
+}
+
+TEST(XorDm, SequentialStreamsUnharmed)
+{
+    // XOR mapping must not break plain spatial locality: a sweep that
+    // fits in the cache still hits after warmup (the hash is a
+    // bijection on the index for a fixed tag).
+    XorIndexCache c("x", geom16k(), 1, nullptr);
+    SequentialStream s(0x400000, 8 * 1024, 8);
+    std::uint64_t misses = 0;
+    for (int i = 0; i < 50000; ++i)
+        misses += !c.access(s.next()).hit;
+    EXPECT_LE(misses, 8u * 1024 / 32);
+}
+
+TEST(XorDm, ResetClears)
+{
+    XorIndexCache c("x", geom16k(), 1, nullptr);
+    c.access(rd(0x40));
+    c.reset();
+    EXPECT_FALSE(c.contains(0x40));
+    EXPECT_EQ(c.stats().accesses, 0u);
+}
+
+TEST(XorDmDeathTest, RequiresDirectMapped)
+{
+    EXPECT_DEATH(XorIndexCache("x", CacheGeometry(16 * 1024, 32, 2), 1,
+                               nullptr),
+                 "direct mapped");
+}
+
+} // namespace
+} // namespace bsim
