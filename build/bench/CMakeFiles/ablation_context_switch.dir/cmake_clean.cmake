@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_context_switch.dir/ablation_context_switch.cc.o"
+  "CMakeFiles/ablation_context_switch.dir/ablation_context_switch.cc.o.d"
+  "ablation_context_switch"
+  "ablation_context_switch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_context_switch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_context_switch.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_drowsy.dir/ablation_drowsy.cc.o"
+  "CMakeFiles/ablation_drowsy.dir/ablation_drowsy.cc.o.d"
+  "ablation_drowsy"
+  "ablation_drowsy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_drowsy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

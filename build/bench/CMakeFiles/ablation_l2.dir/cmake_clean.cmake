@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_l2.dir/ablation_l2.cc.o"
+  "CMakeFiles/ablation_l2.dir/ablation_l2.cc.o.d"
+  "ablation_l2"
+  "ablation_l2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_l2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_pd_policy.dir/ablation_pd_policy.cc.o"
+  "CMakeFiles/ablation_pd_policy.dir/ablation_pd_policy.cc.o.d"
+  "ablation_pd_policy"
+  "ablation_pd_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_pd_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_seeds.dir/ablation_seeds.cc.o"
+  "CMakeFiles/ablation_seeds.dir/ablation_seeds.cc.o.d"
+  "ablation_seeds"
+  "ablation_seeds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_seeds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

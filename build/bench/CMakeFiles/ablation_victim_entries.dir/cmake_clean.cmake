@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_victim_entries.dir/ablation_victim_entries.cc.o"
+  "CMakeFiles/ablation_victim_entries.dir/ablation_victim_entries.cc.o.d"
+  "ablation_victim_entries"
+  "ablation_victim_entries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_victim_entries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

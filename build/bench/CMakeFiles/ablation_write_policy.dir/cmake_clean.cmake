@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_write_policy.dir/ablation_write_policy.cc.o"
+  "CMakeFiles/ablation_write_policy.dir/ablation_write_policy.cc.o.d"
+  "ablation_write_policy"
+  "ablation_write_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_write_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amat_clock_impact.dir/amat_clock_impact.cc.o"
+  "CMakeFiles/amat_clock_impact.dir/amat_clock_impact.cc.o.d"
+  "amat_clock_impact"
+  "amat_clock_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amat_clock_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bound_opt.dir/bound_opt.cc.o"
+  "CMakeFiles/bound_opt.dir/bound_opt.cc.o.d"
+  "bound_opt"
+  "bound_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bound_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

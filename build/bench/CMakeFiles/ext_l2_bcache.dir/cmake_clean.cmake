@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_l2_bcache.dir/ext_l2_bcache.cc.o"
+  "CMakeFiles/ext_l2_bcache.dir/ext_l2_bcache.cc.o.d"
+  "ext_l2_bcache"
+  "ext_l2_bcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_l2_bcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_sizes.dir/fig12_sizes.cc.o"
+  "CMakeFiles/fig12_sizes.dir/fig12_sizes.cc.o.d"
+  "fig12_sizes"
+  "fig12_sizes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_sizes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

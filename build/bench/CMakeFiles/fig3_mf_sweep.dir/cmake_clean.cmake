@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_mf_sweep.dir/fig3_mf_sweep.cc.o"
+  "CMakeFiles/fig3_mf_sweep.dir/fig3_mf_sweep.cc.o.d"
+  "fig3_mf_sweep"
+  "fig3_mf_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_mf_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

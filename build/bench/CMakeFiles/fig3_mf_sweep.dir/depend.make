@@ -1,0 +1,2 @@
+# Empty dependencies file for fig3_mf_sweep.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_dcache_reduction.dir/fig4_dcache_reduction.cc.o"
+  "CMakeFiles/fig4_dcache_reduction.dir/fig4_dcache_reduction.cc.o.d"
+  "fig4_dcache_reduction"
+  "fig4_dcache_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_dcache_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_icache_reduction.dir/fig5_icache_reduction.cc.o"
+  "CMakeFiles/fig5_icache_reduction.dir/fig5_icache_reduction.cc.o.d"
+  "fig5_icache_reduction"
+  "fig5_icache_reduction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_icache_reduction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

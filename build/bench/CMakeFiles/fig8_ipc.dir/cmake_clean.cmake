@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_ipc.dir/fig8_ipc.cc.o"
+  "CMakeFiles/fig8_ipc.dir/fig8_ipc.cc.o.d"
+  "fig8_ipc"
+  "fig8_ipc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_ipc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

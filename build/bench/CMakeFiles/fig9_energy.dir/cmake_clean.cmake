@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_energy.dir/fig9_energy.cc.o"
+  "CMakeFiles/fig9_energy.dir/fig9_energy.cc.o.d"
+  "fig9_energy"
+  "fig9_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

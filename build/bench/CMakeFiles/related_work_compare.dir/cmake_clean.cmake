@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/related_work_compare.dir/related_work_compare.cc.o"
+  "CMakeFiles/related_work_compare.dir/related_work_compare.cc.o.d"
+  "related_work_compare"
+  "related_work_compare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/related_work_compare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec1_motivation.dir/sec1_motivation.cc.o"
+  "CMakeFiles/sec1_motivation.dir/sec1_motivation.cc.o.d"
+  "sec1_motivation"
+  "sec1_motivation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec1_motivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sec68_addressing.dir/sec68_addressing.cc.o"
+  "CMakeFiles/sec68_addressing.dir/sec68_addressing.cc.o.d"
+  "sec68_addressing"
+  "sec68_addressing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec68_addressing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_decoder_timing.dir/table1_decoder_timing.cc.o"
+  "CMakeFiles/table1_decoder_timing.dir/table1_decoder_timing.cc.o.d"
+  "table1_decoder_timing"
+  "table1_decoder_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_decoder_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

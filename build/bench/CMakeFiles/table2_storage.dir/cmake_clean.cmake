@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_storage.dir/table2_storage.cc.o"
+  "CMakeFiles/table2_storage.dir/table2_storage.cc.o.d"
+  "table2_storage"
+  "table2_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

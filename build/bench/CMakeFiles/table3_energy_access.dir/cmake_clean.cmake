@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_energy_access.dir/table3_energy_access.cc.o"
+  "CMakeFiles/table3_energy_access.dir/table3_energy_access.cc.o.d"
+  "table3_energy_access"
+  "table3_energy_access.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_energy_access.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_6_mf_bas_pd.dir/table5_6_mf_bas_pd.cc.o"
+  "CMakeFiles/table5_6_mf_bas_pd.dir/table5_6_mf_bas_pd.cc.o.d"
+  "table5_6_mf_bas_pd"
+  "table5_6_mf_bas_pd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_6_mf_bas_pd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

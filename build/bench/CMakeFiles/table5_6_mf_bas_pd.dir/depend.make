@@ -1,0 +1,2 @@
+# Empty dependencies file for table5_6_mf_bas_pd.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table7_balance.dir/table7_balance.cc.o"
+  "CMakeFiles/table7_balance.dir/table7_balance.cc.o.d"
+  "table7_balance"
+  "table7_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table7_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

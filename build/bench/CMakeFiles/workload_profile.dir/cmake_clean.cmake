@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_profile.dir/workload_profile.cc.o"
+  "CMakeFiles/workload_profile.dir/workload_profile.cc.o.d"
+  "workload_profile"
+  "workload_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

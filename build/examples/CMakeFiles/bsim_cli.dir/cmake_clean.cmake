@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsim_cli.dir/bsim_cli.cpp.o"
+  "CMakeFiles/bsim_cli.dir/bsim_cli.cpp.o.d"
+  "bsim_cli"
+  "bsim_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsim_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

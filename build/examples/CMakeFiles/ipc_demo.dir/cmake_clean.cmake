@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ipc_demo.dir/ipc_demo.cpp.o"
+  "CMakeFiles/ipc_demo.dir/ipc_demo.cpp.o.d"
+  "ipc_demo"
+  "ipc_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ipc_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_convert.dir/trace_convert.cpp.o"
+  "CMakeFiles/trace_convert.dir/trace_convert.cpp.o.d"
+  "trace_convert"
+  "trace_convert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_convert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/alt/column_assoc_cache.cc" "src/alt/CMakeFiles/bsim_alt.dir/column_assoc_cache.cc.o" "gcc" "src/alt/CMakeFiles/bsim_alt.dir/column_assoc_cache.cc.o.d"
+  "/root/repo/src/alt/hac_cache.cc" "src/alt/CMakeFiles/bsim_alt.dir/hac_cache.cc.o" "gcc" "src/alt/CMakeFiles/bsim_alt.dir/hac_cache.cc.o.d"
+  "/root/repo/src/alt/partial_match_cache.cc" "src/alt/CMakeFiles/bsim_alt.dir/partial_match_cache.cc.o" "gcc" "src/alt/CMakeFiles/bsim_alt.dir/partial_match_cache.cc.o.d"
+  "/root/repo/src/alt/skewed_assoc_cache.cc" "src/alt/CMakeFiles/bsim_alt.dir/skewed_assoc_cache.cc.o" "gcc" "src/alt/CMakeFiles/bsim_alt.dir/skewed_assoc_cache.cc.o.d"
+  "/root/repo/src/alt/way_halting_cache.cc" "src/alt/CMakeFiles/bsim_alt.dir/way_halting_cache.cc.o" "gcc" "src/alt/CMakeFiles/bsim_alt.dir/way_halting_cache.cc.o.d"
+  "/root/repo/src/alt/xor_index_cache.cc" "src/alt/CMakeFiles/bsim_alt.dir/xor_index_cache.cc.o" "gcc" "src/alt/CMakeFiles/bsim_alt.dir/xor_index_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cache/CMakeFiles/bsim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/bsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

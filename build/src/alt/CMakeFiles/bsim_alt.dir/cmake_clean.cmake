@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsim_alt.dir/column_assoc_cache.cc.o"
+  "CMakeFiles/bsim_alt.dir/column_assoc_cache.cc.o.d"
+  "CMakeFiles/bsim_alt.dir/hac_cache.cc.o"
+  "CMakeFiles/bsim_alt.dir/hac_cache.cc.o.d"
+  "CMakeFiles/bsim_alt.dir/partial_match_cache.cc.o"
+  "CMakeFiles/bsim_alt.dir/partial_match_cache.cc.o.d"
+  "CMakeFiles/bsim_alt.dir/skewed_assoc_cache.cc.o"
+  "CMakeFiles/bsim_alt.dir/skewed_assoc_cache.cc.o.d"
+  "CMakeFiles/bsim_alt.dir/way_halting_cache.cc.o"
+  "CMakeFiles/bsim_alt.dir/way_halting_cache.cc.o.d"
+  "CMakeFiles/bsim_alt.dir/xor_index_cache.cc.o"
+  "CMakeFiles/bsim_alt.dir/xor_index_cache.cc.o.d"
+  "libbsim_alt.a"
+  "libbsim_alt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsim_alt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

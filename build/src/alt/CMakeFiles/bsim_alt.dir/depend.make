@@ -1,0 +1,2 @@
+# Empty dependencies file for bsim_alt.
+# This may be replaced when dependencies are built.

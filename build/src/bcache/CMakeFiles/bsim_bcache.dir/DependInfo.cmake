@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bcache/addressing.cc" "src/bcache/CMakeFiles/bsim_bcache.dir/addressing.cc.o" "gcc" "src/bcache/CMakeFiles/bsim_bcache.dir/addressing.cc.o.d"
+  "/root/repo/src/bcache/balance.cc" "src/bcache/CMakeFiles/bsim_bcache.dir/balance.cc.o" "gcc" "src/bcache/CMakeFiles/bsim_bcache.dir/balance.cc.o.d"
+  "/root/repo/src/bcache/bcache.cc" "src/bcache/CMakeFiles/bsim_bcache.dir/bcache.cc.o" "gcc" "src/bcache/CMakeFiles/bsim_bcache.dir/bcache.cc.o.d"
+  "/root/repo/src/bcache/bcache_params.cc" "src/bcache/CMakeFiles/bsim_bcache.dir/bcache_params.cc.o" "gcc" "src/bcache/CMakeFiles/bsim_bcache.dir/bcache_params.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cache/CMakeFiles/bsim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/bsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

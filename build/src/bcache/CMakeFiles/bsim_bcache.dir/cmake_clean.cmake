@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsim_bcache.dir/addressing.cc.o"
+  "CMakeFiles/bsim_bcache.dir/addressing.cc.o.d"
+  "CMakeFiles/bsim_bcache.dir/balance.cc.o"
+  "CMakeFiles/bsim_bcache.dir/balance.cc.o.d"
+  "CMakeFiles/bsim_bcache.dir/bcache.cc.o"
+  "CMakeFiles/bsim_bcache.dir/bcache.cc.o.d"
+  "CMakeFiles/bsim_bcache.dir/bcache_params.cc.o"
+  "CMakeFiles/bsim_bcache.dir/bcache_params.cc.o.d"
+  "libbsim_bcache.a"
+  "libbsim_bcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsim_bcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cache/base_cache.cc" "src/cache/CMakeFiles/bsim_cache.dir/base_cache.cc.o" "gcc" "src/cache/CMakeFiles/bsim_cache.dir/base_cache.cc.o.d"
+  "/root/repo/src/cache/cache_stats.cc" "src/cache/CMakeFiles/bsim_cache.dir/cache_stats.cc.o" "gcc" "src/cache/CMakeFiles/bsim_cache.dir/cache_stats.cc.o.d"
+  "/root/repo/src/cache/hierarchy.cc" "src/cache/CMakeFiles/bsim_cache.dir/hierarchy.cc.o" "gcc" "src/cache/CMakeFiles/bsim_cache.dir/hierarchy.cc.o.d"
+  "/root/repo/src/cache/opt.cc" "src/cache/CMakeFiles/bsim_cache.dir/opt.cc.o" "gcc" "src/cache/CMakeFiles/bsim_cache.dir/opt.cc.o.d"
+  "/root/repo/src/cache/replacement.cc" "src/cache/CMakeFiles/bsim_cache.dir/replacement.cc.o" "gcc" "src/cache/CMakeFiles/bsim_cache.dir/replacement.cc.o.d"
+  "/root/repo/src/cache/set_assoc_cache.cc" "src/cache/CMakeFiles/bsim_cache.dir/set_assoc_cache.cc.o" "gcc" "src/cache/CMakeFiles/bsim_cache.dir/set_assoc_cache.cc.o.d"
+  "/root/repo/src/cache/tlb.cc" "src/cache/CMakeFiles/bsim_cache.dir/tlb.cc.o" "gcc" "src/cache/CMakeFiles/bsim_cache.dir/tlb.cc.o.d"
+  "/root/repo/src/cache/victim_cache.cc" "src/cache/CMakeFiles/bsim_cache.dir/victim_cache.cc.o" "gcc" "src/cache/CMakeFiles/bsim_cache.dir/victim_cache.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/bsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

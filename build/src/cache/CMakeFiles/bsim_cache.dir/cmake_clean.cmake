@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsim_cache.dir/base_cache.cc.o"
+  "CMakeFiles/bsim_cache.dir/base_cache.cc.o.d"
+  "CMakeFiles/bsim_cache.dir/cache_stats.cc.o"
+  "CMakeFiles/bsim_cache.dir/cache_stats.cc.o.d"
+  "CMakeFiles/bsim_cache.dir/hierarchy.cc.o"
+  "CMakeFiles/bsim_cache.dir/hierarchy.cc.o.d"
+  "CMakeFiles/bsim_cache.dir/opt.cc.o"
+  "CMakeFiles/bsim_cache.dir/opt.cc.o.d"
+  "CMakeFiles/bsim_cache.dir/replacement.cc.o"
+  "CMakeFiles/bsim_cache.dir/replacement.cc.o.d"
+  "CMakeFiles/bsim_cache.dir/set_assoc_cache.cc.o"
+  "CMakeFiles/bsim_cache.dir/set_assoc_cache.cc.o.d"
+  "CMakeFiles/bsim_cache.dir/tlb.cc.o"
+  "CMakeFiles/bsim_cache.dir/tlb.cc.o.d"
+  "CMakeFiles/bsim_cache.dir/victim_cache.cc.o"
+  "CMakeFiles/bsim_cache.dir/victim_cache.cc.o.d"
+  "libbsim_cache.a"
+  "libbsim_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsim_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

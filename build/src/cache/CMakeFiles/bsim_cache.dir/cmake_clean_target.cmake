@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbsim_cache.a"
+)

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsim_common.dir/json.cc.o"
+  "CMakeFiles/bsim_common.dir/json.cc.o.d"
+  "CMakeFiles/bsim_common.dir/logging.cc.o"
+  "CMakeFiles/bsim_common.dir/logging.cc.o.d"
+  "CMakeFiles/bsim_common.dir/random.cc.o"
+  "CMakeFiles/bsim_common.dir/random.cc.o.d"
+  "CMakeFiles/bsim_common.dir/stats.cc.o"
+  "CMakeFiles/bsim_common.dir/stats.cc.o.d"
+  "CMakeFiles/bsim_common.dir/strings.cc.o"
+  "CMakeFiles/bsim_common.dir/strings.cc.o.d"
+  "CMakeFiles/bsim_common.dir/table.cc.o"
+  "CMakeFiles/bsim_common.dir/table.cc.o.d"
+  "libbsim_common.a"
+  "libbsim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cpu/microop.cc" "src/cpu/CMakeFiles/bsim_cpu.dir/microop.cc.o" "gcc" "src/cpu/CMakeFiles/bsim_cpu.dir/microop.cc.o.d"
+  "/root/repo/src/cpu/ooo_core.cc" "src/cpu/CMakeFiles/bsim_cpu.dir/ooo_core.cc.o" "gcc" "src/cpu/CMakeFiles/bsim_cpu.dir/ooo_core.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cache/CMakeFiles/bsim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/bsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsim_cpu.dir/microop.cc.o"
+  "CMakeFiles/bsim_cpu.dir/microop.cc.o.d"
+  "CMakeFiles/bsim_cpu.dir/ooo_core.cc.o"
+  "CMakeFiles/bsim_cpu.dir/ooo_core.cc.o.d"
+  "libbsim_cpu.a"
+  "libbsim_cpu.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsim_cpu.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

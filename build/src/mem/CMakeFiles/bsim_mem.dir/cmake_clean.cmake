@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsim_mem.dir/access.cc.o"
+  "CMakeFiles/bsim_mem.dir/access.cc.o.d"
+  "CMakeFiles/bsim_mem.dir/geometry.cc.o"
+  "CMakeFiles/bsim_mem.dir/geometry.cc.o.d"
+  "CMakeFiles/bsim_mem.dir/main_memory.cc.o"
+  "CMakeFiles/bsim_mem.dir/main_memory.cc.o.d"
+  "libbsim_mem.a"
+  "libbsim_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsim_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/cacti_lite.cc" "src/power/CMakeFiles/bsim_power.dir/cacti_lite.cc.o" "gcc" "src/power/CMakeFiles/bsim_power.dir/cacti_lite.cc.o.d"
+  "/root/repo/src/power/drowsy.cc" "src/power/CMakeFiles/bsim_power.dir/drowsy.cc.o" "gcc" "src/power/CMakeFiles/bsim_power.dir/drowsy.cc.o.d"
+  "/root/repo/src/power/energy_model.cc" "src/power/CMakeFiles/bsim_power.dir/energy_model.cc.o" "gcc" "src/power/CMakeFiles/bsim_power.dir/energy_model.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bcache/CMakeFiles/bsim_bcache.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/bsim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/bsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsim_power.dir/cacti_lite.cc.o"
+  "CMakeFiles/bsim_power.dir/cacti_lite.cc.o.d"
+  "CMakeFiles/bsim_power.dir/drowsy.cc.o"
+  "CMakeFiles/bsim_power.dir/drowsy.cc.o.d"
+  "CMakeFiles/bsim_power.dir/energy_model.cc.o"
+  "CMakeFiles/bsim_power.dir/energy_model.cc.o.d"
+  "libbsim_power.a"
+  "libbsim_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsim_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsim_sim.dir/amat.cc.o"
+  "CMakeFiles/bsim_sim.dir/amat.cc.o.d"
+  "CMakeFiles/bsim_sim.dir/config.cc.o"
+  "CMakeFiles/bsim_sim.dir/config.cc.o.d"
+  "CMakeFiles/bsim_sim.dir/experiment_file.cc.o"
+  "CMakeFiles/bsim_sim.dir/experiment_file.cc.o.d"
+  "CMakeFiles/bsim_sim.dir/report.cc.o"
+  "CMakeFiles/bsim_sim.dir/report.cc.o.d"
+  "CMakeFiles/bsim_sim.dir/runner.cc.o"
+  "CMakeFiles/bsim_sim.dir/runner.cc.o.d"
+  "libbsim_sim.a"
+  "libbsim_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsim_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libbsim_sim.a"
+)

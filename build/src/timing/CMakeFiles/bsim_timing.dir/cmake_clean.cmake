@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsim_timing.dir/decoder_model.cc.o"
+  "CMakeFiles/bsim_timing.dir/decoder_model.cc.o.d"
+  "CMakeFiles/bsim_timing.dir/logical_effort.cc.o"
+  "CMakeFiles/bsim_timing.dir/logical_effort.cc.o.d"
+  "CMakeFiles/bsim_timing.dir/storage_model.cc.o"
+  "CMakeFiles/bsim_timing.dir/storage_model.cc.o.d"
+  "libbsim_timing.a"
+  "libbsim_timing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsim_timing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/generators.cc" "src/workload/CMakeFiles/bsim_workload.dir/generators.cc.o" "gcc" "src/workload/CMakeFiles/bsim_workload.dir/generators.cc.o.d"
+  "/root/repo/src/workload/istream.cc" "src/workload/CMakeFiles/bsim_workload.dir/istream.cc.o" "gcc" "src/workload/CMakeFiles/bsim_workload.dir/istream.cc.o.d"
+  "/root/repo/src/workload/reuse.cc" "src/workload/CMakeFiles/bsim_workload.dir/reuse.cc.o" "gcc" "src/workload/CMakeFiles/bsim_workload.dir/reuse.cc.o.d"
+  "/root/repo/src/workload/spec2k.cc" "src/workload/CMakeFiles/bsim_workload.dir/spec2k.cc.o" "gcc" "src/workload/CMakeFiles/bsim_workload.dir/spec2k.cc.o.d"
+  "/root/repo/src/workload/trace.cc" "src/workload/CMakeFiles/bsim_workload.dir/trace.cc.o" "gcc" "src/workload/CMakeFiles/bsim_workload.dir/trace.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mem/CMakeFiles/bsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

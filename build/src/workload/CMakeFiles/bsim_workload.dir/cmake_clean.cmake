@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsim_workload.dir/generators.cc.o"
+  "CMakeFiles/bsim_workload.dir/generators.cc.o.d"
+  "CMakeFiles/bsim_workload.dir/istream.cc.o"
+  "CMakeFiles/bsim_workload.dir/istream.cc.o.d"
+  "CMakeFiles/bsim_workload.dir/reuse.cc.o"
+  "CMakeFiles/bsim_workload.dir/reuse.cc.o.d"
+  "CMakeFiles/bsim_workload.dir/spec2k.cc.o"
+  "CMakeFiles/bsim_workload.dir/spec2k.cc.o.d"
+  "CMakeFiles/bsim_workload.dir/trace.cc.o"
+  "CMakeFiles/bsim_workload.dir/trace.cc.o.d"
+  "libbsim_workload.a"
+  "libbsim_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsim_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

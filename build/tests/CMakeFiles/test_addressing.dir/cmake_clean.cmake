@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_addressing.dir/test_addressing.cc.o"
+  "CMakeFiles/test_addressing.dir/test_addressing.cc.o.d"
+  "test_addressing"
+  "test_addressing.pdb"
+  "test_addressing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_addressing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_alt_caches.dir/test_alt_caches.cc.o"
+  "CMakeFiles/test_alt_caches.dir/test_alt_caches.cc.o.d"
+  "test_alt_caches"
+  "test_alt_caches.pdb"
+  "test_alt_caches[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_alt_caches.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

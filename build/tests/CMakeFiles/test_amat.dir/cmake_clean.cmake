@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_amat.dir/test_amat.cc.o"
+  "CMakeFiles/test_amat.dir/test_amat.cc.o.d"
+  "test_amat"
+  "test_amat.pdb"
+  "test_amat[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_amat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

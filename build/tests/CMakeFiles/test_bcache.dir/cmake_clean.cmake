@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bcache.dir/test_bcache.cc.o"
+  "CMakeFiles/test_bcache.dir/test_bcache.cc.o.d"
+  "test_bcache"
+  "test_bcache.pdb"
+  "test_bcache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bcache_properties.dir/test_bcache_properties.cc.o"
+  "CMakeFiles/test_bcache_properties.dir/test_bcache_properties.cc.o.d"
+  "test_bcache_properties"
+  "test_bcache_properties.pdb"
+  "test_bcache_properties[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bcache_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

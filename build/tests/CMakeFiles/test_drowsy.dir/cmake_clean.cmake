@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_drowsy.dir/test_drowsy.cc.o"
+  "CMakeFiles/test_drowsy.dir/test_drowsy.cc.o.d"
+  "test_drowsy"
+  "test_drowsy.pdb"
+  "test_drowsy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_drowsy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_experiment_file.dir/test_experiment_file.cc.o"
+  "CMakeFiles/test_experiment_file.dir/test_experiment_file.cc.o.d"
+  "test_experiment_file"
+  "test_experiment_file.pdb"
+  "test_experiment_file[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_experiment_file.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

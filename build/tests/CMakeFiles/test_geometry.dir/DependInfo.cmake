@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_geometry.cc" "tests/CMakeFiles/test_geometry.dir/test_geometry.cc.o" "gcc" "tests/CMakeFiles/test_geometry.dir/test_geometry.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/bsim_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/alt/CMakeFiles/bsim_alt.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpu/CMakeFiles/bsim_cpu.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/bsim_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/timing/CMakeFiles/bsim_timing.dir/DependInfo.cmake"
+  "/root/repo/build/src/bcache/CMakeFiles/bsim_bcache.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/bsim_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/bsim_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/bsim_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bsim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

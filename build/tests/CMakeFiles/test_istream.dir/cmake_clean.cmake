@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_istream.dir/test_istream.cc.o"
+  "CMakeFiles/test_istream.dir/test_istream.cc.o.d"
+  "test_istream"
+  "test_istream.pdb"
+  "test_istream[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_istream.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_partial_match.dir/test_partial_match.cc.o"
+  "CMakeFiles/test_partial_match.dir/test_partial_match.cc.o.d"
+  "test_partial_match"
+  "test_partial_match.pdb"
+  "test_partial_match[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_partial_match.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

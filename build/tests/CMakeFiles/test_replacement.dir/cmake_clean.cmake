@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_replacement.dir/test_replacement.cc.o"
+  "CMakeFiles/test_replacement.dir/test_replacement.cc.o.d"
+  "test_replacement"
+  "test_replacement.pdb"
+  "test_replacement[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_replacement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

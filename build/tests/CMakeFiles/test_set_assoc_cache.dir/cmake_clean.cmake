@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_set_assoc_cache.dir/test_set_assoc_cache.cc.o"
+  "CMakeFiles/test_set_assoc_cache.dir/test_set_assoc_cache.cc.o.d"
+  "test_set_assoc_cache"
+  "test_set_assoc_cache.pdb"
+  "test_set_assoc_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_set_assoc_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

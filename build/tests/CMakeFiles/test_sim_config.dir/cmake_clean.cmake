@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_config.dir/test_sim_config.cc.o"
+  "CMakeFiles/test_sim_config.dir/test_sim_config.cc.o.d"
+  "test_sim_config"
+  "test_sim_config.pdb"
+  "test_sim_config[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_config.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spec2k.dir/test_spec2k.cc.o"
+  "CMakeFiles/test_spec2k.dir/test_spec2k.cc.o.d"
+  "test_spec2k"
+  "test_spec2k.pdb"
+  "test_spec2k[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spec2k.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_strings_table.dir/test_strings_table.cc.o"
+  "CMakeFiles/test_strings_table.dir/test_strings_table.cc.o.d"
+  "test_strings_table"
+  "test_strings_table.pdb"
+  "test_strings_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_strings_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

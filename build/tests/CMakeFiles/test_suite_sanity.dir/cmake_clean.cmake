@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_suite_sanity.dir/test_suite_sanity.cc.o"
+  "CMakeFiles/test_suite_sanity.dir/test_suite_sanity.cc.o.d"
+  "test_suite_sanity"
+  "test_suite_sanity.pdb"
+  "test_suite_sanity[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_suite_sanity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

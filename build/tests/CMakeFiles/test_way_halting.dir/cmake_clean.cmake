@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_way_halting.dir/test_way_halting.cc.o"
+  "CMakeFiles/test_way_halting.dir/test_way_halting.cc.o.d"
+  "test_way_halting"
+  "test_way_halting.pdb"
+  "test_way_halting[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_way_halting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_way_halting.
+# This may be replaced when dependencies are built.

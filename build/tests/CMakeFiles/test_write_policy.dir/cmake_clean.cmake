@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_write_policy.dir/test_write_policy.cc.o"
+  "CMakeFiles/test_write_policy.dir/test_write_policy.cc.o.d"
+  "test_write_policy"
+  "test_write_policy.pdb"
+  "test_write_policy[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_write_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

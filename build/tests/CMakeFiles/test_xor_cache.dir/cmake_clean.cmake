@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_xor_cache.dir/test_xor_cache.cc.o"
+  "CMakeFiles/test_xor_cache.dir/test_xor_cache.cc.o.d"
+  "test_xor_cache"
+  "test_xor_cache.pdb"
+  "test_xor_cache[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_xor_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
