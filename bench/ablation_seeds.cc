@@ -5,6 +5,10 @@
  * suite averages (D$ miss-rate reduction of the 8-way cache and the
  * B-Cache at MF=8/BAS=8) under three different seeds and reports the
  * spread — demonstrating the conclusions do not hinge on one RNG draw.
+ *
+ * The 3 x 26 x 4 (seed, workload, config) cells run on the parallel
+ * sweep engine with explicit per-job seeds (`--jobs N` / BSIM_JOBS
+ * selects the worker count).
  */
 
 #include "bench/bench_util.hh"
@@ -15,41 +19,46 @@ using namespace bsim;
 using namespace bsim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("ablation_seeds",
            "methodology (workload-seed robustness of the averages)");
     const std::uint64_t n = defaultAccesses(200'000);
     const std::uint64_t seeds[] = {0xb5eedULL, 0x1234'5678ULL,
                                    0xdead'beefULL};
+    SweepOptions options;
+    options.jobs = consumeJobsFlag(argc, argv);
+
+    const std::vector<CacheConfig> configs = {
+        CacheConfig::directMapped(16 * 1024),
+        CacheConfig::setAssoc(16 * 1024, 8),
+        CacheConfig::bcache(16 * 1024, 8, 8),
+        CacheConfig::victim(16 * 1024, 16),
+    };
+    std::vector<SweepJob> jobs;
+    for (const std::uint64_t seed : seeds)
+        for (const auto &b : spec2kNames())
+            for (const auto &cfg : configs)
+                jobs.push_back(SweepJob::missRate(
+                    b, StreamSide::Data, cfg, n, seed));
+    const SweepRun run = runSweep(jobs, options);
 
     Table t({"seed", "dm-miss%", "8way red%", "MF8-BAS8 red%",
              "victim16 red%"});
     RunningStat s_dm, s_8, s_bc, s_v;
+    std::size_t cursor = 0;
     for (const std::uint64_t seed : seeds) {
         RunningStat dm, r8, rbc, rv;
-        for (const auto &b : spec2kNames()) {
+        for (std::size_t bi = 0; bi < spec2kNames().size(); ++bi) {
             const double base =
-                runMissRate(b, StreamSide::Data,
-                            CacheConfig::directMapped(16 * 1024), n,
-                            seed)
-                    .missRate();
+                missResult(run.outcomes[cursor++]).missRate();
             dm.add(100.0 * base);
             r8.add(reductionPct(
-                base, runMissRate(b, StreamSide::Data,
-                                  CacheConfig::setAssoc(16 * 1024, 8),
-                                  n, seed)
-                          .missRate()));
+                base, missResult(run.outcomes[cursor++]).missRate()));
             rbc.add(reductionPct(
-                base, runMissRate(b, StreamSide::Data,
-                                  CacheConfig::bcache(16 * 1024, 8, 8),
-                                  n, seed)
-                          .missRate()));
+                base, missResult(run.outcomes[cursor++]).missRate()));
             rv.add(reductionPct(
-                base, runMissRate(b, StreamSide::Data,
-                                  CacheConfig::victim(16 * 1024, 16),
-                                  n, seed)
-                          .missRate()));
+                base, missResult(run.outcomes[cursor++]).missRate()));
         }
         t.row()
             .cell(strprintf("0x%llx",
@@ -70,5 +79,6 @@ main()
         .cell(s_bc.max() - s_bc.min(), 1)
         .cell(s_v.max() - s_v.min(), 1);
     t.print("suite-average D$ metrics under three workload seeds");
+    printSweepSummary(run.summary);
     return 0;
 }

@@ -17,6 +17,7 @@
 #include "common/stats.hh"
 #include "common/table.hh"
 #include "sim/runner.hh"
+#include "sim/sweep.hh"
 
 namespace bsim {
 namespace bench {
@@ -43,6 +44,53 @@ runRow(const std::string &workload, StreamSide side,
         row.emplace(cfg.label,
                     runMissRate(workload, side, cfg, accesses));
     return row;
+}
+
+/** Rows of a whole benchmark suite plus the sweep-engine metrics. */
+struct RowSweep
+{
+    std::map<std::string, MissRow> rows;
+    SweepSummary summary;
+};
+
+/**
+ * Parallel equivalent of calling runRow() once per benchmark: one sweep
+ * over benchmarks x (baseline + configs), executed by the sweep engine
+ * (worker count from @p options — `--jobs` / BSIM_JOBS). Jobs pin
+ * kDefaultSeed so the tables match the serial runs in EXPERIMENTS.md.
+ */
+inline RowSweep
+runRows(const std::vector<std::string> &benchmarks, StreamSide side,
+        const std::vector<CacheConfig> &configs,
+        std::uint64_t size_bytes, std::uint64_t accesses,
+        const SweepOptions &options = {})
+{
+    std::vector<SweepJob> jobs;
+    jobs.reserve(benchmarks.size() * (configs.size() + 1));
+    for (const auto &b : benchmarks) {
+        jobs.push_back(
+            SweepJob::missRate(b, side,
+                               CacheConfig::directMapped(size_bytes),
+                               accesses, kDefaultSeed));
+        for (const auto &cfg : configs)
+            jobs.push_back(
+                SweepJob::missRate(b, side, cfg, accesses,
+                                   kDefaultSeed));
+    }
+    const SweepRun run = runSweep(jobs, options);
+
+    RowSweep rs;
+    rs.summary = run.summary;
+    const std::size_t stride = configs.size() + 1;
+    for (std::size_t bi = 0; bi < benchmarks.size(); ++bi) {
+        MissRow row;
+        row.emplace("baseline", missResult(run.outcomes[bi * stride]));
+        for (std::size_t ci = 0; ci < configs.size(); ++ci)
+            row.emplace(configs[ci].label,
+                        missResult(run.outcomes[bi * stride + 1 + ci]));
+        rs.rows.emplace(benchmarks[bi], std::move(row));
+    }
+    return rs;
 }
 
 /** Reduction (%) of config @p label over the row's baseline. */

@@ -3,6 +3,9 @@
  * Figure 5 reproduction: instruction-cache miss-rate reductions over the
  * 16 kB direct-mapped baseline for the fifteen benchmarks whose I$ miss
  * rate is non-trivial (Section 4.2 excludes the others).
+ *
+ * The 15 x 10 (workload, config) cells run on the parallel sweep engine
+ * (`--jobs N` / BSIM_JOBS selects the worker count).
  */
 
 #include "bench/bench_util.hh"
@@ -12,19 +15,22 @@ using namespace bsim;
 using namespace bsim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("fig5_icache_reduction",
            "Figure 5 (I$ miss-rate reductions, 16 kB)");
     const std::uint64_t n = defaultAccesses(1'000'000);
     const auto configs = figure4Configs(16 * 1024);
+    SweepOptions options;
+    options.jobs = consumeJobsFlag(argc, argv);
 
-    std::map<std::string, MissRow> rows;
-    for (const auto &b : spec2kIcacheReportedNames())
-        rows.emplace(b, runRow(b, StreamSide::Inst, configs, 16 * 1024,
-                               n));
+    const RowSweep sweep =
+        runRows(spec2kIcacheReportedNames(), StreamSide::Inst, configs,
+                16 * 1024, n, options);
 
     printReductionTable("I$ reduction % (reported benchmarks)",
-                        spec2kIcacheReportedNames(), configs, rows);
+                        spec2kIcacheReportedNames(), configs,
+                        sweep.rows);
+    printSweepSummary(sweep.summary);
     return 0;
 }

@@ -6,6 +6,9 @@
  * Section 6.3: for the same PD width, a larger MF (design B) beats more
  * clusters (design A) until the PD is long enough (6 bits), where the
  * paper settles on MF = 8, BAS = 8.
+ *
+ * The 26 x 9 (workload, config) cells run on the parallel sweep engine
+ * (`--jobs N` / BSIM_JOBS selects the worker count).
  */
 
 #include <cstdio>
@@ -19,28 +22,42 @@ using namespace bsim;
 using namespace bsim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("table5_6_mf_bas_pd",
            "Tables 5 & 6 (miss-rate reduction and PD hit rate at varied "
            "MF, BAS, PD)");
     const std::uint64_t n = defaultAccesses(400'000);
+    SweepOptions options;
+    options.jobs = consumeJobsFlag(argc, argv);
 
     const std::vector<std::uint32_t> mfs = {2, 4, 8, 16};
     const std::vector<std::uint32_t> bases = {4, 8};
 
-    // One pass over the suite per (MF, BAS) cell.
-    std::map<std::pair<unsigned, unsigned>, RunningStat> red, pdhit;
+    // One job per (workload, cell): the baseline plus the MF x BAS grid.
+    std::vector<SweepJob> jobs;
     for (const auto &b : spec2kNames()) {
-        const double dm =
-            runMissRate(b, StreamSide::Data,
-                        CacheConfig::directMapped(16 * 1024), n)
-                .missRate();
+        jobs.push_back(
+            SweepJob::missRate(b, StreamSide::Data,
+                               CacheConfig::directMapped(16 * 1024), n,
+                               kDefaultSeed));
+        for (auto bas : bases)
+            for (auto mf : mfs)
+                jobs.push_back(SweepJob::missRate(
+                    b, StreamSide::Data,
+                    CacheConfig::bcache(16 * 1024, mf, bas), n,
+                    kDefaultSeed));
+    }
+    const SweepRun run = runSweep(jobs, options);
+
+    std::map<std::pair<unsigned, unsigned>, RunningStat> red, pdhit;
+    std::size_t cursor = 0;
+    for (std::size_t bi = 0; bi < spec2kNames().size(); ++bi) {
+        const double dm = missResult(run.outcomes[cursor++]).missRate();
         for (auto bas : bases)
             for (auto mf : mfs) {
-                const auto r = runMissRate(
-                    b, StreamSide::Data,
-                    CacheConfig::bcache(16 * 1024, mf, bas), n);
+                const MissRateResult &r =
+                    missResult(run.outcomes[cursor++]);
                 red[{mf, bas}].add(reductionPct(dm, r.missRate()));
                 pdhit[{mf, bas}].add(100.0 * r.pd->pdHitRateOnMiss());
             }
@@ -68,5 +85,6 @@ main()
     std::printf("\nSection 6.3 readout: same-PD pairs are (MF=2,BAS=8) "
                 "vs (MF=4,BAS=4) at PD=4 etc.; with a 6-bit PD "
                 "affordable (Table 1), MF=8/BAS=8 is the design point.\n");
+    printSweepSummary(run.summary);
     return 0;
 }

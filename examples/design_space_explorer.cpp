@@ -7,7 +7,11 @@
  * configuration within 2% of the best miss rate, the way an architect
  * would pick a design point (the paper lands on MF = 8, BAS = 8).
  *
- *   ./design_space_explorer [benchmark] [icache|dcache]
+ * The 21 simulation cells (baseline + 4x5 grid) run on the parallel
+ * sweep engine; the analytical models (area, energy, decoder slack) are
+ * evaluated afterwards on the main thread.
+ *
+ *   ./design_space_explorer [--jobs N] [benchmark] [icache|dcache]
  */
 
 #include <cstdio>
@@ -17,7 +21,7 @@
 #include "common/strings.hh"
 #include "common/table.hh"
 #include "power/cacti_lite.hh"
-#include "sim/runner.hh"
+#include "sim/sweep.hh"
 #include "timing/decoder_model.hh"
 #include "timing/storage_model.hh"
 #include "workload/spec2k.hh"
@@ -27,6 +31,8 @@ using namespace bsim;
 int
 main(int argc, char **argv)
 {
+    SweepOptions options;
+    options.jobs = consumeJobsFlag(argc, argv);
     const std::string bench = argc > 1 ? argv[1] : "twolf";
     const StreamSide side =
         (argc > 2 && std::string(argv[2]) == "icache")
@@ -38,10 +44,21 @@ main(int argc, char **argv)
     }
     const std::uint64_t n = defaultAccesses(800'000);
 
-    const double dm = runMissRate(bench, side,
-                                  CacheConfig::directMapped(16 * 1024),
-                                  n)
-                          .missRate();
+    // Job 0 is the baseline; the grid follows in (BAS, MF) order.
+    std::vector<CacheConfig> grid;
+    std::vector<SweepJob> jobs;
+    jobs.push_back(SweepJob::missRate(bench, side,
+                                      CacheConfig::directMapped(16 * 1024),
+                                      n, kDefaultSeed));
+    for (std::uint32_t bas : {2u, 4u, 8u, 16u})
+        for (std::uint32_t mf : {2u, 4u, 8u, 16u, 32u}) {
+            grid.push_back(CacheConfig::bcache(16 * 1024, mf, bas));
+            jobs.push_back(SweepJob::missRate(bench, side, grid.back(),
+                                              n, kDefaultSeed));
+        }
+    const SweepRun run = runSweep(jobs, options);
+
+    const double dm = missResult(run.outcomes[0]).missRate();
     std::printf("workload '%s' (%s): direct-mapped baseline miss rate "
                 "%.3f%%\n\n",
                 bench.c_str(),
@@ -59,44 +76,42 @@ main(int argc, char **argv)
 
     Table t({"MF", "BAS", "PI", "miss%", "red%", "pd-hit-on-miss%",
              "area+%", "pJ/access", "slack-ns"});
-    for (std::uint32_t bas : {2u, 4u, 8u, 16u}) {
-        for (std::uint32_t mf : {2u, 4u, 8u, 16u, 32u}) {
-            const CacheConfig cfg =
-                CacheConfig::bcache(16 * 1024, mf, bas);
-            const BCacheParams p = cfg.bcacheParams();
-            const BCacheLayout layout = deriveLayout(p);
-            const MissRateResult r = runMissRate(bench, side, cfg, n);
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+        const CacheConfig &cfg = grid[i];
+        const BCacheParams p = cfg.bcacheParams();
+        const BCacheLayout layout = deriveLayout(p);
+        const MissRateResult &r = missResult(run.outcomes[i + 1]);
 
-            // Worst-case decoder slack across subarray sizes at this
-            // PD width (negative = would lengthen the access time).
-            double slack = 1e9;
-            for (const auto &row : decoderTimingTable(layout.piBits))
-                slack = std::min(slack, double(row.slack()));
+        // Worst-case decoder slack across subarray sizes at this
+        // PD width (negative = would lengthen the access time).
+        double slack = 1e9;
+        for (const auto &row : decoderTimingTable(layout.piBits))
+            slack = std::min(slack, double(row.slack()));
 
-            Point pt;
-            pt.mf = mf;
-            pt.bas = bas;
-            pt.miss = r.missRate();
-            pt.red = reductionPct(dm, r.missRate());
-            pt.pdhit = 100.0 * r.pd->pdHitRateOnMiss();
-            pt.area = areaOverheadPct(base_area, bcacheStorage(p));
-            pt.energy = CactiLite::bcache(p).total();
-            pt.decoder_slack = slack;
-            points.push_back(pt);
+        Point pt;
+        pt.mf = cfg.mf;
+        pt.bas = cfg.bas;
+        pt.miss = r.missRate();
+        pt.red = reductionPct(dm, r.missRate());
+        pt.pdhit = 100.0 * r.pd->pdHitRateOnMiss();
+        pt.area = areaOverheadPct(base_area, bcacheStorage(p));
+        pt.energy = CactiLite::bcache(p).total();
+        pt.decoder_slack = slack;
+        points.push_back(pt);
 
-            t.row()
-                .cell(mf)
-                .cell(bas)
-                .cell(layout.piBits)
-                .cell(100.0 * pt.miss, 3)
-                .cell(pt.red, 1)
-                .cell(pt.pdhit, 1)
-                .cell(pt.area, 2)
-                .cell(pt.energy, 1)
-                .cell(pt.decoder_slack, 3);
-        }
+        t.row()
+            .cell(pt.mf)
+            .cell(pt.bas)
+            .cell(layout.piBits)
+            .cell(100.0 * pt.miss, 3)
+            .cell(pt.red, 1)
+            .cell(pt.pdhit, 1)
+            .cell(pt.area, 2)
+            .cell(pt.energy, 1)
+            .cell(pt.decoder_slack, 3);
     }
     t.print("16kB B-Cache design space");
+    printSweepSummary(run.summary);
 
     // Recommendation: cheapest point within 2% miss-rate of the best
     // among the points that keep decoder slack non-negative.

@@ -88,6 +88,21 @@ std::vector<CacheConfig> figure4Configs(std::uint64_t size_bytes);
 /** The twelve configurations of Figure 12 (B-Cache MF x BAS grid). */
 std::vector<CacheConfig> figure12Configs(std::uint64_t size_bytes);
 
+/**
+ * Worker-thread count for the sweep engine: the BSIM_JOBS environment
+ * variable if set and valid, else the host's hardware concurrency,
+ * else 1.
+ */
+unsigned defaultJobs();
+
+/**
+ * Consume a `--jobs N` (or `--jobs=N`) flag from argv, compacting the
+ * remaining arguments so positional parsing is undisturbed. Returns 0
+ * when the flag is absent (callers then fall back to defaultJobs());
+ * fatal on a malformed value.
+ */
+unsigned consumeJobsFlag(int &argc, char **argv);
+
 } // namespace bsim
 
 #endif // BSIM_SIM_CONFIG_HH

@@ -38,7 +38,7 @@ struct ExperimentSpec
     StreamSide side = StreamSide::Data;
     std::string tracePath; ///< non-empty overrides the workload
     std::uint64_t accesses = 1'000'000;
-    std::uint64_t seed = 0xb5eedULL;
+    std::uint64_t seed = kDefaultSeed;
 };
 
 /**

@@ -23,6 +23,9 @@ namespace bsim {
 /** Which of a workload's streams to run. */
 enum class StreamSide : std::uint8_t { Inst, Data };
 
+/** Workload seed behind every table in EXPERIMENTS.md. */
+inline constexpr std::uint64_t kDefaultSeed = 0xb5eedULL;
+
 /** Result of a standalone miss-rate run. */
 struct MissRateResult
 {
@@ -43,7 +46,7 @@ struct MissRateResult
 MissRateResult runMissRate(const std::string &workload_name,
                            StreamSide side, const CacheConfig &config,
                            std::uint64_t accesses,
-                           std::uint64_t seed = 0xb5eedULL);
+                           std::uint64_t seed = kDefaultSeed);
 
 /** As above but over an explicit stream (trace replay etc.). */
 MissRateResult runMissRateOn(AccessStream &stream,
@@ -70,7 +73,7 @@ struct TimedResult
  */
 TimedResult runTimed(const std::string &workload_name,
                      const CacheConfig &config, std::uint64_t uops,
-                     std::uint64_t seed = 0xb5eedULL,
+                     std::uint64_t seed = kDefaultSeed,
                      const HierarchyParams &hierarchy_params = {});
 
 /** Per-event energy rates for @p config (CactiLite + paper methodology). */

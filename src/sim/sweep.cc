@@ -1,0 +1,221 @@
+#include "sim/sweep.hh"
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+#include "common/table.hh"
+#include "sim/config.hh"
+
+namespace bsim {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+secondsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/** Simulated events (accesses or uops) one outcome contributed. */
+std::uint64_t
+eventsOf(const SweepOutcome &out)
+{
+    if (out.miss)
+        return out.miss->stats.accesses;
+    if (out.timed)
+        return out.timed->cpu.uops;
+    return 0;
+}
+
+/** Run one job; every failure is captured in the outcome. */
+SweepOutcome
+runOne(const SweepJob &job, std::size_t index, std::uint64_t base_seed)
+{
+    SweepOutcome out;
+    out.index = index;
+    out.seed = job.seed ? *job.seed : sweepSeed(base_seed, index);
+    const auto start = Clock::now();
+    try {
+        if (!isSpec2kName(job.workload))
+            throw std::invalid_argument("unknown workload '" +
+                                        job.workload + "'");
+        if (job.length == 0)
+            throw std::invalid_argument("zero-length job for '" +
+                                        job.workload + "'");
+        switch (job.kind) {
+          case SweepJob::Kind::MissRate:
+            out.miss = runMissRate(job.workload, job.side, job.config,
+                                   job.length, out.seed);
+            break;
+          case SweepJob::Kind::Timed:
+            out.timed = runTimed(job.workload, job.config, job.length,
+                                 out.seed, job.hierarchy);
+            break;
+        }
+    } catch (const std::exception &e) {
+        out.error = e.what();
+    } catch (...) {
+        out.error = "unknown exception";
+    }
+    out.seconds = secondsSince(start);
+    return out;
+}
+
+} // namespace
+
+SweepJob
+SweepJob::missRate(std::string workload, StreamSide side,
+                   CacheConfig config, std::uint64_t accesses,
+                   std::optional<std::uint64_t> seed)
+{
+    SweepJob j;
+    j.kind = Kind::MissRate;
+    j.workload = std::move(workload);
+    j.side = side;
+    j.config = std::move(config);
+    j.length = accesses;
+    j.seed = seed;
+    return j;
+}
+
+SweepJob
+SweepJob::timed(std::string workload, CacheConfig config,
+                std::uint64_t uops, std::optional<std::uint64_t> seed,
+                HierarchyParams hierarchy)
+{
+    SweepJob j;
+    j.kind = Kind::Timed;
+    j.workload = std::move(workload);
+    j.config = std::move(config);
+    j.length = uops;
+    j.seed = seed;
+    j.hierarchy = hierarchy;
+    return j;
+}
+
+std::uint64_t
+sweepSeed(std::uint64_t base_seed, std::size_t job_index)
+{
+    // One splitmix64 step at position (job_index + 1) of the stream
+    // seeded by base_seed; +1 keeps job 0 from echoing the bare base
+    // seed's first output used elsewhere.
+    std::uint64_t x = base_seed +
+                      (static_cast<std::uint64_t>(job_index) + 1) *
+                          0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+double
+SweepSummary::eventsPerSecond() const
+{
+    return wallSeconds > 0.0 ? double(events) / wallSeconds : 0.0;
+}
+
+SweepRun
+runSweep(const std::vector<SweepJob> &jobs, const SweepOptions &options)
+{
+    SweepRun run;
+    run.outcomes.resize(jobs.size());
+
+    const unsigned requested =
+        options.jobs ? options.jobs : defaultJobs();
+    const unsigned threads = static_cast<unsigned>(
+        std::min<std::size_t>(std::max(requested, 1u), jobs.size()));
+
+    const auto start = Clock::now();
+    std::atomic<std::size_t> next{0};
+    std::mutex progress_mutex;
+    std::size_t done = 0;
+    std::uint64_t events = 0;
+
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t i =
+                next.fetch_add(1, std::memory_order_relaxed);
+            if (i >= jobs.size())
+                return;
+            run.outcomes[i] = runOne(jobs[i], i, options.baseSeed);
+
+            std::lock_guard<std::mutex> lock(progress_mutex);
+            ++done;
+            events += eventsOf(run.outcomes[i]);
+            if (options.onProgress) {
+                SweepProgress p;
+                p.done = done;
+                p.total = jobs.size();
+                p.events = events;
+                p.seconds = secondsSince(start);
+                options.onProgress(p);
+            }
+        }
+    };
+
+    if (threads <= 1) {
+        worker();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(threads);
+        for (unsigned t = 0; t < threads; ++t)
+            pool.emplace_back(worker);
+        for (auto &t : pool)
+            t.join();
+    }
+
+    run.summary.jobs = jobs.size();
+    run.summary.threads = std::max(threads, 1u);
+    run.summary.events = events;
+    run.summary.wallSeconds = secondsSince(start);
+    for (const auto &out : run.outcomes)
+        if (!out.ok())
+            ++run.summary.failed;
+    return run;
+}
+
+const MissRateResult &
+missResult(const SweepOutcome &outcome)
+{
+    if (!outcome.ok())
+        bsim_fatal("sweep job ", outcome.index, " failed: ",
+                   outcome.error);
+    if (!outcome.miss)
+        bsim_fatal("sweep job ", outcome.index,
+                   " is not a miss-rate job");
+    return *outcome.miss;
+}
+
+const TimedResult &
+timedResult(const SweepOutcome &outcome)
+{
+    if (!outcome.ok())
+        bsim_fatal("sweep job ", outcome.index, " failed: ",
+                   outcome.error);
+    if (!outcome.timed)
+        bsim_fatal("sweep job ", outcome.index, " is not a timed job");
+    return *outcome.timed;
+}
+
+void
+printSweepSummary(const SweepSummary &summary)
+{
+    Table t({"jobs", "failed", "threads", "wall-s", "sim-events",
+             "Mevents/s"});
+    t.row()
+        .cell(std::uint64_t(summary.jobs))
+        .cell(std::uint64_t(summary.failed))
+        .cell(summary.threads)
+        .cell(summary.wallSeconds, 2)
+        .cell(summary.events)
+        .cell(summary.eventsPerSecond() / 1e6, 2);
+    t.print("sweep engine");
+}
+
+} // namespace bsim

@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Parallel sweep engine: runs a vector of independent experiment cells
+ * (workload x side x CacheConfig x run length) on a fixed-size worker
+ * pool and returns results in submission order.
+ *
+ * Determinism contract: a job's workload seed depends only on the job
+ * itself — either the explicit SweepJob::seed, or
+ * sweepSeed(SweepOptions::baseSeed, job_index) — never on thread count
+ * or scheduling, so an N-thread sweep is bit-identical to the same
+ * sweep on one thread. Jobs share no mutable state (each builds its own
+ * workload and cache models), which is what makes the fan-out safe.
+ */
+
+#ifndef BSIM_SIM_SWEEP_HH
+#define BSIM_SIM_SWEEP_HH
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/runner.hh"
+
+namespace bsim {
+
+/** One experiment cell submitted to runSweep(). */
+struct SweepJob
+{
+    /** Which runner executes the cell. */
+    enum class Kind : std::uint8_t {
+        MissRate, ///< standalone cache via runMissRate()
+        Timed,    ///< OOO core + two-level hierarchy via runTimed()
+    };
+
+    Kind kind = Kind::MissRate;
+    std::string workload;               ///< one of spec2kNames()
+    StreamSide side = StreamSide::Data; ///< MissRate jobs only
+    CacheConfig config;
+    std::uint64_t length = 0; ///< accesses (MissRate) or uops (Timed)
+    /**
+     * Workload seed. Unset derives sweepSeed(baseSeed, job_index); set
+     * it explicitly to reproduce a specific serial runMissRate/runTimed
+     * call (the benches pin kDefaultSeed so their tables match the
+     * serial numbers recorded in EXPERIMENTS.md).
+     */
+    std::optional<std::uint64_t> seed;
+    HierarchyParams hierarchy; ///< Timed jobs only
+
+    static SweepJob missRate(std::string workload, StreamSide side,
+                             CacheConfig config, std::uint64_t accesses,
+                             std::optional<std::uint64_t> seed = {});
+    static SweepJob timed(std::string workload, CacheConfig config,
+                          std::uint64_t uops,
+                          std::optional<std::uint64_t> seed = {},
+                          HierarchyParams hierarchy = {});
+};
+
+/** Result of one job, delivered in submission order. */
+struct SweepOutcome
+{
+    std::size_t index = 0;  ///< position in the submitted job vector
+    std::uint64_t seed = 0; ///< workload seed the job actually used
+    std::optional<MissRateResult> miss; ///< MissRate jobs
+    std::optional<TimedResult> timed;   ///< Timed jobs
+    std::string error;    ///< non-empty if the job threw
+    double seconds = 0.0; ///< wall time of this job
+
+    bool ok() const { return error.empty(); }
+};
+
+/** Aggregate metrics of one runSweep() call. */
+struct SweepSummary
+{
+    std::size_t jobs = 0;
+    std::size_t failed = 0;
+    unsigned threads = 0;
+    std::uint64_t events = 0; ///< simulated accesses + uops
+    double wallSeconds = 0.0;
+
+    double eventsPerSecond() const;
+};
+
+/** Snapshot handed to the progress hook after each job completes. */
+struct SweepProgress
+{
+    std::size_t done = 0;
+    std::size_t total = 0;
+    std::uint64_t events = 0; ///< simulated accesses + uops so far
+    double seconds = 0.0;     ///< wall time since the sweep started
+};
+
+/** Knobs for one runSweep() call. */
+struct SweepOptions
+{
+    /** Worker threads; 0 uses defaultJobs() (BSIM_JOBS / --jobs). */
+    unsigned jobs = 0;
+    /** Base for per-job seed derivation (jobs without explicit seeds). */
+    std::uint64_t baseSeed = kDefaultSeed;
+    /**
+     * Invoked after each job completes. Calls are serialized (a mutex)
+     * but may come from any worker thread; the hook must not throw.
+     */
+    std::function<void(const SweepProgress &)> onProgress;
+};
+
+/** Outcomes (submission order) plus the aggregate metrics. */
+struct SweepRun
+{
+    std::vector<SweepOutcome> outcomes;
+    SweepSummary summary;
+};
+
+/**
+ * Per-job seed derivation: one splitmix64 step keyed by the job index.
+ * Pure function of (base_seed, job_index), so results cannot depend on
+ * scheduling.
+ */
+std::uint64_t sweepSeed(std::uint64_t base_seed, std::size_t job_index);
+
+/**
+ * Execute every job on min(options.jobs, jobs.size()) worker threads.
+ * A job that throws is captured in its outcome's `error` field; the
+ * remaining jobs still run and the call always returns (no deadlock).
+ */
+SweepRun runSweep(const std::vector<SweepJob> &jobs,
+                  const SweepOptions &options = {});
+
+/** The outcome's MissRateResult; bsim_fatal if the job failed. */
+const MissRateResult &missResult(const SweepOutcome &outcome);
+
+/** The outcome's TimedResult; bsim_fatal if the job failed. */
+const TimedResult &timedResult(const SweepOutcome &outcome);
+
+/**
+ * Print the engine's metrics (jobs, wall time, aggregate simulated
+ * events/s) as a one-row common/table — the progress/metrics companion
+ * the bench harnesses append after their figure tables.
+ */
+void printSweepSummary(const SweepSummary &summary);
+
+} // namespace bsim
+
+#endif // BSIM_SIM_SWEEP_HH

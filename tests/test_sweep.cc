@@ -1,0 +1,233 @@
+/** Unit tests for the parallel sweep engine. */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "sim/sweep.hh"
+
+namespace bsim {
+namespace {
+
+/** A mixed B-Cache / set-assoc / victim job list over several workloads. */
+std::vector<SweepJob>
+mixedJobs(std::uint64_t accesses)
+{
+    const std::vector<std::string> benches = {"gcc", "equake", "twolf",
+                                              "gzip"};
+    const std::vector<CacheConfig> configs = {
+        CacheConfig::directMapped(16 * 1024),
+        CacheConfig::setAssoc(16 * 1024, 4),
+        CacheConfig::bcache(16 * 1024, 8, 8),
+        CacheConfig::victim(16 * 1024, 16),
+    };
+    std::vector<SweepJob> jobs;
+    for (const auto &b : benches)
+        for (const auto &cfg : configs)
+            jobs.push_back(SweepJob::missRate(b, StreamSide::Data, cfg,
+                                              accesses));
+    return jobs;
+}
+
+/** Every counter that a bit-identical run must reproduce. */
+void
+expectIdentical(const SweepOutcome &a, const SweepOutcome &b)
+{
+    ASSERT_TRUE(a.ok()) << a.error;
+    ASSERT_TRUE(b.ok()) << b.error;
+    EXPECT_EQ(a.index, b.index);
+    EXPECT_EQ(a.seed, b.seed);
+    ASSERT_TRUE(a.miss.has_value());
+    ASSERT_TRUE(b.miss.has_value());
+    EXPECT_EQ(a.miss->workload, b.miss->workload);
+    EXPECT_EQ(a.miss->config, b.miss->config);
+    EXPECT_EQ(a.miss->stats.accesses, b.miss->stats.accesses);
+    EXPECT_EQ(a.miss->stats.hits, b.miss->stats.hits);
+    EXPECT_EQ(a.miss->stats.misses, b.miss->stats.misses);
+    EXPECT_EQ(a.miss->stats.writebacks, b.miss->stats.writebacks);
+    EXPECT_EQ(a.miss->stats.refills, b.miss->stats.refills);
+    EXPECT_EQ(a.miss->victimHits, b.miss->victimHits);
+    EXPECT_EQ(a.miss->pd.has_value(), b.miss->pd.has_value());
+    if (a.miss->pd) {
+        EXPECT_EQ(a.miss->pd->pdHitCacheMiss, b.miss->pd->pdHitCacheMiss);
+        EXPECT_EQ(a.miss->pd->pdMiss, b.miss->pd->pdMiss);
+    }
+    EXPECT_DOUBLE_EQ(a.miss->balance.cmPct, b.miss->balance.cmPct);
+    EXPECT_DOUBLE_EQ(a.miss->balance.chPct, b.miss->balance.chPct);
+}
+
+TEST(Sweep, ResultsInSubmissionOrder)
+{
+    const auto jobs = mixedJobs(20000);
+    SweepOptions opt;
+    opt.jobs = 3;
+    const SweepRun run = runSweep(jobs, opt);
+    ASSERT_EQ(run.outcomes.size(), jobs.size());
+    for (std::size_t i = 0; i < jobs.size(); ++i) {
+        EXPECT_EQ(run.outcomes[i].index, i);
+        ASSERT_TRUE(run.outcomes[i].ok()) << run.outcomes[i].error;
+        EXPECT_EQ(run.outcomes[i].miss->workload, jobs[i].workload);
+        EXPECT_EQ(run.outcomes[i].miss->config, jobs[i].config.label);
+    }
+}
+
+TEST(Sweep, MultiThreadBitIdenticalToSingleThread)
+{
+    const auto jobs = mixedJobs(30000);
+    SweepOptions serial;
+    serial.jobs = 1;
+    SweepOptions parallel;
+    parallel.jobs = 4;
+    const SweepRun a = runSweep(jobs, serial);
+    const SweepRun b = runSweep(jobs, parallel);
+    ASSERT_EQ(a.outcomes.size(), b.outcomes.size());
+    for (std::size_t i = 0; i < a.outcomes.size(); ++i)
+        expectIdentical(a.outcomes[i], b.outcomes[i]);
+    EXPECT_EQ(a.summary.events, b.summary.events);
+    EXPECT_EQ(b.summary.threads, 4u);
+}
+
+TEST(Sweep, ThrowingJobReportedWithoutDeadlock)
+{
+    std::vector<SweepJob> jobs;
+    jobs.push_back(SweepJob::missRate(
+        "gcc", StreamSide::Data, CacheConfig::directMapped(16 * 1024),
+        20000));
+    jobs.push_back(SweepJob::missRate(
+        "no-such-bench", StreamSide::Data,
+        CacheConfig::directMapped(16 * 1024), 20000));
+    jobs.push_back(SweepJob::missRate(
+        "twolf", StreamSide::Data, CacheConfig::bcache(16 * 1024, 8, 8),
+        20000));
+    jobs.push_back(SweepJob::missRate(
+        "gzip", StreamSide::Data, CacheConfig::directMapped(16 * 1024),
+        0)); // zero-length: also an error
+    SweepOptions opt;
+    opt.jobs = 2;
+    const SweepRun run = runSweep(jobs, opt);
+    ASSERT_EQ(run.outcomes.size(), 4u);
+    EXPECT_TRUE(run.outcomes[0].ok());
+    EXPECT_FALSE(run.outcomes[1].ok());
+    EXPECT_NE(run.outcomes[1].error.find("no-such-bench"),
+              std::string::npos);
+    EXPECT_TRUE(run.outcomes[2].ok());
+    EXPECT_FALSE(run.outcomes[3].ok());
+    EXPECT_EQ(run.summary.failed, 2u);
+    // Failed jobs contribute no simulated events.
+    EXPECT_EQ(run.summary.events, 40000u);
+}
+
+TEST(Sweep, SeedDerivationIsPureAndPerJob)
+{
+    EXPECT_EQ(sweepSeed(7, 0), sweepSeed(7, 0));
+    EXPECT_NE(sweepSeed(7, 0), sweepSeed(7, 1));
+    EXPECT_NE(sweepSeed(7, 0), sweepSeed(8, 0));
+
+    std::vector<SweepJob> jobs;
+    jobs.push_back(SweepJob::missRate(
+        "gcc", StreamSide::Data, CacheConfig::directMapped(16 * 1024),
+        20000));
+    jobs.push_back(SweepJob::missRate(
+        "gcc", StreamSide::Data, CacheConfig::directMapped(16 * 1024),
+        20000, /*seed=*/42));
+    SweepOptions opt;
+    opt.baseSeed = 1234;
+    const SweepRun run = runSweep(jobs, opt);
+    EXPECT_EQ(run.outcomes[0].seed, sweepSeed(1234, 0));
+    EXPECT_EQ(run.outcomes[1].seed, 42u);
+}
+
+TEST(Sweep, ExplicitSeedMatchesSerialRunner)
+{
+    const CacheConfig cfg = CacheConfig::bcache(16 * 1024, 8, 8);
+    const MissRateResult serial =
+        runMissRate("equake", StreamSide::Data, cfg, 30000, 7);
+    const SweepRun run = runSweep(
+        {SweepJob::missRate("equake", StreamSide::Data, cfg, 30000, 7)});
+    const MissRateResult &swept = missResult(run.outcomes[0]);
+    EXPECT_EQ(serial.stats.misses, swept.stats.misses);
+    EXPECT_EQ(serial.stats.hits, swept.stats.hits);
+    EXPECT_EQ(serial.pd->pdMiss, swept.pd->pdMiss);
+}
+
+TEST(Sweep, TimedJobsRunTheFullHierarchy)
+{
+    std::vector<SweepJob> jobs;
+    jobs.push_back(SweepJob::timed(
+        "gcc", CacheConfig::directMapped(16 * 1024), 30000, 7));
+    jobs.push_back(SweepJob::timed(
+        "equake", CacheConfig::bcache(16 * 1024, 8, 8), 30000, 7));
+    SweepOptions opt;
+    opt.jobs = 2;
+    const SweepRun run = runSweep(jobs, opt);
+    for (const auto &out : run.outcomes) {
+        const TimedResult &r = timedResult(out);
+        EXPECT_EQ(r.cpu.uops, 30000u);
+        EXPECT_GT(r.ipc(), 0.0);
+    }
+    // Timed jobs reproduce the serial runner too.
+    const TimedResult serial =
+        runTimed("gcc", CacheConfig::directMapped(16 * 1024), 30000, 7);
+    EXPECT_EQ(serial.cpu.cycles, run.outcomes[0].timed->cpu.cycles);
+    EXPECT_EQ(run.summary.events, 60000u);
+}
+
+TEST(Sweep, ProgressHookSeesEveryJob)
+{
+    const auto jobs = mixedJobs(20000);
+    std::size_t calls = 0;
+    std::size_t last_done = 0;
+    bool monotone = true;
+    SweepOptions opt;
+    opt.jobs = 4;
+    opt.onProgress = [&](const SweepProgress &p) {
+        ++calls;
+        monotone = monotone && p.done == last_done + 1;
+        last_done = p.done;
+        EXPECT_EQ(p.total, jobs.size());
+    };
+    const SweepRun run = runSweep(jobs, opt);
+    EXPECT_EQ(calls, jobs.size());
+    EXPECT_TRUE(monotone);
+    EXPECT_EQ(last_done, jobs.size());
+    EXPECT_EQ(run.summary.jobs, jobs.size());
+}
+
+TEST(Sweep, DefaultJobsHonoursEnv)
+{
+    ::setenv("BSIM_JOBS", "3", 1);
+    EXPECT_EQ(defaultJobs(), 3u);
+    ::setenv("BSIM_JOBS", "garbage", 1);
+    EXPECT_GE(defaultJobs(), 1u);
+    ::unsetenv("BSIM_JOBS");
+    EXPECT_GE(defaultJobs(), 1u);
+}
+
+TEST(Sweep, ConsumeJobsFlagStripsArgv)
+{
+    char prog[] = "prog";
+    char a1[] = "--jobs";
+    char a2[] = "6";
+    char a3[] = "twolf";
+    char *argv[] = {prog, a1, a2, a3, nullptr};
+    int argc = 4;
+    EXPECT_EQ(consumeJobsFlag(argc, argv), 6u);
+    ASSERT_EQ(argc, 2);
+    EXPECT_STREQ(argv[1], "twolf");
+
+    char b1[] = "--jobs=2";
+    char *argv2[] = {prog, b1, nullptr};
+    int argc2 = 2;
+    EXPECT_EQ(consumeJobsFlag(argc2, argv2), 2u);
+    EXPECT_EQ(argc2, 1);
+
+    char *argv3[] = {prog, a3, nullptr};
+    int argc3 = 2;
+    EXPECT_EQ(consumeJobsFlag(argc3, argv3), 0u);
+    EXPECT_EQ(argc3, 2);
+}
+
+} // namespace
+} // namespace bsim
