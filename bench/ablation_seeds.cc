@@ -78,6 +78,15 @@ main(int argc, char **argv)
         .cell(s_8.max() - s_8.min(), 1)
         .cell(s_bc.max() - s_bc.min(), 1)
         .cell(s_v.max() - s_v.min(), 1);
+    // Sample (n-1) statistics: the three seeds are draws from the space
+    // of possible workload RNG streams, so the population form would
+    // understate the across-seed confidence interval.
+    t.row()
+        .cell("stddev(n-1)")
+        .cell(s_dm.sampleStddev(), 2)
+        .cell(s_8.sampleStddev(), 1)
+        .cell(s_bc.sampleStddev(), 1)
+        .cell(s_v.sampleStddev(), 1);
     t.print("suite-average D$ metrics under three workload seeds");
     printSweepSummary(run.summary);
     return 0;

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Differential-oracle smoke for the bench suite: before trusting any of
+ * the figure/table reproductions, run the paper's flagship configurations
+ * (plus both exact-equivalence limits) through the verify/ OracleChecker
+ * and report the checked-step counts. This is the "is the simulator
+ * telling the truth" gate — the fuzz campaign lives in tests/bsim_verify,
+ * this hook pins the specific configurations the paper's numbers use.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "common/table.hh"
+#include "verify/fuzz.hh"
+
+using namespace bsim;
+
+namespace {
+
+struct Cell
+{
+    const char *label;
+    FuzzSpec spec;
+};
+
+FuzzSpec
+paperSpec(std::uint32_t mf, std::uint32_t bas, WritePolicy wp,
+          std::uint64_t seed)
+{
+    FuzzSpec s;
+    s.params.sizeBytes = 16 * 1024; // the paper's L1 baseline
+    s.params.lineBytes = 32;
+    s.params.mf = mf;
+    s.params.bas = bas;
+    s.params.writePolicy = wp;
+    s.addrBits = 24;
+    s.writebackFraction = 0.01;
+    s.seed = seed;
+    return s;
+}
+
+} // namespace
+
+int
+main()
+{
+    const std::uint64_t steps = 100000;
+    std::vector<Cell> cells = {
+        {"baseline-dm (BAS=1)",
+         paperSpec(1, 1, WritePolicy::WriteBackAllocate, 11)},
+        {"paper MF=8 BAS=8",
+         paperSpec(8, 8, WritePolicy::WriteBackAllocate, 12)},
+        {"paper MF=8 BAS=8 wt",
+         paperSpec(8, 8, WritePolicy::WriteThroughNoAllocate, 13)},
+        // PI must cover all addrBits-5-6 = 13 upper bits: 2^10 * BAS=8.
+        {"saturated-PI (exact SA)",
+         paperSpec(1u << 10, 8, WritePolicy::WriteBackAllocate, 14)},
+        {"MF=16 BAS=2",
+         paperSpec(16, 2, WritePolicy::WriteBackAllocate, 15)},
+    };
+
+    Table t({"config", "oracles", "steps", "verdict"});
+    int rc = 0;
+    for (const Cell &c : cells) {
+        const FuzzResult r = runFuzzCase(c.spec, steps);
+        t.row()
+            .cell(c.label)
+            .cell(r.oracleModes)
+            .cell(r.steps)
+            .cell(r.ok ? "agree" : "DIVERGED");
+        if (!r.ok) {
+            std::fprintf(stderr, "%s\n%s\n", c.spec.toString().c_str(),
+                         r.toString().c_str());
+            rc = 1;
+        }
+    }
+    t.print("verify smoke (differential oracles on the paper's configs)");
+    return rc;
+}

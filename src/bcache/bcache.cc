@@ -1,7 +1,5 @@
 #include "bcache/bcache.hh"
 
-#include <unordered_set>
-
 #include "common/logging.hh"
 
 namespace bsim {
@@ -92,13 +90,14 @@ BCache::access(const MemAccess &req)
         }
         if (write_through && req.type == AccessType::Write) {
             // No-write-allocate: forward the store; the PD entry and
-            // the resident block are left untouched.
+            // the resident block are left untouched, so no physical
+            // line is charged with this miss.
             lastOutcome_ = PdOutcome::HitButCacheMiss;
             ++pdStats_.pdHitCacheMiss;
             ++stats_.writethroughs;
             if (nextLevel())
                 nextLevel()->writeback(geom_.blockAlign(req.addr));
-            record(req.type, false, group * layout_.bas + pd_way);
+            record(req.type, false);
             return {false, hitLatency()};
         }
         // PD hit but the tag differs: replacing any line other than the
@@ -118,10 +117,12 @@ BCache::access(const MemAccess &req)
     lastOutcome_ = PdOutcome::Miss;
     ++pdStats_.pdMiss;
     if (write_through && req.type == AccessType::Write) {
+        // Non-allocating miss: no line is touched, so none is charged
+        // (charging way 0 of the group skews the Table 7 balance).
         ++stats_.writethroughs;
         if (nextLevel())
             nextLevel()->writeback(geom_.blockAlign(req.addr));
-        record(req.type, false, group * layout_.bas);
+        record(req.type, false);
         return {false, hitLatency()};
     }
     std::size_t victim = layout_.bas;
@@ -144,6 +145,19 @@ BCache::writeback(Addr addr)
     const std::size_t group = groupOf(addr);
     const Addr upper = upperOf(addr);
     const int pd_way = pdMatch(group, pdPattern(upper));
+    if (params_.writePolicy == WritePolicy::WriteThroughNoAllocate) {
+        // Write-through: the incoming dirty data must reach the next
+        // level (installing it here with dirty=false would silently
+        // drop the write); no-write-allocate means a miss installs
+        // nothing. A resident copy stays resident (and clean).
+        ++stats_.writethroughs;
+        if (nextLevel())
+            nextLevel()->writeback(geom_.blockAlign(addr));
+        if (pd_way >= 0 &&
+            lineAt(group, static_cast<std::size_t>(pd_way)).upper == upper)
+            repl_->touch(group, static_cast<std::size_t>(pd_way));
+        return;
+    }
     MemAccess req{addr, AccessType::Write};
     if (pd_way >= 0) {
         Line &l = lineAt(group, static_cast<std::size_t>(pd_way));
@@ -154,6 +168,7 @@ BCache::writeback(Addr addr)
         }
         replaceLine(group, static_cast<std::size_t>(pd_way), req, upper,
                     false);
+        ++stats_.refills;
         return;
     }
     std::size_t victim = layout_.bas;
@@ -166,6 +181,7 @@ BCache::writeback(Addr addr)
     if (victim == layout_.bas)
         victim = repl_->victim(group);
     replaceLine(group, victim, req, upper, false);
+    ++stats_.refills;
 }
 
 void
@@ -189,16 +205,41 @@ BCache::contains(Addr addr) const
     return lineAt(group, static_cast<std::size_t>(pd_way)).upper == upper;
 }
 
+PdOutcome
+BCache::classify(Addr addr) const
+{
+    const std::size_t group = groupOf(addr);
+    const Addr upper = upperOf(addr);
+    const int pd_way = pdMatch(group, pdPattern(upper));
+    if (pd_way < 0)
+        return PdOutcome::Miss;
+    return lineAt(group, static_cast<std::size_t>(pd_way)).upper == upper
+               ? PdOutcome::HitAndCacheHit
+               : PdOutcome::HitButCacheMiss;
+}
+
 bool
 BCache::checkUniqueDecoding() const
 {
-    for (std::size_t g = 0; g < layout_.groups; ++g) {
-        std::unordered_set<Addr> seen;
-        for (std::size_t w = 0; w < layout_.bas; ++w) {
-            const Line &l = lineAt(g, w);
-            if (!l.valid)
-                continue;
-            if (!seen.insert(pdPattern(l.upper)).second)
+    for (std::size_t g = 0; g < layout_.groups; ++g)
+        if (!checkUniqueDecoding(g))
+            return false;
+    return true;
+}
+
+bool
+BCache::checkUniqueDecoding(std::size_t group) const
+{
+    // O(BAS^2) pairwise compare: BAS is small (<= a few dozen) and this
+    // runs after every access in the differential fuzzer, so avoiding a
+    // hash-set allocation matters.
+    for (std::size_t w = 0; w < layout_.bas; ++w) {
+        const Line &a = lineAt(group, w);
+        if (!a.valid)
+            continue;
+        for (std::size_t v = w + 1; v < layout_.bas; ++v) {
+            const Line &b = lineAt(group, v);
+            if (b.valid && pdPattern(a.upper) == pdPattern(b.upper))
                 return false;
         }
     }

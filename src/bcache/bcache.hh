@@ -95,13 +95,28 @@ class BCache : public BaseCache
     PdOutcome lastOutcome() const { return lastOutcome_; }
 
     /** True if the block containing @p addr is resident (no side effects). */
-    bool contains(Addr addr) const;
+    bool contains(Addr addr) const override;
+
+    /**
+     * Side-effect-free decoder probe: the PdOutcome an access to @p addr
+     * would produce against the current PD/tag state. The verify/ oracle
+     * checks that the outcome recorded by the mutating access() path
+     * agrees with this probe taken just before the access.
+     */
+    PdOutcome classify(Addr addr) const;
 
     /**
      * Verify the unique-decoding invariant: valid PD patterns within each
      * group are pairwise distinct. Returns true when it holds.
      */
     bool checkUniqueDecoding() const;
+
+    /**
+     * The invariant restricted to one group. A mutation can only break
+     * uniqueness in the group it touched, so the verify/ checker calls
+     * this after every access and the full sweep only periodically.
+     */
+    bool checkUniqueDecoding(std::size_t group) const;
 
     /** Number of valid lines (for tests). */
     std::size_t validLines() const;

@@ -40,6 +40,12 @@ BaseCache::record(AccessType type, bool hit, std::size_t physical_line)
 }
 
 void
+BaseCache::record(AccessType type, bool hit)
+{
+    stats_.recordAccess(type, hit);
+}
+
+void
 BaseCache::resetBase(std::size_t num_lines)
 {
     stats_.reset();

@@ -63,6 +63,13 @@ class BaseCache : public MemLevel
     /** Miss rate over all access types. */
     double missRate() const { return stats_.missRate(); }
 
+    /**
+     * True if the block containing @p addr is resident at this level.
+     * Must be side-effect free (no replacement-state or counter updates):
+     * the verify/ oracles probe residency between accesses.
+     */
+    virtual bool contains(Addr addr) const = 0;
+
   protected:
     /**
      * Fetch the block for @p req from the next level after a miss.
@@ -75,6 +82,14 @@ class BaseCache : public MemLevel
 
     /** Update aggregate + per-line counters. */
     void record(AccessType type, bool hit, std::size_t physical_line);
+
+    /**
+     * Update aggregate counters only. For accesses that touch no physical
+     * line (no-write-allocate misses that merely forward the store): they
+     * must not be attributed to an arbitrary line, or the per-set usage
+     * behind the Table 7 balance classification is skewed.
+     */
+    void record(AccessType type, bool hit);
 
     /** Reset stats/usage; derived classes call from their reset(). */
     void resetBase(std::size_t num_lines);

@@ -62,13 +62,12 @@ SetAssocCache::lookupAndFill(const MemAccess &req, bool count_refill)
     }
 
     // Write miss under no-write-allocate: forward the store, touch no
-    // cache state (the physical line reported is the set's way 0 purely
-    // for usage accounting).
+    // cache state and no physical line.
     if (write_through && req.type == AccessType::Write) {
         ++stats_.writethroughs;
         if (nextLevel())
             nextLevel()->writeback(geom_.blockAlign(req.addr));
-        return {false, set * geom_.ways(), 0};
+        return {false, kNoLine, 0};
     }
 
     // Miss: pick a victim, write it back if dirty, refill.
@@ -92,7 +91,10 @@ AccessOutcome
 SetAssocCache::access(const MemAccess &req)
 {
     const Result r = lookupAndFill(req, /*count_refill=*/true);
-    record(req.type, r.hit, r.physicalLine);
+    if (r.physicalLine == kNoLine)
+        record(req.type, r.hit);
+    else
+        record(req.type, r.hit, r.physicalLine);
     return {r.hit, hitLatency() + r.extraLatency};
 }
 
@@ -100,15 +102,17 @@ void
 SetAssocCache::writeback(Addr addr)
 {
     // A writeback from above behaves like a write that does not fetch the
-    // block on a miss's critical path; we still allocate (typical for an
-    // inclusive write-back L2 receiving dirty L1 victims).
+    // block on a miss's critical path; under write-allocate we still
+    // allocate (typical for an inclusive write-back L2 receiving dirty L1
+    // victims); under write-through/no-allocate lookupAndFill forwards the
+    // store without installing anything.
     MemAccess req{addr, AccessType::Write};
     const Result r = lookupAndFill(req, /*count_refill=*/false);
     // Writebacks are not demand accesses: tracked separately so they do
-    // not perturb the miss-rate metric the paper reports.
-    if (!r.hit)
+    // not perturb the miss-rate metric the paper reports. Only count a
+    // refill when a line was actually installed.
+    if (!r.hit && r.physicalLine != kNoLine)
         ++stats_.refills;
-    (void)r;
 }
 
 void

@@ -30,7 +30,7 @@ class SetAssocCache : public BaseCache
     void reset() override;
 
     /** True if the block containing @p addr is resident (no side effects). */
-    bool contains(Addr addr) const;
+    bool contains(Addr addr) const override;
 
     /** Way holding @p addr, or -1. No side effects (for tests). */
     int probeWay(Addr addr) const;
@@ -63,8 +63,11 @@ class SetAssocCache : public BaseCache
 
     /**
      * Core lookup/fill shared by demand accesses and writebacks from the
-     * level above. Returns hit status and the touched physical line.
+     * level above. Returns hit status and the touched physical line
+     * (kNoLine when the access touched none, i.e. a forwarded
+     * no-write-allocate store miss).
      */
+    static constexpr std::size_t kNoLine = ~std::size_t{0};
     struct Result
     {
         bool hit;

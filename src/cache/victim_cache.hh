@@ -41,6 +41,12 @@ class VictimCache : public BaseCache
     bool mainContains(Addr addr) const;
     bool bufferContains(Addr addr) const;
 
+    /** Resident in either the main array or the victim buffer. */
+    bool contains(Addr addr) const override
+    {
+        return mainContains(addr) || bufferContains(addr);
+    }
+
   private:
     struct Line
     {

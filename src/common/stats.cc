@@ -42,6 +42,18 @@ RunningStat::stddev() const
     return std::sqrt(variance());
 }
 
+double
+RunningStat::sampleVariance() const
+{
+    return n_ > 1 ? m2_ / static_cast<double>(n_ - 1) : 0.0;
+}
+
+double
+RunningStat::sampleStddev() const
+{
+    return std::sqrt(sampleVariance());
+}
+
 Histogram::Histogram(std::uint64_t bucket_width, std::size_t num_buckets)
     : width_(bucket_width ? bucket_width : 1), buckets_(num_buckets, 0)
 {
@@ -78,15 +90,21 @@ Histogram::percentile(double fraction) const
     if (total_ == 0)
         return 0;
     fraction = std::clamp(fraction, 0.0, 1.0);
-    const auto target = static_cast<std::uint64_t>(
+    auto target = static_cast<std::uint64_t>(
         std::ceil(fraction * static_cast<double>(total_)));
+    // fraction == 0 means "the smallest recorded sample", not "the upper
+    // edge of bucket 0 whether or not anything landed there".
+    target = std::max<std::uint64_t>(target, 1);
     std::uint64_t seen = 0;
     for (std::size_t i = 0; i < buckets_.size(); ++i) {
         seen += buckets_[i];
         if (seen >= target)
             return (i + 1) * width_ - 1;
     }
-    return buckets_.size() * width_;
+    // The rank lands in the overflow bucket. The old fall-through
+    // silently produced the same finite number as a full last bucket,
+    // understating the tail; saturate explicitly instead.
+    return overflowEdge();
 }
 
 std::string

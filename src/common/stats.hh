@@ -30,9 +30,18 @@ class RunningStat
     double mean() const { return n_ ? mean_ : 0.0; }
     double min() const { return n_ ? min_ : 0.0; }
     double max() const { return n_ ? max_ : 0.0; }
-    /** Population variance. */
+    /** Population variance (divides by n). */
     double variance() const;
     double stddev() const;
+    /**
+     * Unbiased sample variance (divides by n - 1; 0 for fewer than two
+     * samples). Use this when the added values are themselves draws from
+     * a larger population — e.g. the per-seed suite averages behind the
+     * ablation_seeds spread row — where the population form understates
+     * the across-draw confidence interval.
+     */
+    double sampleVariance() const;
+    double sampleStddev() const;
     double sum() const { return sum_; }
 
   private:
@@ -62,7 +71,22 @@ class Histogram
     std::size_t numBuckets() const { return buckets_.size(); }
     std::uint64_t bucketWidth() const { return width_; }
 
-    /** Smallest sample value v such that cdf(v) >= fraction. */
+    /**
+     * First value beyond the tracked range: samples >= this landed in the
+     * overflow bucket. Also the saturation value percentile() returns
+     * when the requested rank falls into the overflow bucket.
+     */
+    std::uint64_t overflowEdge() const { return buckets_.size() * width_; }
+
+    /**
+     * Smallest value v guaranteed to satisfy cdf(v) >= fraction: the
+     * inclusive upper edge of the bucket holding the target rank (exact
+     * when bucketWidth() == 1). fraction <= 0 targets the smallest
+     * recorded sample's bucket. When the rank lands in the overflow
+     * bucket the true value is unknowable from the histogram; the result
+     * saturates to overflowEdge() — callers reporting tail latency must
+     * treat it as ">= overflowEdge()", not as a measurement.
+     */
     std::uint64_t percentile(double fraction) const;
 
     std::string toString() const;

@@ -31,6 +31,8 @@ eventsOf(const SweepOutcome &out)
         return out.miss->stats.accesses;
     if (out.timed)
         return out.timed->cpu.uops;
+    if (out.customEvents)
+        return *out.customEvents;
     return 0;
 }
 
@@ -43,12 +45,16 @@ runOne(const SweepJob &job, std::size_t index, std::uint64_t base_seed)
     out.seed = job.seed ? *job.seed : sweepSeed(base_seed, index);
     const auto start = Clock::now();
     try {
-        if (!isSpec2kName(job.workload))
-            throw std::invalid_argument("unknown workload '" +
-                                        job.workload + "'");
-        if (job.length == 0)
-            throw std::invalid_argument("zero-length job for '" +
-                                        job.workload + "'");
+        // Custom jobs carry their own workload in the callable; the
+        // spec2k name check only applies to the built-in runners.
+        if (job.kind != SweepJob::Kind::Custom) {
+            if (!isSpec2kName(job.workload))
+                throw std::invalid_argument("unknown workload '" +
+                                            job.workload + "'");
+            if (job.length == 0)
+                throw std::invalid_argument("zero-length job for '" +
+                                            job.workload + "'");
+        }
         switch (job.kind) {
           case SweepJob::Kind::MissRate:
             out.miss = runMissRate(job.workload, job.side, job.config,
@@ -57,6 +63,13 @@ runOne(const SweepJob &job, std::size_t index, std::uint64_t base_seed)
           case SweepJob::Kind::Timed:
             out.timed = runTimed(job.workload, job.config, job.length,
                                  out.seed, job.hierarchy);
+            break;
+          case SweepJob::Kind::Custom:
+            if (!job.custom)
+                throw std::invalid_argument("custom job '" +
+                                            job.workload +
+                                            "' has no callable");
+            out.customEvents = job.custom(out.seed);
             break;
         }
     } catch (const std::exception &e) {
@@ -97,6 +110,19 @@ SweepJob::timed(std::string workload, CacheConfig config,
     j.length = uops;
     j.seed = seed;
     j.hierarchy = hierarchy;
+    return j;
+}
+
+SweepJob
+SweepJob::customJob(std::string label,
+                    std::function<std::uint64_t(std::uint64_t)> fn,
+                    std::optional<std::uint64_t> seed)
+{
+    SweepJob j;
+    j.kind = Kind::Custom;
+    j.workload = std::move(label);
+    j.custom = std::move(fn);
+    j.seed = seed;
     return j;
 }
 

@@ -32,6 +32,7 @@ struct SweepJob
     enum class Kind : std::uint8_t {
         MissRate, ///< standalone cache via runMissRate()
         Timed,    ///< OOO core + two-level hierarchy via runTimed()
+        Custom,   ///< caller-supplied callable (e.g. a verify fuzz case)
     };
 
     Kind kind = Kind::MissRate;
@@ -47,6 +48,14 @@ struct SweepJob
      */
     std::optional<std::uint64_t> seed;
     HierarchyParams hierarchy; ///< Timed jobs only
+    /**
+     * Custom jobs only: runs on a worker with the job's derived seed and
+     * returns the number of simulated events it performed (counted into
+     * SweepSummary::events). Throwing fails the job like any runner. The
+     * callable must be self-contained — it shares no mutable state with
+     * other jobs, preserving the engine's determinism contract.
+     */
+    std::function<std::uint64_t(std::uint64_t seed)> custom;
 
     static SweepJob missRate(std::string workload, StreamSide side,
                              CacheConfig config, std::uint64_t accesses,
@@ -55,6 +64,11 @@ struct SweepJob
                           std::uint64_t uops,
                           std::optional<std::uint64_t> seed = {},
                           HierarchyParams hierarchy = {});
+    /** @p label is reported in place of a workload name on failure. */
+    static SweepJob customJob(
+        std::string label,
+        std::function<std::uint64_t(std::uint64_t seed)> fn,
+        std::optional<std::uint64_t> seed = {});
 };
 
 /** Result of one job, delivered in submission order. */
@@ -64,6 +78,8 @@ struct SweepOutcome
     std::uint64_t seed = 0; ///< workload seed the job actually used
     std::optional<MissRateResult> miss; ///< MissRate jobs
     std::optional<TimedResult> timed;   ///< Timed jobs
+    /** Custom jobs: events the callable reported. */
+    std::optional<std::uint64_t> customEvents;
     std::string error;    ///< non-empty if the job threw
     double seconds = 0.0; ///< wall time of this job
 

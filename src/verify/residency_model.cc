@@ -1,0 +1,129 @@
+#include "verify/residency_model.hh"
+
+#include "common/strings.hh"
+
+namespace bsim {
+
+namespace {
+
+constexpr Addr kNoForward = ~Addr{0};
+
+} // namespace
+
+FunctionalResidencyModel::FunctionalResidencyModel(const BaseCache &dut,
+                                                   WritePolicy policy)
+    : dut_(dut), policy_(policy)
+{
+}
+
+void
+FunctionalResidencyModel::checkWritebacks(
+    const std::vector<MemEvent> &events, Addr forwarded_block,
+    std::vector<std::string> &out)
+{
+    bool forward_seen = false;
+    for (const MemEvent &e : events) {
+        if (e.kind == MemEvent::Kind::Write) {
+            out.push_back(strprintf("unexpected demand write of 0x%llx "
+                                    "at the memory boundary",
+                                    (unsigned long long)e.addr));
+            continue;
+        }
+        if (e.kind != MemEvent::Kind::Writeback)
+            continue;
+        if (e.addr == forwarded_block && !forward_seen) {
+            // The write-through forward of the current store.
+            forward_seen = true;
+            continue;
+        }
+        // Anything else must be the flush of a charged dirty block, and
+        // the block must actually have left the cache.
+        if (charged_.erase(e.addr) == 0) {
+            out.push_back(strprintf(
+                "writeback of 0x%llx which holds no unflushed write "
+                "(invented or duplicated write traffic)",
+                (unsigned long long)e.addr));
+        } else if (dut_.contains(e.addr)) {
+            out.push_back(strprintf(
+                "block 0x%llx written back while still resident",
+                (unsigned long long)e.addr));
+        }
+    }
+    if (forwarded_block != kNoForward && !forward_seen)
+        out.push_back(strprintf(
+            "write-through store to block 0x%llx was not forwarded to "
+            "the next level (lost write)",
+            (unsigned long long)forwarded_block));
+}
+
+std::vector<std::string>
+FunctionalResidencyModel::onAccess(const MemAccess &req, bool hit,
+                                   const std::vector<MemEvent> &events)
+{
+    std::vector<std::string> out;
+    const Addr block = blockOf(req.addr);
+    const bool write = req.type == AccessType::Write;
+    const bool wt_store =
+        write && policy_ == WritePolicy::WriteThroughNoAllocate;
+
+    if (hit && installed_.count(block) == 0)
+        out.push_back(strprintf("hit on block 0x%llx that was never "
+                                "installed",
+                                (unsigned long long)block));
+
+    // Refill reads: exactly the allocate-miss fetch of this block.
+    for (const MemEvent &e : events) {
+        if (e.kind != MemEvent::Kind::Read)
+            continue;
+        if (hit)
+            out.push_back(strprintf("refill read of 0x%llx on a hit",
+                                    (unsigned long long)e.addr));
+        else if (e.addr != block)
+            out.push_back(strprintf(
+                "refill read of 0x%llx, expected block 0x%llx",
+                (unsigned long long)e.addr, (unsigned long long)block));
+    }
+
+    checkWritebacks(events, wt_store ? block : kNoForward, out);
+
+    if (hit || !wt_store)
+        installed_.insert(block);
+    if (write && !wt_store)
+        charged_.insert(block);
+    return out;
+}
+
+std::vector<std::string>
+FunctionalResidencyModel::onWriteback(Addr addr,
+                                      const std::vector<MemEvent> &events)
+{
+    std::vector<std::string> out;
+    const Addr block = blockOf(addr);
+    const bool wt = policy_ == WritePolicy::WriteThroughNoAllocate;
+    if (!wt) {
+        installed_.insert(block);
+        charged_.insert(block);
+    }
+    for (const MemEvent &e : events)
+        if (e.kind == MemEvent::Kind::Read)
+            out.push_back(strprintf(
+                "refill read of 0x%llx during a writeback from above",
+                (unsigned long long)e.addr));
+    checkWritebacks(events, wt ? block : kNoForward, out);
+    return out;
+}
+
+std::vector<std::string>
+FunctionalResidencyModel::finish() const
+{
+    std::vector<std::string> out;
+    for (const Addr b : charged_)
+        if (!dut_.contains(b))
+            out.push_back(strprintf(
+                "lost write: block 0x%llx holds an unflushed store but "
+                "is neither resident nor written back",
+                (unsigned long long)b));
+    return out;
+}
+
+} // namespace bsim

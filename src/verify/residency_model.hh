@@ -1,0 +1,79 @@
+/**
+ * @file
+ * A fully-associative, infinite-capacity functional model of residency and
+ * write conservation that works against *any* BaseCache organisation.
+ *
+ * Because it has no index function and no capacity limit, the model never
+ * has to guess replacement decisions; it tracks what must be true of any
+ * correct cache regardless of organisation:
+ *
+ *  - a hit can only happen on a block that was previously installed;
+ *  - every store is conserved: under write-through it must reach the next
+ *    level with the access that carried it, under write-back the block
+ *    stays "charged" until exactly one writeback of it is observed — and
+ *    while charged it must remain resident (a charged block that is
+ *    neither resident nor written back is a silently lost write);
+ *  - the next level only ever sees writebacks of charged blocks (no
+ *    invented or duplicated write traffic).
+ */
+
+#ifndef BSIM_VERIFY_RESIDENCY_MODEL_HH
+#define BSIM_VERIFY_RESIDENCY_MODEL_HH
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "cache/base_cache.hh"
+#include "verify/tracking_memory.hh"
+
+namespace bsim {
+
+class FunctionalResidencyModel
+{
+  public:
+    /**
+     * @param dut the cache under test (probed via contains(), never
+     *            mutated)
+     * @param policy the DUT's write policy (drives the conservation rule)
+     */
+    FunctionalResidencyModel(const BaseCache &dut, WritePolicy policy);
+
+    /**
+     * Account one demand access that the DUT answered with @p hit and the
+     * memory-boundary @p events it emitted. Returns violation messages
+     * (empty when all invariants hold).
+     */
+    std::vector<std::string> onAccess(const MemAccess &req, bool hit,
+                                      const std::vector<MemEvent> &events);
+
+    /** Account a writeback of a dirty block arriving from a level above. */
+    std::vector<std::string>
+    onWriteback(Addr addr, const std::vector<MemEvent> &events);
+
+    /**
+     * End-of-run conservation scan: every still-charged block must be
+     * resident in the DUT (its write has neither been flushed nor lost).
+     */
+    std::vector<std::string> finish() const;
+
+    /** Blocks currently charged with an unflushed write. */
+    std::size_t chargedBlocks() const { return charged_.size(); }
+
+  private:
+    Addr blockOf(Addr a) const { return dut_.geometry().blockAlign(a); }
+
+    /** Validate writeback-kind events against the charged set. */
+    void checkWritebacks(const std::vector<MemEvent> &events,
+                         Addr forwarded_block,
+                         std::vector<std::string> &out);
+
+    const BaseCache &dut_;
+    WritePolicy policy_;
+    std::unordered_set<Addr> installed_; ///< blocks ever brought in
+    std::unordered_set<Addr> charged_;   ///< blocks with unflushed writes
+};
+
+} // namespace bsim
+
+#endif // BSIM_VERIFY_RESIDENCY_MODEL_HH

@@ -1,0 +1,66 @@
+#include "verify/tracking_memory.hh"
+
+namespace bsim {
+
+const char *
+memEventKindName(MemEvent::Kind k)
+{
+    switch (k) {
+      case MemEvent::Kind::Read:
+        return "read";
+      case MemEvent::Kind::Write:
+        return "write";
+      case MemEvent::Kind::Writeback:
+        return "writeback";
+    }
+    return "?";
+}
+
+TrackingMemory::TrackingMemory(Cycles latency) : latency_(latency) {}
+
+AccessOutcome
+TrackingMemory::access(const MemAccess &req)
+{
+    if (req.type == AccessType::Write) {
+        ++writes_;
+        log_.push_back({MemEvent::Kind::Write, req.addr});
+        ++writeCounts_[req.addr];
+    } else {
+        ++reads_;
+        log_.push_back({MemEvent::Kind::Read, req.addr});
+    }
+    return {true, latency_};
+}
+
+void
+TrackingMemory::writeback(Addr addr)
+{
+    ++writebacks_;
+    log_.push_back({MemEvent::Kind::Writeback, addr});
+    ++writeCounts_[addr];
+}
+
+void
+TrackingMemory::reset()
+{
+    log_.clear();
+    writeCounts_.clear();
+    reads_ = writes_ = writebacks_ = 0;
+}
+
+std::vector<MemEvent>
+TrackingMemory::drain()
+{
+    std::vector<MemEvent> out = std::move(log_);
+    log_.clear();
+    return out;
+}
+
+std::uint64_t
+TrackingMemory::writesTo(Addr block_addr) const
+{
+    const auto it = writeCounts_.find(block_addr);
+    return it == writeCounts_.end() ? 0 : it->second;
+}
+
+} // namespace bsim

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Terminal memory level that records every transaction it receives, so the
+ * differential oracles can compare a cache's *traffic* — refill reads,
+ * forwarded stores, dirty-victim writebacks — event by event against a
+ * reference model, not just its aggregate counters.
+ */
+
+#ifndef BSIM_VERIFY_TRACKING_MEMORY_HH
+#define BSIM_VERIFY_TRACKING_MEMORY_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "mem/mem_level.hh"
+
+namespace bsim {
+
+/** One transaction observed at the memory boundary. */
+struct MemEvent
+{
+    enum class Kind : std::uint8_t {
+        Read,      ///< refill fetch (MemLevel::access with a read)
+        Write,     ///< demand write reaching memory via access()
+        Writeback, ///< writeback() — dirty eviction or write-through store
+    };
+
+    Kind kind = Kind::Read;
+    Addr addr = 0;
+
+    bool operator==(const MemEvent &) const = default;
+};
+
+const char *memEventKindName(MemEvent::Kind k);
+
+/**
+ * Always-hit terminal level (like MainMemory) that keeps an ordered log of
+ * the transactions since the last drain() plus cumulative per-block
+ * writeback counts. The per-block counts stand in for "memory contents" in
+ * an address-only simulation: a dirty block whose writeback never shows up
+ * here is a lost write.
+ */
+class TrackingMemory : public MemLevel
+{
+  public:
+    explicit TrackingMemory(Cycles latency = 100);
+
+    AccessOutcome access(const MemAccess &req) override;
+    void writeback(Addr addr) override;
+    void reset() override;
+    std::string name() const override { return "tracking-memory"; }
+
+    /** Events since the last drain(), in arrival order. */
+    const std::vector<MemEvent> &pending() const { return log_; }
+
+    /** Move out the pending events and clear the log. */
+    std::vector<MemEvent> drain();
+
+    /** Writebacks observed for exactly this (block-aligned) address. */
+    std::uint64_t writesTo(Addr block_addr) const;
+
+    Cycles latency() const { return latency_; }
+    std::uint64_t reads() const { return reads_; }
+    std::uint64_t writes() const { return writes_; }
+    std::uint64_t writebacks() const { return writebacks_; }
+
+  private:
+    Cycles latency_;
+    std::vector<MemEvent> log_;
+    std::unordered_map<Addr, std::uint64_t> writeCounts_;
+    std::uint64_t reads_ = 0;
+    std::uint64_t writes_ = 0;
+    std::uint64_t writebacks_ = 0;
+};
+
+} // namespace bsim
+
+#endif // BSIM_VERIFY_TRACKING_MEMORY_HH

@@ -107,5 +107,50 @@ TEST(Balance, BCacheBalancesConflictStream)
     EXPECT_LT(bal.cmPct, base.cmPct);
 }
 
+TEST(Balance, WriteThroughMissesAreNotChargedToWayZero)
+{
+    // Regression pin for the Table 7 write-path fix: a no-write-allocate
+    // store miss touches no physical line, so it must not be attributed
+    // to way 0 of its group. The old record(type, false, group * bas)
+    // call painted one line per group as a frequent-miss set under any
+    // write-heavy stream and skewed the balance classification.
+    BCacheParams p;
+    p.sizeBytes = 1024;
+    p.lineBytes = 32;
+    p.mf = 4;
+    p.bas = 4;
+    p.writePolicy = WritePolicy::WriteThroughNoAllocate;
+    BCache bc("bc", p);
+
+    // 300 store misses, all PD misses, never allocating.
+    for (int i = 0; i < 300; ++i)
+        bc.access({Addr(0x40 + 0x400 * i), AccessType::Write});
+    EXPECT_EQ(bc.stats().misses, 300u) << "aggregate stats still count";
+    EXPECT_EQ(bc.validLines(), 0u);
+
+    std::uint64_t attributed = 0;
+    for (const SetUsage &u : bc.setUsage().usage())
+        attributed += u.accesses;
+    EXPECT_EQ(attributed, 0u)
+        << "forwarded store misses must leave the usage tracker alone";
+
+    const BalanceReport r = analyzeBalance(bc.setUsage());
+    EXPECT_DOUBLE_EQ(r.cmPct, 0.0)
+        << "pre-fix this read ~100%: every miss piled onto one line";
+    EXPECT_DOUBLE_EQ(r.fmsPct, 0.0);
+
+    // PD-hit store misses (pattern matches, tag differs) are the second
+    // leg of the same bug: resident block stays, no line is charged.
+    BCache bc2("bc2", p);
+    bc2.access({0x40, AccessType::Read}); // resident: upper 0, pattern 0
+    // 0x1040: same group, same PD pattern (upper 16), different tag.
+    bc2.access({Addr(0x40 + (Addr{16} << 8)), AccessType::Write});
+    ASSERT_EQ(bc2.pdStats().pdHitCacheMiss, 1u);
+    std::uint64_t acc2 = 0;
+    for (const SetUsage &u : bc2.setUsage().usage())
+        acc2 += u.accesses;
+    EXPECT_EQ(acc2, 1u) << "only the read may be attributed";
+}
+
 } // namespace
 } // namespace bsim
