@@ -1,0 +1,23 @@
+#!/bin/sh
+# Schema lint for BENCH_perf.json perf-telemetry logs.
+#
+# Usage:
+#   scripts/check_bench_json.sh                # lint ./BENCH_perf.json
+#   scripts/check_bench_json.sh FILE...        # lint specific logs
+#   scripts/check_bench_json.sh --selftest     # run the built-in cases
+#
+# Thin wrapper around the bench_json_lint tool (bench/bench_json_lint.cc);
+# builds it first if the default build tree doesn't have it yet. The same
+# validator runs in ctest as `check_bench_json` (label: golden).
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+lint="$repo_root/build/bench/bench_json_lint"
+
+if [ ! -x "$lint" ]; then
+    echo "check_bench_json: building bench_json_lint..." >&2
+    cmake -S "$repo_root" -B "$repo_root/build" >/dev/null
+    cmake --build "$repo_root/build" --target bench_json_lint -j >/dev/null
+fi
+
+exec "$lint" "$@"

@@ -1,8 +1,49 @@
 #include "bcache/bcache.hh"
 
+#include <bit>
+
 #include "common/logging.hh"
 
 namespace bsim {
+
+namespace {
+
+/** accessImpl sink that updates the cache's counters immediately. */
+struct DirectStatsSink
+{
+    CacheStats &stats;
+    PdStats &pd;
+
+    void access(AccessType t, bool hit) { stats.recordAccess(t, hit); }
+    void writethrough() { ++stats.writethroughs; }
+    void pdHitCacheMiss() { ++pd.pdHitCacheMiss; }
+    void pdMiss() { ++pd.pdMiss; }
+};
+
+/** accessImpl sink that accumulates locally; flushed once per batch. */
+struct BatchedStatsSink
+{
+    BatchStatsAccumulator acc;
+    std::uint64_t writethroughs = 0;
+    std::uint64_t nPdHitCacheMiss = 0;
+    std::uint64_t nPdMiss = 0;
+
+    void access(AccessType t, bool hit) { acc.record(t, hit); }
+    void writethrough() { ++writethroughs; }
+    void pdHitCacheMiss() { ++nPdHitCacheMiss; }
+    void pdMiss() { ++nPdMiss; }
+
+    void
+    flushInto(CacheStats &stats, PdStats &pd)
+    {
+        acc.flushInto(stats);
+        stats.writethroughs += writethroughs;
+        pd.pdHitCacheMiss += nPdHitCacheMiss;
+        pd.pdMiss += nPdMiss;
+    }
+};
+
+} // namespace
 
 BCache::BCache(std::string name, const BCacheParams &params,
                Cycles hit_latency, MemLevel *next)
@@ -10,8 +51,11 @@ BCache::BCache(std::string name, const BCacheParams &params,
                 next),
       params_(params), layout_(deriveLayout(params)),
       piMask_(mask(layout_.piBits)), lines_(geom_.numLines()),
+      pdPatterns_(geom_.numLines(), kNoPattern),
       repl_(makeReplacementPolicy(params.repl, params.replSeed))
 {
+    bsim_assert(piMask_ != kNoPattern,
+                "PI cannot span the whole address word");
     repl_->reset(layout_.groups, layout_.bas);
 }
 
@@ -30,11 +74,13 @@ BCache::upperOf(Addr addr) const
 int
 BCache::pdMatch(std::size_t group, Addr pattern) const
 {
-    for (std::size_t w = 0; w < layout_.bas; ++w) {
-        const Line &l = lineAt(group, w);
-        if (l.valid && pdPattern(l.upper) == pattern)
+    // Decode step over the SoA pattern mirror: invalid lines hold
+    // kNoPattern which never equals a real pattern, so this is exactly
+    // "valid && pattern matches" without touching the Line structs.
+    const Addr *p = pdPatterns_.data() + group * layout_.bas;
+    for (std::size_t w = 0; w < layout_.bas; ++w)
+        if (p[w] == pattern)
             return static_cast<int>(w);
-    }
     return -1;
 }
 
@@ -55,12 +101,14 @@ BCache::replaceLine(std::size_t group, std::size_t way,
     l.dirty = params_.writePolicy == WritePolicy::WriteBackAllocate &&
               req.type == AccessType::Write;
     l.upper = upper;
+    pdPatterns_[group * layout_.bas + way] = pdPattern(upper);
     repl_->fill(group, way);
     return extra;
 }
 
+template <typename StatsSink>
 AccessOutcome
-BCache::access(const MemAccess &req)
+BCache::accessImpl(const MemAccess &req, StatsSink &sink)
 {
     const std::size_t group = groupOf(req.addr);
     const Addr upper = upperOf(req.addr);
@@ -76,7 +124,7 @@ BCache::access(const MemAccess &req)
             lastOutcome_ = PdOutcome::HitAndCacheHit;
             if (req.type == AccessType::Write) {
                 if (write_through) {
-                    ++stats_.writethroughs;
+                    sink.writethrough();
                     if (nextLevel())
                         nextLevel()->writeback(
                             geom_.blockAlign(req.addr));
@@ -85,7 +133,8 @@ BCache::access(const MemAccess &req)
                 }
             }
             repl_->touch(group, static_cast<std::size_t>(pd_way));
-            record(req.type, true, group * layout_.bas + pd_way);
+            sink.access(req.type, true);
+            recordLineOnly(group * layout_.bas + pd_way, true);
             return {true, hitLatency()};
         }
         if (write_through && req.type == AccessType::Write) {
@@ -93,21 +142,22 @@ BCache::access(const MemAccess &req)
             // the resident block are left untouched, so no physical
             // line is charged with this miss.
             lastOutcome_ = PdOutcome::HitButCacheMiss;
-            ++pdStats_.pdHitCacheMiss;
-            ++stats_.writethroughs;
+            sink.pdHitCacheMiss();
+            sink.writethrough();
             if (nextLevel())
                 nextLevel()->writeback(geom_.blockAlign(req.addr));
-            record(req.type, false);
+            sink.access(req.type, false);
             return {false, hitLatency()};
         }
         // PD hit but the tag differs: replacing any line other than the
         // activated one would leave two lines decoding the same pattern,
         // so the activated line itself must be the victim (Section 2.3).
         lastOutcome_ = PdOutcome::HitButCacheMiss;
-        ++pdStats_.pdHitCacheMiss;
+        sink.pdHitCacheMiss();
         const Cycles extra = replaceLine(
             group, static_cast<std::size_t>(pd_way), req, upper, true);
-        record(req.type, false, group * layout_.bas + pd_way);
+        sink.access(req.type, false);
+        recordLineOnly(group * layout_.bas + pd_way, false);
         return {false, hitLatency() + extra};
     }
 
@@ -115,14 +165,14 @@ BCache::access(const MemAccess &req)
     // array is read. The victim may be any line of the group, chosen by
     // the replacement policy; its PD entry is reprogrammed to 'pattern'.
     lastOutcome_ = PdOutcome::Miss;
-    ++pdStats_.pdMiss;
+    sink.pdMiss();
     if (write_through && req.type == AccessType::Write) {
         // Non-allocating miss: no line is touched, so none is charged
         // (charging way 0 of the group skews the Table 7 balance).
-        ++stats_.writethroughs;
+        sink.writethrough();
         if (nextLevel())
             nextLevel()->writeback(geom_.blockAlign(req.addr));
-        record(req.type, false);
+        sink.access(req.type, false);
         return {false, hitLatency()};
     }
     std::size_t victim = layout_.bas;
@@ -135,8 +185,87 @@ BCache::access(const MemAccess &req)
     if (victim == layout_.bas)
         victim = repl_->victim(group);
     const Cycles extra = replaceLine(group, victim, req, upper, true);
-    record(req.type, false, group * layout_.bas + victim);
+    sink.access(req.type, false);
+    recordLineOnly(group * layout_.bas + victim, false);
     return {false, hitLatency() + extra};
+}
+
+AccessOutcome
+BCache::access(const MemAccess &req)
+{
+    DirectStatsSink sink{stats_, pdStats_};
+    return accessImpl(req, sink);
+}
+
+void
+BCache::accessBatch(std::span<const MemAccess> reqs, AccessOutcome *out)
+{
+    // Hot loop: hits are resolved entirely inline against hoisted layout
+    // fields, the SoA pattern array and a register-resident stats sink.
+    // Everything else (misses, write-through stores) runs through the
+    // same accessImpl core as the per-access path, so state mutations
+    // and next-level traffic are identical access by access.
+    BatchedStatsSink sink;
+    const std::size_t bas = layout_.bas;
+    const unsigned offset_bits = geom_.offsetBits();
+    const unsigned npi_bits = layout_.npiBits;
+    const Addr pi_mask = piMask_;
+    const Addr *const pats = pdPatterns_.data();
+    Line *const lines = lines_.data();
+    const Cycles hit_lat = hitLatency();
+    const bool write_back =
+        params_.writePolicy == WritePolicy::WriteBackAllocate;
+    // Devirtualize the per-hit replacement update once per batch: LRU is
+    // the default policy, and its touch is a single inlinable store.
+    LruPolicy *const lru = dynamic_cast<LruPolicy *>(repl_.get());
+    SetUsage *const usage = usageTracker_.rawUsage();
+    LineAccessObserver *const obs = lineObserver();
+    // lastOutcome_ for fast-path hits is written once after the loop
+    // (it only needs to reflect the final access of the batch).
+    bool last_was_fast_hit = false;
+
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+        const MemAccess req = reqs[i];
+        const std::size_t group = bitsRange(req.addr, offset_bits,
+                                            npi_bits);
+        const Addr upper = req.addr >> (offset_bits + npi_bits);
+        const Addr pattern = upper & pi_mask;
+
+        const Addr *const gp = pats + group * bas;
+        std::size_t pd_way = bas;
+        for (std::size_t w = 0; w < bas; ++w) {
+            if (gp[w] == pattern) {
+                pd_way = w;
+                break;
+            }
+        }
+        if (pd_way != bas) {
+            Line &l = lines[group * bas + pd_way];
+            const bool write = req.type == AccessType::Write;
+            if (l.upper == upper && (!write || write_back)) {
+                if (write)
+                    l.dirty = true;
+                if (lru)
+                    lru->touchFast(group, pd_way);
+                else
+                    repl_->touch(group, pd_way);
+                sink.access(req.type, true);
+                SetUsage &u = usage[group * bas + pd_way];
+                ++u.accesses;
+                ++u.hits;
+                if (obs)
+                    obs->onLineAccess(group * bas + pd_way, true);
+                out[i] = {true, hit_lat};
+                last_was_fast_hit = true;
+                continue;
+            }
+        }
+        out[i] = accessImpl(req, sink);
+        last_was_fast_hit = false;
+    }
+    if (last_was_fast_hit)
+        lastOutcome_ = PdOutcome::HitAndCacheHit;
+    sink.flushInto(stats_, pdStats_);
 }
 
 void
@@ -188,6 +317,7 @@ void
 BCache::reset()
 {
     lines_.assign(geom_.numLines(), Line{});
+    pdPatterns_.assign(geom_.numLines(), kNoPattern);
     repl_->reset(layout_.groups, layout_.bas);
     pdStats_.reset();
     lastOutcome_ = PdOutcome::Miss;
@@ -253,6 +383,7 @@ BCache::debugCorruptPd(std::size_t group, std::size_t way, Addr pattern)
     Line &l = lineAt(group, way);
     l.valid = true;
     l.upper = (l.upper & ~piMask_) | (pattern & piMask_);
+    syncPdPattern(group, way);
 }
 
 std::size_t

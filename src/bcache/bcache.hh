@@ -84,6 +84,18 @@ class BCache : public BaseCache
            Cycles hit_latency = 1, MemLevel *next = nullptr);
 
     AccessOutcome access(const MemAccess &req) override;
+
+    /**
+     * Batched access path: per-access logic identical to access() (both
+     * are instances of the same accessImpl core), but the PD scan runs
+     * over the contiguous per-group pattern array, layout fields are
+     * hoisted, and aggregate CacheStats/PdStats increments accumulate in
+     * registers and flush once per batch. Bit-identical to per-access
+     * driving (tests/test_batch_equivalence.cc, BSIM_VERIFY_BATCHED=1).
+     */
+    void accessBatch(std::span<const MemAccess> reqs,
+                     AccessOutcome *out) override;
+
     void writeback(Addr addr) override;
     void reset() override;
 
@@ -162,10 +174,43 @@ class BCache : public BaseCache
     Cycles replaceLine(std::size_t group, std::size_t way,
                        const MemAccess &req, Addr upper, bool count_refill);
 
+    /**
+     * The single source of the access algorithm: access() instantiates it
+     * with a sink that writes CacheStats/PdStats immediately, the
+     * accessBatch() loop with a sink that accumulates locally. Defined in
+     * bcache.cc (both instantiations live in that translation unit).
+     */
+    template <typename StatsSink>
+    AccessOutcome accessImpl(const MemAccess &req, StatsSink &sink);
+
+    /**
+     * Sentinel stored in pdPatterns_ for invalid lines. Cannot collide
+     * with a real pattern: patterns are upper-address bits masked to
+     * piBits, and an upper field always has its top (offset + NPI) bits
+     * clear, so it is never all-ones.
+     */
+    static constexpr Addr kNoPattern = ~Addr{0};
+
+    /** Keep the SoA pattern mirror coherent with lines_[group*bas+way]. */
+    void
+    syncPdPattern(std::size_t group, std::size_t way)
+    {
+        const Line &l = lineAt(group, way);
+        pdPatterns_[group * layout_.bas + way] =
+            l.valid ? pdPattern(l.upper) : kNoPattern;
+    }
+
     BCacheParams params_;
     BCacheLayout layout_;
     Addr piMask_;
     std::vector<Line> lines_;
+    /**
+     * SoA mirror of each line's PD pattern (kNoPattern when invalid),
+     * indexed like lines_. The decode step (pdMatch) scans this flat
+     * array — one cache line covers a whole BAS=8 group — instead of
+     * striding through the 16-byte Line structs.
+     */
+    std::vector<Addr> pdPatterns_;
     std::unique_ptr<ReplacementPolicy> repl_;
     PdStats pdStats_;
     PdOutcome lastOutcome_ = PdOutcome::Miss;

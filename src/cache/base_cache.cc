@@ -34,9 +34,7 @@ void
 BaseCache::record(AccessType type, bool hit, std::size_t physical_line)
 {
     stats_.recordAccess(type, hit);
-    usageTracker_.record(physical_line, hit);
-    if (observer_)
-        observer_->onLineAccess(physical_line, hit);
+    recordLineOnly(physical_line, hit);
 }
 
 void

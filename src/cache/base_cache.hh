@@ -84,6 +84,22 @@ class BaseCache : public MemLevel
     void record(AccessType type, bool hit, std::size_t physical_line);
 
     /**
+     * Per-line bookkeeping only (usage tracker + observer), for the
+     * batched access path which gathers the aggregate counters in a
+     * BatchStatsAccumulator and flushes them once per batch.
+     */
+    void
+    recordLineOnly(std::size_t physical_line, bool hit)
+    {
+        usageTracker_.record(physical_line, hit);
+        if (observer_)
+            observer_->onLineAccess(physical_line, hit);
+    }
+
+    /** The attached line observer (batched paths hoist the pointer). */
+    LineAccessObserver *lineObserver() const { return observer_; }
+
+    /**
      * Update aggregate counters only. For accesses that touch no physical
      * line (no-write-allocate misses that merely forward the store): they
      * must not be attributed to an arbitrary line, or the per-set usage

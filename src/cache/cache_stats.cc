@@ -56,15 +56,4 @@ SetUsageTracker::reset(std::size_t num_lines)
     usage_.assign(num_lines, SetUsage{});
 }
 
-void
-SetUsageTracker::record(std::size_t line, bool hit)
-{
-    auto &u = usage_[line];
-    ++u.accesses;
-    if (hit)
-        ++u.hits;
-    else
-        ++u.misses;
-}
-
 } // namespace bsim

@@ -48,6 +48,54 @@ struct CacheStats
     std::string toString() const;
 };
 
+/**
+ * Register-friendly accumulator for the batched access path: the per-type
+ * counters of CacheStats::recordAccess gathered locally and flushed into
+ * the cache's CacheStats once per batch. The flushed result is exactly
+ * what per-access recordAccess calls would have produced.
+ */
+class BatchStatsAccumulator
+{
+  public:
+    void
+    record(AccessType type, bool hit)
+    {
+        const auto t = static_cast<std::size_t>(type);
+        ++typeAccesses_[t];
+        typeMisses_[t] += hit ? 0 : 1;
+    }
+
+    /** Add the accumulated counts into @p s and reset. */
+    void
+    flushInto(CacheStats &s)
+    {
+        const std::uint64_t acc =
+            typeAccesses_[0] + typeAccesses_[1] + typeAccesses_[2];
+        const std::uint64_t miss =
+            typeMisses_[0] + typeMisses_[1] + typeMisses_[2];
+        s.accesses += acc;
+        s.hits += acc - miss;
+        s.misses += miss;
+        s.readAccesses += typeAccesses_[idx(AccessType::Read)];
+        s.readMisses += typeMisses_[idx(AccessType::Read)];
+        s.writeAccesses += typeAccesses_[idx(AccessType::Write)];
+        s.writeMisses += typeMisses_[idx(AccessType::Write)];
+        s.fetchAccesses += typeAccesses_[idx(AccessType::Fetch)];
+        s.fetchMisses += typeMisses_[idx(AccessType::Fetch)];
+        *this = BatchStatsAccumulator{};
+    }
+
+  private:
+    static constexpr std::size_t
+    idx(AccessType t)
+    {
+        return static_cast<std::size_t>(t);
+    }
+
+    std::uint64_t typeAccesses_[3] = {0, 0, 0};
+    std::uint64_t typeMisses_[3] = {0, 0, 0};
+};
+
 /** Per-physical-line usage counters (accesses / hits / misses). */
 struct SetUsage
 {
@@ -65,10 +113,27 @@ class SetUsageTracker
 {
   public:
     void reset(std::size_t num_lines);
-    void record(std::size_t line, bool hit);
+
+    void
+    record(std::size_t line, bool hit)
+    {
+        SetUsage &u = usage_[line];
+        ++u.accesses;
+        if (hit)
+            ++u.hits;
+        else
+            ++u.misses;
+    }
 
     const std::vector<SetUsage> &usage() const { return usage_; }
     std::size_t numLines() const { return usage_.size(); }
+
+    /**
+     * Raw counter array for the batched access paths, which hoist the
+     * pointer out of their hot loops. Indexed by physical line, same as
+     * record().
+     */
+    SetUsage *rawUsage() { return usage_.data(); }
 
   private:
     std::vector<SetUsage> usage_;

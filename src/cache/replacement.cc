@@ -54,7 +54,7 @@ LruPolicy::reset(std::size_t sets, std::size_t ways)
 void
 LruPolicy::touch(std::size_t set, std::size_t way)
 {
-    lastUse_[set * ways_ + way] = ++now_;
+    touchFast(set, way);
 }
 
 void

@@ -67,6 +67,17 @@ class LruPolicy : public ReplacementPolicy
     std::size_t victim(std::size_t set) override;
     ReplPolicyKind kind() const override { return ReplPolicyKind::LRU; }
 
+    /**
+     * Non-virtual, inlinable equivalent of touch() for hot loops that
+     * have identified the policy as LRU (the batched access paths
+     * devirtualize once per batch). Must stay in lockstep with touch().
+     */
+    void
+    touchFast(std::size_t set, std::size_t way)
+    {
+        lastUse_[set * ways_ + way] = ++now_;
+    }
+
   private:
     std::size_t ways_ = 0;
     Tick now_ = 0;

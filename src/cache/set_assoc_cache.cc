@@ -99,6 +99,71 @@ SetAssocCache::access(const MemAccess &req)
 }
 
 void
+SetAssocCache::accessBatch(std::span<const MemAccess> reqs,
+                           AccessOutcome *out)
+{
+    // Hot loop: geometry fields, the line array base and the write policy
+    // are hoisted out of the per-access path, hits are resolved inline and
+    // aggregate counters accumulate in registers. Anything that touches
+    // the next level or mutates more than one line (misses, write-through
+    // stores) drops into the shared lookupAndFill() core, so both paths
+    // perform the same state mutations in the same order.
+    BatchStatsAccumulator acc;
+    Line *const lines = lines_.data();
+    const std::size_t ways = geom_.ways();
+    const unsigned offset_bits = geom_.offsetBits();
+    const unsigned index_bits = geom_.indexBits();
+    const Cycles hit_lat = hitLatency();
+    const bool write_through =
+        writePolicy_ == WritePolicy::WriteThroughNoAllocate;
+    // Devirtualize the per-hit replacement update once per batch (LRU is
+    // the default policy; touchFast is a single inlinable store).
+    LruPolicy *const lru = dynamic_cast<LruPolicy *>(repl_.get());
+    SetUsage *const usage = usageTracker_.rawUsage();
+    LineAccessObserver *const obs = lineObserver();
+
+    for (std::size_t i = 0; i < reqs.size(); ++i) {
+        const MemAccess req = reqs[i];
+        const std::size_t set = bitsRange(req.addr, offset_bits,
+                                          index_bits);
+        const Addr tag = req.addr >> (offset_bits + index_bits);
+        Line *const row = lines + set * ways;
+
+        std::size_t hit_way = ways;
+        for (std::size_t w = 0; w < ways; ++w) {
+            if (row[w].valid && row[w].tag == tag) {
+                hit_way = w;
+                break;
+            }
+        }
+        const bool write = req.type == AccessType::Write;
+        if (hit_way != ways && !(write && write_through)) {
+            if (write)
+                row[hit_way].dirty = true;
+            if (lru)
+                lru->touchFast(set, hit_way);
+            else
+                repl_->touch(set, hit_way);
+            acc.record(req.type, true);
+            SetUsage &u = usage[set * ways + hit_way];
+            ++u.accesses;
+            ++u.hits;
+            if (obs)
+                obs->onLineAccess(set * ways + hit_way, true);
+            out[i] = {true, hit_lat};
+            continue;
+        }
+
+        const Result r = lookupAndFill(req, /*count_refill=*/true);
+        acc.record(req.type, r.hit);
+        if (r.physicalLine != kNoLine)
+            recordLineOnly(r.physicalLine, r.hit);
+        out[i] = {r.hit, hit_lat + r.extraLatency};
+    }
+    acc.flushInto(stats_);
+}
+
+void
 SetAssocCache::writeback(Addr addr)
 {
     // A writeback from above behaves like a write that does not fetch the

@@ -26,6 +26,16 @@ class SetAssocCache : public BaseCache
                       WritePolicy::WriteBackAllocate);
 
     AccessOutcome access(const MemAccess &req) override;
+
+    /**
+     * Batched access path: the same lookup/fill core as access(), with
+     * the way scan hoisted into a tight loop and the aggregate counters
+     * gathered in a BatchStatsAccumulator flushed once per batch.
+     * Bit-identical to per-access driving (tests/test_batch_equivalence).
+     */
+    void accessBatch(std::span<const MemAccess> reqs,
+                     AccessOutcome *out) override;
+
     void writeback(Addr addr) override;
     void reset() override;
 

@@ -6,6 +6,7 @@
 #ifndef BSIM_MEM_MEM_LEVEL_HH
 #define BSIM_MEM_MEM_LEVEL_HH
 
+#include <span>
 #include <string>
 
 #include "mem/access.hh"
@@ -25,6 +26,26 @@ class MemLevel
 
     /** Present one access; returns hit/latency at this level. */
     virtual AccessOutcome access(const MemAccess &req) = 0;
+
+    /**
+     * Present a batch of accesses in order, writing one outcome per
+     * request into @p out (which must hold reqs.size() entries).
+     *
+     * Contract: bit-identical to calling access() per element — same
+     * final counters, same replacement/PD state, and the same sequence
+     * of next-level transactions. The default simply loops; hot models
+     * (SetAssocCache, BCache) override it with a tight loop that hoists
+     * geometry loads and batches statistics updates, which is what the
+     * sweep engine rides for throughput (see docs/ARCHITECTURE.md).
+     * Equivalence is enforced by tests/test_batch_equivalence.cc and the
+     * verify/ oracle's batched-DUT mode.
+     */
+    virtual void
+    accessBatch(std::span<const MemAccess> reqs, AccessOutcome *out)
+    {
+        for (std::size_t i = 0; i < reqs.size(); ++i)
+            out[i] = access(reqs[i]);
+    }
 
     /**
      * Deliver a dirty-eviction writeback from the level above.

@@ -1,6 +1,8 @@
 #include "sim/runner.hh"
 
+#include <algorithm>
 #include <cstdlib>
+#include <vector>
 
 #include "cache/victim_cache.hh"
 #include "common/logging.hh"
@@ -33,6 +35,23 @@ defaultAccesses(std::uint64_t fallback)
     return envCount("BSIM_ACCESSES", fallback);
 }
 
+std::size_t
+defaultBatchLen()
+{
+    // BSIM_BATCH=0 (or 1) falls back to the per-access path; any other
+    // value is the batch length. Unlike envCount, 0 is meaningful here.
+    const char *v = std::getenv("BSIM_BATCH");
+    if (!v || !*v)
+        return kDefaultBatchLen;
+    char *end = nullptr;
+    const unsigned long long n = std::strtoull(v, &end, 10);
+    if (end == v || *end) {
+        bsim_warn("ignoring bad BSIM_BATCH='", v, "'");
+        return kDefaultBatchLen;
+    }
+    return static_cast<std::size_t>(n);
+}
+
 std::uint64_t
 defaultUops(std::uint64_t fallback)
 {
@@ -44,8 +63,24 @@ runMissRateOn(AccessStream &stream, const CacheConfig &config,
               std::uint64_t accesses, const std::string &workload_label)
 {
     auto cache = config.build(config.label, 1, nullptr);
-    for (std::uint64_t i = 0; i < accesses; ++i)
-        cache->access(stream.next());
+    const std::size_t batch_len = defaultBatchLen();
+    if (batch_len <= 1) {
+        for (std::uint64_t i = 0; i < accesses; ++i)
+            cache->access(stream.next());
+    } else {
+        // Hot loop of every miss-rate experiment: stream and cache both
+        // work in fixed-size batches (bit-identical to the per-access
+        // path — see MemLevel::accessBatch).
+        std::vector<MemAccess> reqs(batch_len);
+        std::vector<AccessOutcome> outs(batch_len);
+        for (std::uint64_t left = accesses; left > 0;) {
+            const std::size_t n = static_cast<std::size_t>(
+                std::min<std::uint64_t>(batch_len, left));
+            stream.nextBatch(reqs.data(), n);
+            cache->accessBatch({reqs.data(), n}, outs.data());
+            left -= n;
+        }
+    }
 
     MissRateResult r;
     r.workload = workload_label;

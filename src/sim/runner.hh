@@ -84,6 +84,16 @@ EnergyRates energyRatesFor(const CacheConfig &config,
 std::uint64_t defaultAccesses(std::uint64_t fallback = 2'000'000);
 std::uint64_t defaultUops(std::uint64_t fallback = 1'000'000);
 
+/** Batch length runMissRateOn() feeds through MemLevel::accessBatch. */
+inline constexpr std::size_t kDefaultBatchLen = 1024;
+
+/**
+ * Environment-tunable batch length (BSIM_BATCH): 0 or 1 selects the
+ * per-access path (the two are bit-identical; the knob exists for
+ * debugging and for the self-relative perf gate).
+ */
+std::size_t defaultBatchLen();
+
 } // namespace bsim
 
 #endif // BSIM_SIM_RUNNER_HH

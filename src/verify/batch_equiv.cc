@@ -1,0 +1,218 @@
+#include "verify/batch_equiv.hh"
+
+#include <algorithm>
+
+#include "common/random.hh"
+#include "common/strings.hh"
+#include "verify/tracking_memory.hh"
+
+namespace bsim {
+
+namespace {
+
+constexpr std::size_t kMaxMismatches = 8;
+
+void
+note(BatchEquivResult &res, std::string what)
+{
+    if (res.mismatches.size() < kMaxMismatches)
+        res.mismatches.push_back(std::move(what));
+}
+
+void
+compareStats(BatchEquivResult &res, const CacheStats &pa,
+             const CacheStats &ba)
+{
+    const struct
+    {
+        const char *name;
+        std::uint64_t a, b;
+    } fields[] = {
+        {"accesses", pa.accesses, ba.accesses},
+        {"hits", pa.hits, ba.hits},
+        {"misses", pa.misses, ba.misses},
+        {"readAccesses", pa.readAccesses, ba.readAccesses},
+        {"readMisses", pa.readMisses, ba.readMisses},
+        {"writeAccesses", pa.writeAccesses, ba.writeAccesses},
+        {"writeMisses", pa.writeMisses, ba.writeMisses},
+        {"fetchAccesses", pa.fetchAccesses, ba.fetchAccesses},
+        {"fetchMisses", pa.fetchMisses, ba.fetchMisses},
+        {"writebacks", pa.writebacks, ba.writebacks},
+        {"writethroughs", pa.writethroughs, ba.writethroughs},
+        {"refills", pa.refills, ba.refills},
+    };
+    for (const auto &f : fields)
+        if (f.a != f.b)
+            note(res, strprintf("CacheStats.%s: per-access %llu vs "
+                                "batched %llu",
+                                f.name, (unsigned long long)f.a,
+                                (unsigned long long)f.b));
+}
+
+void
+compareEvents(BatchEquivResult &res, const std::vector<MemEvent> &ea,
+              const std::vector<MemEvent> &eb)
+{
+    if (ea.size() != eb.size())
+        note(res, strprintf("memory event count: per-access %zu vs "
+                            "batched %zu",
+                            ea.size(), eb.size()));
+    const std::size_t n = std::min(ea.size(), eb.size());
+    for (std::size_t i = 0; i < n; ++i) {
+        if (ea[i] == eb[i])
+            continue;
+        note(res,
+             strprintf("memory event %zu: per-access %s(0x%llx) vs "
+                       "batched %s(0x%llx)",
+                       i, memEventKindName(ea[i].kind),
+                       (unsigned long long)ea[i].addr,
+                       memEventKindName(eb[i].kind),
+                       (unsigned long long)eb[i].addr));
+        break; // later events are noise once the sequences skew
+    }
+}
+
+} // namespace
+
+std::string
+BatchEquivResult::toString() const
+{
+    std::string s = strprintf("%s after %llu steps",
+                              ok ? "OK" : "FAILED",
+                              (unsigned long long)steps);
+    for (const std::string &m : mismatches)
+        s += "\n  " + m;
+    return s;
+}
+
+BatchEquivResult
+runBatchEquivCase(const FuzzSpec &spec, std::uint64_t accesses,
+                  std::size_t batch_len)
+{
+    BatchEquivResult res;
+
+    TrackingMemory mem_a, mem_b;
+    BCache per_access("equiv-per-access", spec.params,
+                      /*hit_latency=*/1, &mem_a);
+    BCache batched("equiv-batched", spec.params, /*hit_latency=*/1,
+                   &mem_b);
+
+    AccessStreamPtr stream = makeFuzzStream(spec);
+    // Same writeback interleaving as runFuzzCase, so a spec that fails
+    // there can be replayed here and vice versa.
+    Rng rng(spec.seed ^ 0xdecafbadULL);
+
+    std::vector<MemAccess> batch;
+    batch.reserve(batch_len);
+    std::vector<AccessOutcome> outs(batch_len);
+
+    const auto flush = [&] {
+        if (batch.empty())
+            return;
+        batched.accessBatch({batch.data(), batch.size()}, outs.data());
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            const AccessOutcome o = per_access.access(batch[i]);
+            if (o.hit != outs[i].hit || o.latency != outs[i].latency)
+                note(res,
+                     strprintf("outcome of access 0x%llx: per-access "
+                               "(hit=%d lat=%llu) vs batched (hit=%d "
+                               "lat=%llu)",
+                               (unsigned long long)batch[i].addr,
+                               o.hit, (unsigned long long)o.latency,
+                               outs[i].hit,
+                               (unsigned long long)outs[i].latency));
+        }
+        if (per_access.lastOutcome() != batched.lastOutcome())
+            note(res, strprintf("lastOutcome after batch: per-access %d "
+                                "vs batched %d",
+                                (int)per_access.lastOutcome(),
+                                (int)batched.lastOutcome()));
+        batch.clear();
+    };
+
+    for (std::uint64_t i = 0; i < accesses; ++i) {
+        const MemAccess a = stream->next();
+        if (spec.writebackFraction > 0.0 &&
+            rng.nextBool(spec.writebackFraction)) {
+            // A writeback from above lands between batches in any real
+            // runner; flush so both DUTs see the same ordering.
+            flush();
+            per_access.writeback(a.addr);
+            batched.writeback(a.addr);
+        } else {
+            batch.push_back(a);
+            if (batch.size() == batch_len)
+                flush();
+        }
+        ++res.steps;
+        if (res.mismatches.size() >= kMaxMismatches)
+            break;
+    }
+    flush();
+
+    compareStats(res, per_access.stats(), batched.stats());
+    if (per_access.pdStats().pdHitCacheMiss !=
+            batched.pdStats().pdHitCacheMiss ||
+        per_access.pdStats().pdMiss != batched.pdStats().pdMiss)
+        note(res,
+             strprintf("PdStats: per-access {%llu, %llu} vs batched "
+                       "{%llu, %llu}",
+                       (unsigned long long)
+                           per_access.pdStats().pdHitCacheMiss,
+                       (unsigned long long)per_access.pdStats().pdMiss,
+                       (unsigned long long)
+                           batched.pdStats().pdHitCacheMiss,
+                       (unsigned long long)batched.pdStats().pdMiss));
+    if (per_access.validLines() != batched.validLines())
+        note(res, strprintf("validLines: per-access %zu vs batched %zu",
+                            per_access.validLines(),
+                            batched.validLines()));
+
+    // Per-line usage counters (the Table 7 inputs) must match line by
+    // line, not just in aggregate.
+    const auto &ua = per_access.setUsage().usage();
+    const auto &ub = batched.setUsage().usage();
+    for (std::size_t l = 0; l < ua.size(); ++l) {
+        if (ua[l].accesses != ub[l].accesses ||
+            ua[l].hits != ub[l].hits || ua[l].misses != ub[l].misses) {
+            note(res,
+                 strprintf("line %zu usage: per-access {%llu,%llu,%llu} "
+                           "vs batched {%llu,%llu,%llu}",
+                           l, (unsigned long long)ua[l].accesses,
+                           (unsigned long long)ua[l].hits,
+                           (unsigned long long)ua[l].misses,
+                           (unsigned long long)ub[l].accesses,
+                           (unsigned long long)ub[l].hits,
+                           (unsigned long long)ub[l].misses));
+            break;
+        }
+    }
+
+    // Residency + PD classification over a deterministic address sample
+    // (classify() and contains() are side-effect free).
+    Rng sample(spec.seed ^ 0x5a5a5a5aULL);
+    const Addr space = Addr{1} << spec.addrBits;
+    for (int s = 0; s < 4096; ++s) {
+        const Addr addr = sample.nextBounded(space);
+        if (per_access.contains(addr) != batched.contains(addr)) {
+            note(res, strprintf("residency of 0x%llx differs",
+                                (unsigned long long)addr));
+            break;
+        }
+        if (per_access.classify(addr) != batched.classify(addr)) {
+            note(res, strprintf("classify(0x%llx): per-access %d vs "
+                                "batched %d",
+                                (unsigned long long)addr,
+                                (int)per_access.classify(addr),
+                                (int)batched.classify(addr)));
+            break;
+        }
+    }
+
+    compareEvents(res, mem_a.drain(), mem_b.drain());
+
+    res.ok = res.mismatches.empty();
+    return res;
+}
+
+} // namespace bsim

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Twin-DUT batched/per-access equivalence: drive two identical BCaches
+ * through the same fuzzed stream — one via access(), one via
+ * accessBatch() with multi-element batches — and require bit-identical
+ * observable state afterwards: per-access outcomes, aggregate
+ * CacheStats/PdStats, per-line usage counters, PD classification of
+ * every line-sized address, residency, and the exact ordered sequence of
+ * memory-boundary events.
+ *
+ * This is the multi-element complement of OracleOptions::driveBatched
+ * (which polices the batched entry point with one-element batches
+ * against the shadow-PD oracles): here real batch boundaries, including
+ * writebacks arriving mid-batch, are exercised.
+ */
+
+#ifndef BSIM_VERIFY_BATCH_EQUIV_HH
+#define BSIM_VERIFY_BATCH_EQUIV_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "verify/fuzz.hh"
+
+namespace bsim {
+
+/** Outcome of one twin-DUT equivalence case. */
+struct BatchEquivResult
+{
+    bool ok = false;
+    std::uint64_t steps = 0; ///< accesses + writebacks driven
+    std::vector<std::string> mismatches;
+
+    std::string toString() const;
+};
+
+/**
+ * Run @p spec for @p accesses steps with batch length @p batch_len
+ * (writebacks sampled by spec.writebackFraction flush the pending batch
+ * first, exactly like a runner switching between the two entry points).
+ * Stops collecting after a handful of mismatches.
+ */
+BatchEquivResult runBatchEquivCase(const FuzzSpec &spec,
+                                   std::uint64_t accesses,
+                                   std::size_t batch_len = 64);
+
+} // namespace bsim
+
+#endif // BSIM_VERIFY_BATCH_EQUIV_HH

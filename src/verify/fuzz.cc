@@ -166,13 +166,15 @@ makeFuzzStream(const FuzzSpec &spec)
 }
 
 FuzzResult
-runFuzzCase(const FuzzSpec &spec, std::uint64_t accesses)
+runFuzzCase(const FuzzSpec &spec, std::uint64_t accesses,
+            bool drive_batched)
 {
     TrackingMemory mem;
     BCache dut("fuzz-dut", spec.params, /*hit_latency=*/1, &mem);
 
     OracleOptions opts;
     opts.addrBits = spec.addrBits;
+    opts.driveBatched = drive_batched;
     OracleChecker checker(dut, mem, opts);
 
     AccessStreamPtr stream = makeFuzzStream(spec);

@@ -59,8 +59,13 @@ struct FuzzResult
     std::string toString() const;
 };
 
-/** Run one case for @p accesses steps (stops early on divergence). */
-FuzzResult runFuzzCase(const FuzzSpec &spec, std::uint64_t accesses);
+/**
+ * Run one case for @p accesses steps (stops early on divergence). With
+ * @p drive_batched the DUT is driven through accessBatch() one-element
+ * batches, so the same oracles police the batched entry point.
+ */
+FuzzResult runFuzzCase(const FuzzSpec &spec, std::uint64_t accesses,
+                       bool drive_batched = false);
 
 } // namespace bsim
 

@@ -154,7 +154,11 @@ OracleChecker::onAccess(const MemAccess &req)
                               (int)probed, (int)expected));
     }
 
-    const AccessOutcome out = dut_.access(req);
+    AccessOutcome out;
+    if (opts_.driveBatched)
+        dut_.accessBatch({&req, 1}, &out);
+    else
+        out = dut_.access(req);
     const std::vector<MemEvent> events = mem_.drain();
 
     // Shadow update + expected traffic. The only non-deterministic choice

@@ -63,6 +63,14 @@ struct OracleOptions
     std::uint64_t residencyScanInterval = 8192;
     /** Stop recording after this many divergences. */
     std::size_t maxDivergences = 8;
+    /**
+     * Drive every DUT access through accessBatch() (one-element batches)
+     * instead of access(), so the whole oracle arsenal — classify
+     * probes, lastOutcome, event sequences, counters — also polices the
+     * batched entry point (BSIM_VERIFY_BATCHED=1 in tests/bsim_verify).
+     * Multi-element batches are cross-checked by verify/batch_equiv.
+     */
+    bool driveBatched = false;
 };
 
 /**

@@ -25,6 +25,19 @@ class AccessStream
     /** Produce the next access. */
     virtual MemAccess next() = 0;
 
+    /**
+     * Produce the next @p n accesses into @p dst — exactly the sequence
+     * n calls to next() would yield. The default loops; generators with
+     * cheap per-element state may override with a tighter loop. Paired
+     * with MemLevel::accessBatch by the experiment runners.
+     */
+    virtual void
+    nextBatch(MemAccess *dst, std::size_t n)
+    {
+        for (std::size_t i = 0; i < n; ++i)
+            dst[i] = next();
+    }
+
     /** Restart from the beginning (same sequence again). */
     virtual void reset() = 0;
 

@@ -12,6 +12,12 @@
  * EXPERIMENTS.md), e.g.:
  *   BSIM_VERIFY_CASES=200 BSIM_VERIFY_ACCESSES=250000 ./bsim_verify
  * Exits non-zero if any case diverges.
+ *
+ * BSIM_VERIFY_BATCHED=1 polices the batched entry point instead: the
+ * same oracle fuzz with every DUT access driven through accessBatch()
+ * (one-element batches), plus a twin-DUT multi-element equivalence pass
+ * per case (verify/batch_equiv). The `bsim_verify_batched` ctest runs
+ * this mode forever alongside the per-access one.
  */
 
 #include <cstdio>
@@ -20,6 +26,7 @@
 
 #include "common/strings.hh"
 #include "sim/sweep.hh"
+#include "verify/batch_equiv.hh"
 #include "verify/fuzz.hh"
 
 using namespace bsim;
@@ -43,8 +50,10 @@ main()
     const std::uint64_t cases = envOr("BSIM_VERIFY_CASES", 24);
     const std::uint64_t accesses = envOr("BSIM_VERIFY_ACCESSES", 50000);
     const std::uint64_t base_seed = envOr("BSIM_VERIFY_SEED", 0x5eedb0a7);
+    const bool batched = envOr("BSIM_VERIFY_BATCHED", 0) != 0;
 
     std::vector<FuzzResult> results(cases);
+    std::vector<BatchEquivResult> equiv(cases);
     std::vector<FuzzSpec> specs(cases);
     std::vector<SweepJob> jobs;
     jobs.reserve(cases);
@@ -53,10 +62,21 @@ main()
         // the seed is a pure function of (base_seed, index).
         jobs.push_back(SweepJob::customJob(
             strprintf("fuzz-%llu", (unsigned long long)i),
-            [i, accesses, &results, &specs](std::uint64_t seed) {
+            [i, accesses, batched, &results, &equiv,
+             &specs](std::uint64_t seed) {
                 specs[i] = randomFuzzSpec(seed);
-                results[i] = runFuzzCase(specs[i], accesses);
-                return results[i].steps;
+                results[i] = runFuzzCase(specs[i], accesses, batched);
+                std::uint64_t steps = results[i].steps;
+                if (batched) {
+                    // Vary the batch length so boundaries land at
+                    // different stream offsets across cases.
+                    equiv[i] = runBatchEquivCase(
+                        specs[i], accesses, 16 + 16 * (i % 8));
+                    steps += equiv[i].steps;
+                } else {
+                    equiv[i].ok = true;
+                }
+                return steps;
             }));
     }
 
@@ -76,7 +96,7 @@ main()
             continue;
         }
         const FuzzResult &r = results[i];
-        total_steps += r.steps;
+        total_steps += r.steps + equiv[i].steps;
         if (r.oracleModes != "shadow")
             ++exact;
         if (!r.ok) {
@@ -86,10 +106,20 @@ main()
                          r.toString().c_str());
             rc = 1;
         }
+        if (!equiv[i].ok) {
+            std::fprintf(stderr,
+                         "case %llu batched/per-access MISMATCH\n"
+                         "  spec: %s\n  %s\n",
+                         (unsigned long long)i,
+                         specs[i].toString().c_str(),
+                         equiv[i].toString().c_str());
+            rc = 1;
+        }
     }
 
-    std::printf("bsim_verify: %llu cases (%llu with an exact oracle), "
+    std::printf("bsim_verify%s: %llu cases (%llu with an exact oracle), "
                 "%llu checked steps: %s\n",
+                batched ? " (batched DUT)" : "",
                 (unsigned long long)cases, (unsigned long long)exact,
                 (unsigned long long)total_steps,
                 rc == 0 ? "all oracles agree" : "DIVERGENCES FOUND");

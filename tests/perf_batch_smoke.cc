@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Self-relative perf regression gate (ctest label: perf): the batched
+ * access path must beat the per-access path by a calibrated factor on
+ * the same host, same binary, same pre-generated address stream. Being
+ * a ratio of two measurements taken back to back, the gate is portable
+ * across machines — it detects "someone made accessBatch() fall back to
+ * the slow path" rather than absolute-speed regressions.
+ *
+ * Knobs:
+ *   BSIM_PERF_THRESHOLD  required batched/per-access speedup
+ *                        (default 1.3; 0 disables the assertion)
+ *   BSIM_PERF_ACCESSES   accesses per timed round (default 2^22)
+ *
+ * Sanitized builds (BSIM_SANITIZED) report the ratio but never fail:
+ * instrumentation skews the two paths differently.
+ *
+ * The measured rates are also appended to BENCH_perf.json (see
+ * EXPERIMENTS.md "Perf trajectory") so every ctest run extends the
+ * repo's perf record.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "bcache/bcache.hh"
+#include "bench/bench_json.hh"
+#include "sim/runner.hh"
+#include "workload/spec2k.hh"
+
+using namespace bsim;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+envDouble(const char *name, double fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    char *end = nullptr;
+    const double d = std::strtod(v, &end);
+    return end == v ? fallback : d;
+}
+
+std::uint64_t
+envU64(const char *name, std::uint64_t fallback)
+{
+    const char *v = std::getenv(name);
+    if (!v || !*v)
+        return fallback;
+    return std::strtoull(v, nullptr, 0);
+}
+
+/** Accesses/second of one full pass over @p reqs, per-access driving. */
+double
+ratePerAccess(BCache &cache, const std::vector<MemAccess> &reqs)
+{
+    const auto start = Clock::now();
+    for (const MemAccess &r : reqs)
+        cache.access(r);
+    const double s =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    return s > 0.0 ? double(reqs.size()) / s : 0.0;
+}
+
+/** Accesses/second of one full pass, batched driving. */
+double
+rateBatched(BCache &cache, const std::vector<MemAccess> &reqs,
+            std::size_t batch_len, std::vector<AccessOutcome> &outs)
+{
+    const auto start = Clock::now();
+    for (std::size_t i = 0; i < reqs.size(); i += batch_len) {
+        const std::size_t n = std::min(batch_len, reqs.size() - i);
+        cache.accessBatch({reqs.data() + i, n}, outs.data());
+    }
+    const double s =
+        std::chrono::duration<double>(Clock::now() - start).count();
+    return s > 0.0 ? double(reqs.size()) / s : 0.0;
+}
+
+} // namespace
+
+int
+main()
+{
+    const double threshold = envDouble("BSIM_PERF_THRESHOLD", 1.3);
+    const std::uint64_t n = envU64("BSIM_PERF_ACCESSES", 1ull << 22);
+    constexpr std::size_t kBatchLen = kDefaultBatchLen;
+    constexpr int kRounds = 3;
+
+    // Pre-generated stream so generator cost is excluded: the gate times
+    // the cache hot loop only (the paper-default 16 kB MF=8 BAS=8 cache).
+    // The instruction stream is used because it is hit-heavy (~1% miss
+    // rate): misses run the identical shared core in both paths, so a
+    // miss-heavy stream would only dilute the signal this gate watches —
+    // the batched fast path staying fast.
+    SpecWorkload w = makeSpecWorkload("gcc");
+    std::vector<MemAccess> reqs(n);
+    w.inst->nextBatch(reqs.data(), reqs.size());
+    std::vector<AccessOutcome> outs(kBatchLen);
+
+    BCacheParams params; // paper defaults: 16 kB, 32 B, MF=8, BAS=8
+    BCache per_access("per-access", params);
+    BCache batched("batched", params);
+
+    // Warm both caches with one untimed pass, then interleave the timed
+    // rounds (ABAB) so clock drift hits both paths equally.
+    ratePerAccess(per_access, reqs);
+    rateBatched(batched, reqs, kBatchLen, outs);
+    double best_per = 0.0, best_batched = 0.0;
+    for (int r = 0; r < kRounds; ++r) {
+        best_per = std::max(best_per, ratePerAccess(per_access, reqs));
+        best_batched = std::max(
+            best_batched, rateBatched(batched, reqs, kBatchLen, outs));
+    }
+
+    // The two paths must also agree bit-for-bit; equivalence proper is
+    // tests/test_batch_equivalence.cc, this is a cheap tripwire.
+    if (per_access.stats().misses != batched.stats().misses ||
+        per_access.stats().hits != batched.stats().hits) {
+        std::fprintf(stderr,
+                     "FAIL: paths diverged (hits %llu vs %llu, misses "
+                     "%llu vs %llu)\n",
+                     (unsigned long long)per_access.stats().hits,
+                     (unsigned long long)batched.stats().hits,
+                     (unsigned long long)per_access.stats().misses,
+                     (unsigned long long)batched.stats().misses);
+        return 1;
+    }
+
+    const double ratio =
+        best_per > 0.0 ? best_batched / best_per : 0.0;
+    std::printf("perf_batch_smoke: per-access %.2f Macc/s, batched "
+                "%.2f Macc/s (batch=%zu) -> speedup %.2fx "
+                "(threshold %.2fx)\n",
+                best_per / 1e6, best_batched / 1e6, kBatchLen, ratio,
+                threshold);
+
+    bench::PerfRecord rec;
+    rec.bench = "perf_batch_smoke";
+    rec.config = "bcache-16k-mf8-bas8-gcc-inst/batched";
+    rec.accessesPerSec = best_batched;
+    rec.wallSeconds = double(n) / (best_batched > 0 ? best_batched : 1);
+    rec.jobs = 1;
+    const std::string err = bench::appendPerfRecord(rec);
+    if (!err.empty())
+        std::fprintf(stderr, "warning: BENCH_perf.json append failed: "
+                             "%s\n",
+                     err.c_str());
+
+#if defined(BSIM_SANITIZED)
+    std::printf("sanitized build: threshold not enforced\n");
+    return 0;
+#else
+    if (threshold > 0.0 && ratio < threshold) {
+        std::fprintf(stderr,
+                     "FAIL: batched path is only %.2fx the per-access "
+                     "path (need %.2fx)\n",
+                     ratio, threshold);
+        return 1;
+    }
+    return 0;
+#endif
+}
