@@ -6,8 +6,14 @@
  * highly-associative CAM-tag cache (HAC), together with each technique's
  * hit-latency behaviour — the B-Cache's differentiator is one-cycle hits
  * for ALL hits at a direct-mapped access time.
+ *
+ * The (D$ suite + I$ suite) x 11 (workload, config) cells run on the
+ * parallel sweep engine (`--jobs N` / BSIM_JOBS selects the worker
+ * count); every technique's access loop is the shared tag-array engine
+ * driven in batched mode.
  */
 
+#include "bench/bench_json.hh"
 #include "bench/bench_util.hh"
 #include "workload/spec2k.hh"
 
@@ -15,7 +21,7 @@ using namespace bsim;
 using namespace bsim::bench;
 
 int
-main()
+main(int argc, char **argv)
 {
     banner("related_work_compare",
            "Sections 6.6/6.7/7 (victim, column-assoc, skewed, HAC)");
@@ -51,19 +57,24 @@ main()
         "1 cycle, 11-bit PD (improved HAC, 6.7)",
     };
 
+    SweepOptions options;
+    options.jobs = consumeJobsFlag(argc, argv);
+
+    const RowSweep sweep_d = runRows(spec2kNames(), StreamSide::Data,
+                                     configs, 16 * 1024, n, options);
+    const RowSweep sweep_i =
+        runRows(spec2kIcacheReportedNames(), StreamSide::Inst, configs,
+                16 * 1024, n, options);
+
     RunningStat red_d[10], red_i[10];
-    for (const auto &b : spec2kNames()) {
-        const MissRow row =
-            runRow(b, StreamSide::Data, configs, 16 * 1024, n);
+    for (const auto &b : spec2kNames())
         for (std::size_t i = 0; i < configs.size(); ++i)
-            red_d[i].add(reductionOf(row, configs[i].label));
-    }
-    for (const auto &b : spec2kIcacheReportedNames()) {
-        const MissRow row =
-            runRow(b, StreamSide::Inst, configs, 16 * 1024, n);
+            red_d[i].add(
+                reductionOf(sweep_d.rows.at(b), configs[i].label));
+    for (const auto &b : spec2kIcacheReportedNames())
         for (std::size_t i = 0; i < configs.size(); ++i)
-            red_i[i].add(reductionOf(row, configs[i].label));
-    }
+            red_i[i].add(
+                reductionOf(sweep_i.rows.at(b), configs[i].label));
 
     Table t({"technique", "D$ red%", "I$ red%", "hit latency"});
     for (std::size_t i = 0; i < configs.size(); ++i) {
@@ -75,5 +86,11 @@ main()
     }
     t.print("suite-average miss-rate reduction over the 16kB "
             "direct-mapped baseline");
+
+    SweepSummary summary = sweep_d.summary;
+    summary.merge(sweep_i.summary);
+    printSweepSummary(summary);
+    reportSweepPerf("related_work_compare", "spec2k-16k-related-work",
+                    summary);
     return 0;
 }

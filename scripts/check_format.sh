@@ -1,0 +1,48 @@
+#!/bin/sh
+# Style gate for the hand-written C++ tree (.clang-format at the root).
+#
+# Usage:
+#   scripts/check_format.sh            # check src/ tests/ bench/
+#   scripts/check_format.sh FILE...    # check specific files
+#   scripts/check_format.sh --fix      # reformat in place instead
+#
+# Only src/, tests/ and bench/ are covered — examples/ and anything a
+# build generates are left alone. clang-format is optional tooling: when
+# no binary is on PATH the check is skipped with a warning and exits 0,
+# so minimal containers (like the CI image, which carries only the
+# compiler toolchain) still pass.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+
+fmt=""
+for candidate in clang-format clang-format-19 clang-format-18 \
+                 clang-format-17 clang-format-16 clang-format-15 \
+                 clang-format-14; do
+    if command -v "$candidate" >/dev/null 2>&1; then
+        fmt=$candidate
+        break
+    fi
+done
+if [ -z "$fmt" ]; then
+    echo "check_format: clang-format not found on PATH; skipping" >&2
+    exit 0
+fi
+
+mode=--dry-run
+werror=-Werror
+if [ "${1-}" = "--fix" ]; then
+    mode=-i
+    werror=""
+    shift
+fi
+
+if [ "$#" -gt 0 ]; then
+    # shellcheck disable=SC2086  # $werror is intentionally word-split
+    exec "$fmt" --style=file $mode $werror "$@"
+fi
+
+cd "$repo_root"
+# shellcheck disable=SC2086
+find src tests bench \( -name '*.cc' -o -name '*.hh' \) -print \
+    | sort | xargs "$fmt" --style=file $mode $werror

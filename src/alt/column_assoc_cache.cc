@@ -1,5 +1,6 @@
 #include "alt/column_assoc_cache.hh"
 
+#include "cache/index_function.hh"
 #include "common/logging.hh"
 
 namespace bsim {
@@ -8,7 +9,7 @@ ColumnAssocCache::ColumnAssocCache(std::string name,
                                    const CacheGeometry &geom,
                                    Cycles hit_latency, MemLevel *next,
                                    Cycles rehash_penalty)
-    : BaseCache(std::move(name), geom, hit_latency, next),
+    : TagArrayEngine(std::move(name), geom, hit_latency, next),
       lines_(geom.numLines()), rehashPenalty_(rehash_penalty)
 {
     bsim_assert(geom.ways() == 1,
@@ -20,14 +21,13 @@ ColumnAssocCache::ColumnAssocCache(std::string name,
 std::size_t
 ColumnAssocCache::primaryIndex(Addr addr) const
 {
-    return geom_.index(addr);
+    return moduloIndex(geom_, addr);
 }
 
 std::size_t
 ColumnAssocCache::rehashIndex(std::size_t primary) const
 {
-    // Flip the most significant index bit.
-    return primary ^ (std::size_t{1} << (geom_.indexBits() - 1));
+    return columnRehashIndex(geom_, primary);
 }
 
 void
@@ -41,89 +41,124 @@ ColumnAssocCache::evict(std::size_t idx)
     l.rehashed = false;
 }
 
-AccessOutcome
-ColumnAssocCache::access(const MemAccess &req)
+ColumnAssocCache::Probe
+ColumnAssocCache::probe(const MemAccess &req, EngineMode mode)
 {
-    const Addr block = geom_.blockNumber(req.addr);
-    const std::size_t i1 = primaryIndex(req.addr);
-    Line &l1 = lines_[i1];
+    Probe pr;
+    pr.block = geom_.blockNumber(req.addr);
+    pr.i1 = primaryIndex(req.addr);
+    pr.i2 = rehashIndex(pr.i1);
 
-    if (l1.valid && l1.block == block) {
+    if (mode == EngineMode::Writeback) {
+        // Writebacks from above just find the resident copy (either
+        // location) or allocate at the primary slot; no swaps, no
+        // first/rehash accounting.
+        for (std::size_t idx : {pr.i1, pr.i2}) {
+            const Line &l = lines_[idx];
+            if (l.valid && l.block == pr.block) {
+                pr.hit = true;
+                pr.frame = idx;
+                pr.kase = Case::WbHit;
+                return pr;
+            }
+        }
+        pr.kase = Case::WbMiss;
+        return pr;
+    }
+
+    const Line &l1 = lines_[pr.i1];
+    if (l1.valid && l1.block == pr.block) {
         ++firstHits_;
-        if (req.type == AccessType::Write)
-            l1.dirty = true;
-        record(req.type, true, i1);
-        return {true, hitLatency()};
+        pr.hit = true;
+        pr.frame = pr.i1;
+        pr.kase = Case::FirstHit;
+        return pr;
     }
 
     if (l1.valid && l1.rehashed) {
         // The resident block lives here as someone else's rehash target;
         // rehashed blocks are evicted first and no second probe is made
         // (the requested block's rehash slot is this very line).
-        evict(i1);
-        const Cycles extra = refillFromNext(req);
-        l1.valid = true;
-        l1.dirty = (req.type == AccessType::Write);
-        l1.rehashed = false;
-        l1.block = block;
-        record(req.type, false, i1);
-        return {false, hitLatency() + extra};
+        pr.kase = Case::EvictRehashed;
+        return pr;
     }
 
-    const std::size_t i2 = rehashIndex(i1);
-    Line &l2 = lines_[i2];
-    if (l2.valid && l2.block == block) {
-        // Second-time hit: swap so the block returns to its primary slot.
+    const Line &l2 = lines_[pr.i2];
+    if (l2.valid && l2.block == pr.block) {
+        // Second-time hit: costs the rehash probe and swaps the block
+        // back to its primary slot (onHit).
         ++rehashHits_;
+        pr.hit = true;
+        pr.frame = pr.i1; // the block's location after the swap
+        pr.penalty = rehashPenalty_;
+        pr.kase = Case::RehashHit;
+        return pr;
+    }
+
+    pr.penalty = rehashPenalty_;
+    pr.kase = Case::DoubleMiss;
+    return pr;
+}
+
+void
+ColumnAssocCache::onHit(const Probe &pr, const MemAccess &, EngineMode,
+                        bool set_dirty)
+{
+    if (pr.kase == Case::RehashHit) {
+        // Swap so the block returns to its primary slot; the displaced
+        // primary occupant becomes a rehashed resident of i2.
+        Line &l1 = lines_[pr.i1];
+        Line &l2 = lines_[pr.i2];
         std::swap(l1, l2);
         l1.rehashed = false;
         if (l2.valid)
             l2.rehashed = true;
-        if (req.type == AccessType::Write)
-            l1.dirty = true;
-        record(req.type, true, i1);
-        return {true, hitLatency() + rehashPenalty_};
     }
+    if (set_dirty)
+        lines_[pr.frame].dirty = true;
+}
 
-    // Double miss: new block takes the primary slot; the old primary
-    // occupant is demoted to the rehash slot, evicting what was there.
-    evict(i2);
-    if (l1.valid) {
-        l2 = l1;
-        l2.rehashed = true;
+std::size_t
+ColumnAssocCache::victimFrame(const Probe &pr, const MemAccess &,
+                              EngineMode)
+{
+    switch (pr.kase) {
+      case Case::EvictRehashed:
+        evict(pr.i1);
+        break;
+      case Case::DoubleMiss:
+        // New block takes the primary slot; the old primary occupant is
+        // demoted to the rehash slot, evicting what was there.
+        evict(pr.i2);
+        if (lines_[pr.i1].valid) {
+            lines_[pr.i2] = lines_[pr.i1];
+            lines_[pr.i2].rehashed = true;
+        }
+        break;
+      case Case::WbMiss:
+        // Same demotion, but an empty primary slot claims no rehash
+        // space (the incoming block allocates in place).
+        if (lines_[pr.i1].valid) {
+            evict(pr.i2);
+            lines_[pr.i2] = lines_[pr.i1];
+            lines_[pr.i2].rehashed = true;
+        }
+        break;
+      default:
+        break;
     }
-    const Cycles extra = refillFromNext(req);
-    l1.valid = true;
-    l1.dirty = (req.type == AccessType::Write);
-    l1.rehashed = false;
-    l1.block = block;
-    record(req.type, false, i1);
-    return {false, hitLatency() + rehashPenalty_ + extra};
+    return pr.i1;
 }
 
 void
-ColumnAssocCache::writeback(Addr addr)
+ColumnAssocCache::install(std::size_t frame, const Probe &pr,
+                          const MemAccess &req, EngineMode)
 {
-    const Addr block = geom_.blockNumber(addr);
-    const std::size_t i1 = primaryIndex(addr);
-    const std::size_t i2 = rehashIndex(i1);
-    for (std::size_t idx : {i1, i2}) {
-        Line &l = lines_[idx];
-        if (l.valid && l.block == block) {
-            l.dirty = true;
-            return;
-        }
-    }
-    Line &l1 = lines_[i1];
-    if (l1.valid) {
-        evict(i2);
-        lines_[i2] = l1;
-        lines_[i2].rehashed = true;
-    }
-    l1.valid = true;
-    l1.dirty = true;
-    l1.rehashed = false;
-    l1.block = block;
+    Line &l = lines_[frame];
+    l.valid = true;
+    l.dirty = (req.type == AccessType::Write);
+    l.rehashed = false;
+    l.block = pr.block;
 }
 
 void
@@ -139,10 +174,13 @@ ColumnAssocCache::contains(Addr addr) const
 {
     const Addr block = geom_.blockNumber(addr);
     const std::size_t i1 = geom_.index(addr);
-    const std::size_t i2 =
-        i1 ^ (std::size_t{1} << (geom_.indexBits() - 1));
+    const std::size_t i2 = columnRehashIndex(geom_, i1);
     return (lines_[i1].valid && lines_[i1].block == block) ||
            (lines_[i2].valid && lines_[i2].block == block);
 }
+
+// Emit the engine here, next to the hook definitions (see the extern
+// template declaration in the header).
+template class TagArrayEngine<ColumnAssocCache>;
 
 } // namespace bsim

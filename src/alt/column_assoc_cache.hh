@@ -8,6 +8,11 @@
  * bit flipped. Each line carries a rehash bit marking blocks stored at
  * their alternate location. First-time hits take one cycle; rehash hits
  * take extra cycles and swap the block back to its primary location.
+ *
+ * Composed over the shared TagArrayEngine with the columnRehashIndex
+ * mapping from cache/index_function.hh: probe() classifies the access
+ * into the protocol's cases, onHit() performs the rehash swap, and
+ * victimFrame() the demotion of the primary occupant.
  */
 
 #ifndef BSIM_ALT_COLUMN_ASSOC_CACHE_HH
@@ -15,19 +20,17 @@
 
 #include <vector>
 
-#include "cache/base_cache.hh"
+#include "cache/tag_array_engine.hh"
 
 namespace bsim {
 
-class ColumnAssocCache : public BaseCache
+class ColumnAssocCache : public TagArrayEngine<ColumnAssocCache>
 {
   public:
     ColumnAssocCache(std::string name, const CacheGeometry &geom,
                      Cycles hit_latency, MemLevel *next,
                      Cycles rehash_penalty = 1);
 
-    AccessOutcome access(const MemAccess &req) override;
-    void writeback(Addr addr) override;
     void reset() override;
 
     /** Hits found at the rehash location (cost extra cycles). */
@@ -35,9 +38,11 @@ class ColumnAssocCache : public BaseCache
     /** First-probe hits (single cycle). */
     std::uint64_t firstHits() const { return firstHits_; }
 
-    bool contains(Addr addr) const;
+    bool contains(Addr addr) const override;
 
   private:
+    friend class TagArrayEngine<ColumnAssocCache>;
+
     struct Line
     {
         bool valid = false;
@@ -46,6 +51,36 @@ class ColumnAssocCache : public BaseCache
         /** Full block number (addr >> offsetBits); the line's identity. */
         Addr block = 0;
     };
+
+    /** The protocol case the probe resolved to. */
+    enum class Case : std::uint8_t {
+        FirstHit,      ///< hit at the primary location (one cycle)
+        RehashHit,     ///< hit at the rehash location (swap back)
+        EvictRehashed, ///< primary holds a rehashed stranger: evict it,
+                       ///< no second probe (its rehash slot is this line)
+        DoubleMiss,    ///< miss at both locations: demote the primary
+        WbHit,         ///< writeback from above found the block resident
+        WbMiss,        ///< writeback from above allocates at the primary
+    };
+
+    /** Engine probe result: both indices and the resolved case. */
+    struct Probe : ProbeBase
+    {
+        Addr block = 0;
+        std::size_t i1 = 0;
+        std::size_t i2 = 0;
+        Case kase = Case::DoubleMiss;
+    };
+
+    // Engine hooks (see cache/tag_array_engine.hh); always
+    // write-back/write-allocate.
+    Probe probe(const MemAccess &req, EngineMode mode);
+    void onHit(const Probe &pr, const MemAccess &req, EngineMode mode,
+               bool set_dirty);
+    std::size_t victimFrame(const Probe &pr, const MemAccess &req,
+                            EngineMode mode);
+    void install(std::size_t frame, const Probe &pr, const MemAccess &req,
+                 EngineMode mode);
 
     std::size_t primaryIndex(Addr addr) const;
     std::size_t rehashIndex(std::size_t primary) const;
@@ -56,6 +91,9 @@ class ColumnAssocCache : public BaseCache
     std::uint64_t rehashHits_ = 0;
     std::uint64_t firstHits_ = 0;
 };
+
+/** Engine compiled once, in column_assoc_cache.cc, next to the hooks. */
+extern template class TagArrayEngine<ColumnAssocCache>;
 
 } // namespace bsim
 

@@ -1,5 +1,7 @@
 #include "alt/partial_match_cache.hh"
 
+#include "cache/index_function.hh"
+#include "cache/way_filter.hh"
 #include "common/logging.hh"
 
 namespace bsim {
@@ -9,7 +11,7 @@ PartialMatchCache::PartialMatchCache(std::string name,
                                      Cycles hit_latency, MemLevel *next,
                                      unsigned partial_bits,
                                      ReplPolicyKind repl)
-    : BaseCache(std::move(name), geom, hit_latency, next),
+    : TagArrayEngine(std::move(name), geom, hit_latency, next),
       lines_(geom.numLines()),
       repl_(makeReplacementPolicy(repl)), partialBits_(partial_bits)
 {
@@ -19,98 +21,79 @@ PartialMatchCache::PartialMatchCache(std::string name,
     repl_->reset(geom.numSets(), geom.ways());
 }
 
-AccessOutcome
-PartialMatchCache::access(const MemAccess &req)
+PartialMatchCache::Probe
+PartialMatchCache::probe(const MemAccess &req, EngineMode mode)
 {
-    const std::size_t set = geom_.index(req.addr);
-    const Addr tag = geom_.tag(req.addr);
-    const Addr part = partialOf(tag);
+    Probe pr;
+    pr.set = moduloIndex(geom_, req.addr);
+    pr.tag = geom_.tag(req.addr);
+    const Line *row = lines_.data() + pr.set * geom_.ways();
 
-    // Stage 1: the PAD comparison predicts the first partial match.
-    int predicted = -1;
-    unsigned matches = 0;
-    int full_hit = -1;
-    for (std::size_t w = 0; w < geom_.ways(); ++w) {
-        const Line &l = lineAt(set, w);
-        if (!l.valid)
-            continue;
-        if (partialOf(l.tag) == part) {
-            ++matches;
-            if (predicted < 0)
-                predicted = static_cast<int>(w);
+    if (mode == EngineMode::Writeback) {
+        // Writebacks from above bypass the PAD speculation machinery.
+        const int w = scanWays(row, geom_.ways(), pr.tag, AllWays{});
+        if (w >= 0) {
+            pr.hit = true;
+            pr.way = static_cast<std::size_t>(w);
+            pr.frame = pr.set * geom_.ways() + pr.way;
         }
-        if (l.tag == tag)
-            full_hit = static_cast<int>(w);
+        return pr;
     }
-    if (matches > 1)
+
+    // Stage 1: the PAD comparison predicts the first partial match while
+    // the Main Directory confirms the full tag in parallel.
+    PadPredictor pad(partialOf(pr.tag), partialBits_);
+    const int w = scanWays(row, geom_.ways(), pr.tag, pad);
+    if (pad.matches() > 1)
         ++padAliases_;
 
-    if (full_hit >= 0) {
-        Line &l = lineAt(set, static_cast<std::size_t>(full_hit));
-        if (req.type == AccessType::Write)
-            l.dirty = true;
-        repl_->touch(set, static_cast<std::size_t>(full_hit));
-        record(req.type, true, set * geom_.ways() + full_hit);
+    if (w >= 0) {
+        pr.hit = true;
+        pr.way = static_cast<std::size_t>(w);
+        pr.frame = pr.set * geom_.ways() + pr.way;
         // The predicted way was read speculatively; if it was not the
         // right one, a second cycle fetches the correct way.
-        const bool fast = predicted == full_hit;
-        if (!fast)
+        if (pad.predicted() != w) {
             ++slowHits_;
-        return {true, hitLatency() + (fast ? 0 : 1)};
-    }
-
-    // Miss. A wrong PAD prediction still burned the speculative read
-    // (energy), but the miss path latency is the usual one.
-    std::size_t victim = geom_.ways();
-    for (std::size_t w = 0; w < geom_.ways(); ++w) {
-        if (!lineAt(set, w).valid) {
-            victim = w;
-            break;
+            pr.penalty = 1;
         }
     }
-    if (victim == geom_.ways())
-        victim = repl_->victim(set);
-    Line &l = lineAt(set, victim);
-    if (l.valid && l.dirty)
-        writebackToNext(geom_.rebuild(l.tag, set));
-    const Cycles extra = refillFromNext(req);
-    l.valid = true;
-    l.dirty = (req.type == AccessType::Write);
-    l.tag = tag;
-    repl_->fill(set, victim);
-    record(req.type, false, set * geom_.ways() + victim);
-    return {false, hitLatency() + extra};
+    // A wrong PAD prediction on a miss still burned the speculative read
+    // (energy), but the miss path latency is the usual one.
+    return pr;
 }
 
 void
-PartialMatchCache::writeback(Addr addr)
+PartialMatchCache::onHit(const Probe &pr, const MemAccess &, EngineMode,
+                         bool set_dirty)
 {
-    const std::size_t set = geom_.index(addr);
-    const Addr tag = geom_.tag(addr);
-    for (std::size_t w = 0; w < geom_.ways(); ++w) {
-        Line &l = lineAt(set, w);
-        if (l.valid && l.tag == tag) {
-            l.dirty = true;
-            repl_->touch(set, w);
-            return;
-        }
-    }
-    std::size_t victim = geom_.ways();
-    for (std::size_t w = 0; w < geom_.ways(); ++w) {
-        if (!lineAt(set, w).valid) {
-            victim = w;
-            break;
-        }
-    }
-    if (victim == geom_.ways())
-        victim = repl_->victim(set);
-    Line &l = lineAt(set, victim);
+    if (set_dirty)
+        lines_[pr.frame].dirty = true;
+    repl_->touch(pr.set, pr.way);
+}
+
+std::size_t
+PartialMatchCache::victimFrame(const Probe &pr, const MemAccess &,
+                               EngineMode)
+{
+    const std::size_t way =
+        chooseFillWay(lines_.data() + pr.set * geom_.ways(), geom_.ways(),
+                      *repl_, pr.set);
+    Line &l = lineAt(pr.set, way);
     if (l.valid && l.dirty)
-        writebackToNext(geom_.rebuild(l.tag, set));
+        writebackToNext(geom_.rebuild(l.tag, pr.set));
+    return pr.set * geom_.ways() + way;
+}
+
+void
+PartialMatchCache::install(std::size_t frame, const Probe &pr,
+                           const MemAccess &req, EngineMode)
+{
+    Line &l = lines_[frame];
     l.valid = true;
-    l.dirty = true;
-    l.tag = tag;
-    repl_->fill(set, victim);
+    l.dirty = (req.type == AccessType::Write);
+    l.tag = pr.tag;
+    repl_->fill(pr.set, frame - pr.set * geom_.ways());
 }
 
 void
@@ -135,5 +118,9 @@ PartialMatchCache::contains(Addr addr) const
     }
     return false;
 }
+
+// Emit the engine here, next to the hook definitions (see the extern
+// template declaration in the header).
+template class TagArrayEngine<PartialMatchCache>;
 
 } // namespace bsim

@@ -10,6 +10,10 @@
  * The paper's contrast: the B-Cache never needs the extra cycle because
  * its PD miss *predetermines* the miss, while PAD mispredictions send
  * the access around again.
+ *
+ * Composed over the shared TagArrayEngine: the PAD is the PadPredictor
+ * of cache/way_filter.hh; probe() charges the misprediction cycle as a
+ * hit penalty and the rest is the standard set-associative fill.
  */
 
 #ifndef BSIM_ALT_PARTIAL_MATCH_CACHE_HH
@@ -18,12 +22,11 @@
 #include <memory>
 #include <vector>
 
-#include "cache/base_cache.hh"
-#include "cache/replacement.hh"
+#include "cache/tag_array_engine.hh"
 
 namespace bsim {
 
-class PartialMatchCache : public BaseCache
+class PartialMatchCache : public TagArrayEngine<PartialMatchCache>
 {
   public:
     /**
@@ -35,11 +38,9 @@ class PartialMatchCache : public BaseCache
                       unsigned partial_bits = 5,
                       ReplPolicyKind repl = ReplPolicyKind::LRU);
 
-    AccessOutcome access(const MemAccess &req) override;
-    void writeback(Addr addr) override;
     void reset() override;
 
-    bool contains(Addr addr) const;
+    bool contains(Addr addr) const override;
 
     unsigned partialBits() const { return partialBits_; }
     /** Hits that needed the second cycle (PAD picked another way). */
@@ -48,12 +49,32 @@ class PartialMatchCache : public BaseCache
     std::uint64_t padAliases() const { return padAliases_; }
 
   private:
+    friend class TagArrayEngine<PartialMatchCache>;
+
     struct Line
     {
         bool valid = false;
         bool dirty = false;
         Addr tag = 0;
     };
+
+    /** Engine probe result: set/tag plus the confirmed hit way. */
+    struct Probe : ProbeBase
+    {
+        std::size_t set = 0;
+        std::size_t way = 0;
+        Addr tag = 0;
+    };
+
+    // Engine hooks (see cache/tag_array_engine.hh); always
+    // write-back/write-allocate.
+    Probe probe(const MemAccess &req, EngineMode mode);
+    void onHit(const Probe &pr, const MemAccess &req, EngineMode mode,
+               bool set_dirty);
+    std::size_t victimFrame(const Probe &pr, const MemAccess &req,
+                            EngineMode mode);
+    void install(std::size_t frame, const Probe &pr, const MemAccess &req,
+                 EngineMode mode);
 
     Line &lineAt(std::size_t set, std::size_t way)
     {
@@ -68,6 +89,9 @@ class PartialMatchCache : public BaseCache
     std::uint64_t slowHits_ = 0;
     std::uint64_t padAliases_ = 0;
 };
+
+/** Engine compiled once, in partial_match_cache.cc, next to the hooks. */
+extern template class TagArrayEngine<PartialMatchCache>;
 
 } // namespace bsim
 

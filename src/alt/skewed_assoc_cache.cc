@@ -1,5 +1,6 @@
 #include "alt/skewed_assoc_cache.hh"
 
+#include "cache/index_function.hh"
 #include "common/logging.hh"
 
 namespace bsim {
@@ -7,7 +8,7 @@ namespace bsim {
 SkewedAssocCache::SkewedAssocCache(std::string name,
                                    const CacheGeometry &geom,
                                    Cycles hit_latency, MemLevel *next)
-    : BaseCache(std::move(name), geom, hit_latency, next),
+    : TagArrayEngine(std::move(name), geom, hit_latency, next),
       lines_(geom.numLines())
 {
     bsim_assert(geom.ways() == 2, "skewed cache modelled with two banks");
@@ -16,49 +17,46 @@ SkewedAssocCache::SkewedAssocCache(std::string name,
 std::size_t
 SkewedAssocCache::bankIndex(unsigned bank, Addr addr) const
 {
-    const unsigned ib = geom_.indexBits();
-    const Addr block = geom_.blockNumber(addr);
-    const Addr idx = block & mask(ib);
-    const Addr tag_low = (block >> ib) & mask(ib);
-    if (bank == 0)
-        return static_cast<std::size_t>(idx ^ tag_low);
-    // Second bank skews with a bit-reversed tag slice so that addresses
-    // colliding in bank 0 spread out in bank 1.
-    return static_cast<std::size_t>(idx ^ reverseBits(tag_low, ib));
+    return skewBankIndex(geom_, bank, addr);
+}
+
+SkewedAssocCache::Probe
+SkewedAssocCache::probe(const MemAccess &req, EngineMode)
+{
+    Probe pr;
+    pr.block = geom_.blockNumber(req.addr);
+    pr.s0 = skewBankIndex(geom_, 0, req.addr);
+    pr.s1 = skewBankIndex(geom_, 1, req.addr);
+    for (unsigned b = 0; b < 2; ++b) {
+        const std::size_t s = b == 0 ? pr.s0 : pr.s1;
+        const Line &l = lineAt(b, s);
+        if (l.valid && l.block == pr.block) {
+            pr.hit = true;
+            pr.frame = b * geom_.numSets() + s;
+            break;
+        }
+    }
+    return pr;
 }
 
 void
-SkewedAssocCache::fillLine(Line &l, Addr block, AccessType type)
+SkewedAssocCache::onHit(const Probe &pr, const MemAccess &, EngineMode,
+                        bool set_dirty)
 {
-    l.valid = true;
-    l.dirty = (type == AccessType::Write);
-    l.block = block;
+    Line &l = lines_[pr.frame];
+    if (set_dirty)
+        l.dirty = true;
     l.lastUse = ++now_;
 }
 
-AccessOutcome
-SkewedAssocCache::access(const MemAccess &req)
+std::size_t
+SkewedAssocCache::victimFrame(const Probe &pr, const MemAccess &,
+                              EngineMode)
 {
-    const Addr block = geom_.blockNumber(req.addr);
-    const std::size_t s0 = bankIndex(0, req.addr);
-    const std::size_t s1 = bankIndex(1, req.addr);
-
-    for (unsigned b = 0; b < 2; ++b) {
-        const std::size_t s = b == 0 ? s0 : s1;
-        Line &l = lineAt(b, s);
-        if (l.valid && l.block == block) {
-            if (req.type == AccessType::Write)
-                l.dirty = true;
-            l.lastUse = ++now_;
-            record(req.type, true, b * geom_.numSets() + s);
-            return {true, hitLatency()};
-        }
-    }
-
-    // Miss: victim is the least recently used of the two candidates
+    // Victim is the least recently used of the two bank candidates
     // (invalid first).
-    Line &c0 = lineAt(0, s0);
-    Line &c1 = lineAt(1, s1);
+    Line &c0 = lineAt(0, pr.s0);
+    Line &c1 = lineAt(1, pr.s1);
     unsigned victim_bank;
     if (!c0.valid)
         victim_bank = 0;
@@ -70,35 +68,19 @@ SkewedAssocCache::access(const MemAccess &req)
     Line &v = victim_bank == 0 ? c0 : c1;
     if (v.valid && v.dirty)
         writebackToNext(v.block << geom_.offsetBits());
-    const Cycles extra = refillFromNext(req);
-    fillLine(v, block, req.type);
-    const std::size_t phys =
-        victim_bank * geom_.numSets() + (victim_bank == 0 ? s0 : s1);
-    record(req.type, false, phys);
-    return {false, hitLatency() + extra};
+    return victim_bank * geom_.numSets() +
+           (victim_bank == 0 ? pr.s0 : pr.s1);
 }
 
 void
-SkewedAssocCache::writeback(Addr addr)
+SkewedAssocCache::install(std::size_t frame, const Probe &pr,
+                          const MemAccess &req, EngineMode)
 {
-    const Addr block = geom_.blockNumber(addr);
-    for (unsigned b = 0; b < 2; ++b) {
-        Line &l = lineAt(b, bankIndex(b, addr));
-        if (l.valid && l.block == block) {
-            l.dirty = true;
-            l.lastUse = ++now_;
-            return;
-        }
-    }
-    Line &c0 = lineAt(0, bankIndex(0, addr));
-    Line &c1 = lineAt(1, bankIndex(1, addr));
-    Line &v = !c0.valid                  ? c0
-              : !c1.valid                ? c1
-              : c0.lastUse <= c1.lastUse ? c0
-                                         : c1;
-    if (v.valid && v.dirty)
-        writebackToNext(v.block << geom_.offsetBits());
-    fillLine(v, block, AccessType::Write);
+    Line &l = lines_[frame];
+    l.valid = true;
+    l.dirty = (req.type == AccessType::Write);
+    l.block = pr.block;
+    l.lastUse = ++now_;
 }
 
 void
@@ -114,11 +96,15 @@ SkewedAssocCache::contains(Addr addr) const
 {
     const Addr block = geom_.blockNumber(addr);
     for (unsigned b = 0; b < 2; ++b) {
-        const Line &l = lineAt(b, bankIndex(b, addr));
+        const Line &l = lineAt(b, skewBankIndex(geom_, b, addr));
         if (l.valid && l.block == block)
             return true;
     }
     return false;
 }
+
+// Emit the engine here, next to the hook definitions (see the extern
+// template declaration in the header).
+template class TagArrayEngine<SkewedAssocCache>;
 
 } // namespace bsim

@@ -4,6 +4,10 @@
  * Section 7.1: each bank is indexed by a different XOR-based hash of the
  * address, so blocks conflicting in one bank usually do not conflict in
  * the other, giving a 2-way skewed cache roughly 4-way behaviour.
+ *
+ * Composed over the shared TagArrayEngine with the skewBankIndex
+ * mappings from cache/index_function.hh; the pseudo-LRU choice between
+ * the two bank candidates lives in the victimFrame hook.
  */
 
 #ifndef BSIM_ALT_SKEWED_ASSOC_CACHE_HH
@@ -11,11 +15,11 @@
 
 #include <vector>
 
-#include "cache/base_cache.hh"
+#include "cache/tag_array_engine.hh"
 
 namespace bsim {
 
-class SkewedAssocCache : public BaseCache
+class SkewedAssocCache : public TagArrayEngine<SkewedAssocCache>
 {
   public:
     /**
@@ -25,16 +29,16 @@ class SkewedAssocCache : public BaseCache
     SkewedAssocCache(std::string name, const CacheGeometry &geom,
                      Cycles hit_latency, MemLevel *next);
 
-    AccessOutcome access(const MemAccess &req) override;
-    void writeback(Addr addr) override;
     void reset() override;
 
-    bool contains(Addr addr) const;
+    bool contains(Addr addr) const override;
 
     /** Bank index functions, exposed for tests. */
     std::size_t bankIndex(unsigned bank, Addr addr) const;
 
   private:
+    friend class TagArrayEngine<SkewedAssocCache>;
+
     struct Line
     {
         bool valid = false;
@@ -42,6 +46,24 @@ class SkewedAssocCache : public BaseCache
         Addr block = 0; // full block number
         Tick lastUse = 0;
     };
+
+    /** Engine probe result: both bank candidates and the block. */
+    struct Probe : ProbeBase
+    {
+        Addr block = 0;
+        std::size_t s0 = 0;
+        std::size_t s1 = 0;
+    };
+
+    // Engine hooks (see cache/tag_array_engine.hh); always
+    // write-back/write-allocate.
+    Probe probe(const MemAccess &req, EngineMode mode);
+    void onHit(const Probe &pr, const MemAccess &req, EngineMode mode,
+               bool set_dirty);
+    std::size_t victimFrame(const Probe &pr, const MemAccess &req,
+                            EngineMode mode);
+    void install(std::size_t frame, const Probe &pr, const MemAccess &req,
+                 EngineMode mode);
 
     Line &lineAt(unsigned bank, std::size_t set)
     {
@@ -52,11 +74,12 @@ class SkewedAssocCache : public BaseCache
         return lines_[bank * geom_.numSets() + set];
     }
 
-    void fillLine(Line &l, Addr block, AccessType type);
-
     std::vector<Line> lines_;
     Tick now_ = 0;
 };
+
+/** Engine compiled once, in skewed_assoc_cache.cc, next to the hooks. */
+extern template class TagArrayEngine<SkewedAssocCache>;
 
 } // namespace bsim
 

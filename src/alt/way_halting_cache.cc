@@ -1,5 +1,7 @@
 #include "alt/way_halting_cache.hh"
 
+#include "cache/index_function.hh"
+#include "cache/way_filter.hh"
 #include "common/logging.hh"
 
 namespace bsim {
@@ -9,7 +11,7 @@ WayHaltingCache::WayHaltingCache(std::string name,
                                  Cycles hit_latency, MemLevel *next,
                                  unsigned halt_bits,
                                  ReplPolicyKind repl)
-    : BaseCache(std::move(name), geom, hit_latency, next),
+    : TagArrayEngine(std::move(name), geom, hit_latency, next),
       lines_(geom.numLines()),
       repl_(makeReplacementPolicy(repl)), haltBits_(halt_bits)
 {
@@ -18,85 +20,64 @@ WayHaltingCache::WayHaltingCache(std::string name,
     repl_->reset(geom.numSets(), geom.ways());
 }
 
-AccessOutcome
-WayHaltingCache::access(const MemAccess &req)
+WayHaltingCache::Probe
+WayHaltingCache::probe(const MemAccess &req, EngineMode mode)
 {
-    const std::size_t set = geom_.index(req.addr);
-    const Addr tag = geom_.tag(req.addr);
-    const Addr halt = haltOf(tag);
+    Probe pr;
+    pr.set = moduloIndex(geom_, req.addr);
+    pr.tag = geom_.tag(req.addr);
+    const Line *row = lines_.data() + pr.set * geom_.ways();
 
-    // The halt-tag comparison decides which ways even wake up.
-    int hit_way = -1;
-    for (std::size_t w = 0; w < geom_.ways(); ++w) {
-        const Line &l = lineAt(set, w);
-        if (!l.valid || haltOf(l.tag) != halt) {
-            ++haltedWays_;
-            continue;
-        }
-        ++activatedWays_;
-        if (l.tag == tag)
-            hit_way = static_cast<int>(w);
+    int w;
+    if (mode == EngineMode::Demand) {
+        // The halt-tag comparison decides which ways even wake up; the
+        // filter's counters feed the energy metric.
+        w = scanWays(row, geom_.ways(), pr.tag,
+                     HaltTagFilter(haltOf(pr.tag), haltBits_, haltedWays_,
+                                   activatedWays_));
+    } else {
+        // Writebacks from above are not array activations.
+        w = scanWays(row, geom_.ways(), pr.tag, AllWays{});
     }
-
-    if (hit_way >= 0) {
-        Line &l = lineAt(set, static_cast<std::size_t>(hit_way));
-        if (req.type == AccessType::Write)
-            l.dirty = true;
-        repl_->touch(set, static_cast<std::size_t>(hit_way));
-        record(req.type, true, set * geom_.ways() + hit_way);
-        return {true, hitLatency()};
+    if (w >= 0) {
+        pr.hit = true;
+        pr.way = static_cast<std::size_t>(w);
+        pr.frame = pr.set * geom_.ways() + pr.way;
     }
-
-    std::size_t victim = geom_.ways();
-    for (std::size_t w = 0; w < geom_.ways(); ++w) {
-        if (!lineAt(set, w).valid) {
-            victim = w;
-            break;
-        }
-    }
-    if (victim == geom_.ways())
-        victim = repl_->victim(set);
-    Line &l = lineAt(set, victim);
-    if (l.valid && l.dirty)
-        writebackToNext(geom_.rebuild(l.tag, set));
-    const Cycles extra = refillFromNext(req);
-    l.valid = true;
-    l.dirty = (req.type == AccessType::Write);
-    l.tag = tag;
-    repl_->fill(set, victim);
-    record(req.type, false, set * geom_.ways() + victim);
-    return {false, hitLatency() + extra};
+    return pr;
 }
 
 void
-WayHaltingCache::writeback(Addr addr)
+WayHaltingCache::onHit(const Probe &pr, const MemAccess &, EngineMode,
+                       bool set_dirty)
 {
-    const std::size_t set = geom_.index(addr);
-    const Addr tag = geom_.tag(addr);
-    for (std::size_t w = 0; w < geom_.ways(); ++w) {
-        Line &l = lineAt(set, w);
-        if (l.valid && l.tag == tag) {
-            l.dirty = true;
-            repl_->touch(set, w);
-            return;
-        }
-    }
-    std::size_t victim = geom_.ways();
-    for (std::size_t w = 0; w < geom_.ways(); ++w) {
-        if (!lineAt(set, w).valid) {
-            victim = w;
-            break;
-        }
-    }
-    if (victim == geom_.ways())
-        victim = repl_->victim(set);
-    Line &l = lineAt(set, victim);
+    if (set_dirty)
+        lines_[pr.frame].dirty = true;
+    repl_->touch(pr.set, pr.way);
+}
+
+std::size_t
+WayHaltingCache::victimFrame(const Probe &pr, const MemAccess &,
+                             EngineMode)
+{
+    const std::size_t way =
+        chooseFillWay(lines_.data() + pr.set * geom_.ways(), geom_.ways(),
+                      *repl_, pr.set);
+    Line &l = lineAt(pr.set, way);
     if (l.valid && l.dirty)
-        writebackToNext(geom_.rebuild(l.tag, set));
+        writebackToNext(geom_.rebuild(l.tag, pr.set));
+    return pr.set * geom_.ways() + way;
+}
+
+void
+WayHaltingCache::install(std::size_t frame, const Probe &pr,
+                         const MemAccess &req, EngineMode)
+{
+    Line &l = lines_[frame];
     l.valid = true;
-    l.dirty = true;
-    l.tag = tag;
-    repl_->fill(set, victim);
+    l.dirty = (req.type == AccessType::Write);
+    l.tag = pr.tag;
+    repl_->fill(pr.set, frame - pr.set * geom_.ways());
 }
 
 void
@@ -121,5 +102,9 @@ WayHaltingCache::contains(Addr addr) const
     }
     return false;
 }
+
+// Emit the engine here, next to the hook definitions (see the extern
+// template declaration in the header).
+template class TagArrayEngine<WayHaltingCache>;
 
 } // namespace bsim

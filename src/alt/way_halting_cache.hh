@@ -11,6 +11,10 @@
  * The B-Cache connection: both structures compare a low tag slice
  * before array activation, so both share the virtual-index workaround
  * for V/P-tagged caches (Section 6.8).
+ *
+ * Composed over the shared TagArrayEngine: the halt-tag CAM is the
+ * HaltTagFilter of cache/way_filter.hh, so the variant is only the
+ * modulo-indexed probe plus the standard set-associative fill hooks.
  */
 
 #ifndef BSIM_ALT_WAY_HALTING_CACHE_HH
@@ -19,12 +23,11 @@
 #include <memory>
 #include <vector>
 
-#include "cache/base_cache.hh"
-#include "cache/replacement.hh"
+#include "cache/tag_array_engine.hh"
 
 namespace bsim {
 
-class WayHaltingCache : public BaseCache
+class WayHaltingCache : public TagArrayEngine<WayHaltingCache>
 {
   public:
     /**
@@ -36,11 +39,9 @@ class WayHaltingCache : public BaseCache
                     unsigned halt_bits = 4,
                     ReplPolicyKind repl = ReplPolicyKind::LRU);
 
-    AccessOutcome access(const MemAccess &req) override;
-    void writeback(Addr addr) override;
     void reset() override;
 
-    bool contains(Addr addr) const;
+    bool contains(Addr addr) const override;
 
     unsigned haltBits() const { return haltBits_; }
     /** Way activations that the halt tags suppressed. */
@@ -57,12 +58,32 @@ class WayHaltingCache : public BaseCache
     }
 
   private:
+    friend class TagArrayEngine<WayHaltingCache>;
+
     struct Line
     {
         bool valid = false;
         bool dirty = false;
         Addr tag = 0;
     };
+
+    /** Engine probe result: set/tag plus the filtered hit way. */
+    struct Probe : ProbeBase
+    {
+        std::size_t set = 0;
+        std::size_t way = 0;
+        Addr tag = 0;
+    };
+
+    // Engine hooks (see cache/tag_array_engine.hh); always
+    // write-back/write-allocate.
+    Probe probe(const MemAccess &req, EngineMode mode);
+    void onHit(const Probe &pr, const MemAccess &req, EngineMode mode,
+               bool set_dirty);
+    std::size_t victimFrame(const Probe &pr, const MemAccess &req,
+                            EngineMode mode);
+    void install(std::size_t frame, const Probe &pr, const MemAccess &req,
+                 EngineMode mode);
 
     Line &lineAt(std::size_t set, std::size_t way)
     {
@@ -77,6 +98,9 @@ class WayHaltingCache : public BaseCache
     std::uint64_t haltedWays_ = 0;
     std::uint64_t activatedWays_ = 0;
 };
+
+/** Engine compiled once, in way_halting_cache.cc, next to the hooks. */
+extern template class TagArrayEngine<WayHaltingCache>;
 
 } // namespace bsim
 

@@ -1,12 +1,13 @@
 #include "alt/xor_index_cache.hh"
 
+#include "cache/index_function.hh"
 #include "common/logging.hh"
 
 namespace bsim {
 
 XorIndexCache::XorIndexCache(std::string name, const CacheGeometry &geom,
                              Cycles hit_latency, MemLevel *next)
-    : BaseCache(std::move(name), geom, hit_latency, next),
+    : TagArrayEngine(std::move(name), geom, hit_latency, next),
       lines_(geom.numLines())
 {
     bsim_assert(geom.ways() == 1, "XOR-mapped cache is direct mapped");
@@ -15,50 +16,48 @@ XorIndexCache::XorIndexCache(std::string name, const CacheGeometry &geom,
 std::size_t
 XorIndexCache::hashedIndex(Addr addr) const
 {
-    const unsigned ib = geom_.indexBits();
-    const Addr block = geom_.blockNumber(addr);
-    // The classic single-slice hash: index XOR the adjacent tag slice.
-    // (Folding more tag bits disperses more strides but scrambles
-    // well-laid-out data even harder.)
-    return static_cast<std::size_t>((block ^ (block >> ib)) & mask(ib));
+    return xorFoldIndex(geom_, addr);
 }
 
-AccessOutcome
-XorIndexCache::access(const MemAccess &req)
+XorIndexCache::Probe
+XorIndexCache::probe(const MemAccess &req, EngineMode)
 {
-    const Addr block = geom_.blockNumber(req.addr);
-    const std::size_t idx = hashedIndex(req.addr);
-    Line &l = lines_[idx];
-    if (l.valid && l.block == block) {
-        if (req.type == AccessType::Write)
-            l.dirty = true;
-        record(req.type, true, idx);
-        return {true, hitLatency()};
+    Probe pr;
+    pr.block = geom_.blockNumber(req.addr);
+    pr.idx = xorFoldIndex(geom_, req.addr);
+    const Line &l = lines_[pr.idx];
+    if (l.valid && l.block == pr.block) {
+        pr.hit = true;
+        pr.frame = pr.idx;
     }
-    if (l.valid && l.dirty)
-        writebackToNext(l.block << geom_.offsetBits());
-    const Cycles extra = refillFromNext(req);
-    l.valid = true;
-    l.dirty = (req.type == AccessType::Write);
-    l.block = block;
-    record(req.type, false, idx);
-    return {false, hitLatency() + extra};
+    return pr;
 }
 
 void
-XorIndexCache::writeback(Addr addr)
+XorIndexCache::onHit(const Probe &pr, const MemAccess &, EngineMode,
+                     bool set_dirty)
 {
-    const Addr block = geom_.blockNumber(addr);
-    Line &l = lines_[hashedIndex(addr)];
-    if (l.valid && l.block == block) {
-        l.dirty = true;
-        return;
-    }
+    if (set_dirty)
+        lines_[pr.frame].dirty = true;
+}
+
+std::size_t
+XorIndexCache::victimFrame(const Probe &pr, const MemAccess &, EngineMode)
+{
+    const Line &l = lines_[pr.idx];
     if (l.valid && l.dirty)
         writebackToNext(l.block << geom_.offsetBits());
+    return pr.idx;
+}
+
+void
+XorIndexCache::install(std::size_t frame, const Probe &pr,
+                       const MemAccess &req, EngineMode)
+{
+    Line &l = lines_[frame];
     l.valid = true;
-    l.dirty = true;
-    l.block = block;
+    l.dirty = (req.type == AccessType::Write);
+    l.block = pr.block;
 }
 
 void
@@ -71,8 +70,12 @@ XorIndexCache::reset()
 bool
 XorIndexCache::contains(Addr addr) const
 {
-    const Line &l = lines_[hashedIndex(addr)];
+    const Line &l = lines_[xorFoldIndex(geom_, addr)];
     return l.valid && l.block == geom_.blockNumber(addr);
 }
+
+// Emit the engine here, next to the hook definitions (see the extern
+// template declaration in the header).
+template class TagArrayEngine<XorIndexCache>;
 
 } // namespace bsim

@@ -2,53 +2,15 @@
 
 #include <bit>
 
+#include "cache/index_function.hh"
 #include "common/logging.hh"
 
 namespace bsim {
 
-namespace {
-
-/** accessImpl sink that updates the cache's counters immediately. */
-struct DirectStatsSink
-{
-    CacheStats &stats;
-    PdStats &pd;
-
-    void access(AccessType t, bool hit) { stats.recordAccess(t, hit); }
-    void writethrough() { ++stats.writethroughs; }
-    void pdHitCacheMiss() { ++pd.pdHitCacheMiss; }
-    void pdMiss() { ++pd.pdMiss; }
-};
-
-/** accessImpl sink that accumulates locally; flushed once per batch. */
-struct BatchedStatsSink
-{
-    BatchStatsAccumulator acc;
-    std::uint64_t writethroughs = 0;
-    std::uint64_t nPdHitCacheMiss = 0;
-    std::uint64_t nPdMiss = 0;
-
-    void access(AccessType t, bool hit) { acc.record(t, hit); }
-    void writethrough() { ++writethroughs; }
-    void pdHitCacheMiss() { ++nPdHitCacheMiss; }
-    void pdMiss() { ++nPdMiss; }
-
-    void
-    flushInto(CacheStats &stats, PdStats &pd)
-    {
-        acc.flushInto(stats);
-        stats.writethroughs += writethroughs;
-        pd.pdHitCacheMiss += nPdHitCacheMiss;
-        pd.pdMiss += nPdMiss;
-    }
-};
-
-} // namespace
-
 BCache::BCache(std::string name, const BCacheParams &params,
                Cycles hit_latency, MemLevel *next)
-    : BaseCache(std::move(name), bcacheArrayGeometry(params), hit_latency,
-                next),
+    : TagArrayEngine(std::move(name), bcacheArrayGeometry(params),
+                     hit_latency, next),
       params_(params), layout_(deriveLayout(params)),
       piMask_(mask(layout_.piBits)), lines_(geom_.numLines()),
       pdPatterns_(geom_.numLines(), kNoPattern),
@@ -62,13 +24,13 @@ BCache::BCache(std::string name, const BCacheParams &params,
 std::size_t
 BCache::groupOf(Addr addr) const
 {
-    return bitsRange(addr, geom_.offsetBits(), layout_.npiBits);
+    return bcacheGroupIndex(geom_, layout_.npiBits, addr);
 }
 
 Addr
 BCache::upperOf(Addr addr) const
 {
-    return addr >> (geom_.offsetBits() + layout_.npiBits);
+    return bcacheUpperField(geom_, layout_.npiBits, addr);
 }
 
 int
@@ -84,233 +46,161 @@ BCache::pdMatch(std::size_t group, Addr pattern) const
     return -1;
 }
 
-Cycles
-BCache::replaceLine(std::size_t group, std::size_t way,
-                    const MemAccess &req, Addr upper, bool count_refill)
+BCache::Probe
+BCache::probe(const MemAccess &req, EngineMode)
 {
-    Line &l = lineAt(group, way);
-    if (l.valid && l.dirty) {
-        const Addr victim_block =
-            (l.upper << layout_.npiBits | group) << geom_.offsetBits();
-        writebackToNext(victim_block);
+    Probe pr;
+    pr.group = groupOf(req.addr);
+    pr.upper = upperOf(req.addr);
+    pr.pattern = pdPattern(pr.upper);
+    pr.pdWay = pdMatch(pr.group, pr.pattern);
+    if (pr.pdWay >= 0 &&
+        lineAt(pr.group, static_cast<std::size_t>(pr.pdWay)).upper ==
+            pr.upper) {
+        // PD hit and full tag match: a one-cycle cache hit.
+        pr.hit = true;
+        pr.frame = pr.group * layout_.bas +
+                   static_cast<std::size_t>(pr.pdWay);
     }
-    Cycles extra = 0;
-    if (count_refill)
-        extra = refillFromNext(req);
-    l.valid = true;
-    l.dirty = params_.writePolicy == WritePolicy::WriteBackAllocate &&
-              req.type == AccessType::Write;
-    l.upper = upper;
-    pdPatterns_[group * layout_.bas + way] = pdPattern(upper);
-    repl_->fill(group, way);
-    return extra;
+    return pr;
 }
 
-template <typename StatsSink>
-AccessOutcome
-BCache::accessImpl(const MemAccess &req, StatsSink &sink)
+void
+BCache::onHit(const Probe &pr, const MemAccess &, EngineMode mode,
+              bool set_dirty)
 {
-    const std::size_t group = groupOf(req.addr);
-    const Addr upper = upperOf(req.addr);
-    const Addr pattern = pdPattern(upper);
-    const bool write_through =
-        params_.writePolicy == WritePolicy::WriteThroughNoAllocate;
+    if (mode == EngineMode::Demand)
+        lastOutcome_ = PdOutcome::HitAndCacheHit;
+    if (set_dirty)
+        lines_[pr.frame].dirty = true;
+    repl_->touch(pr.group, static_cast<std::size_t>(pr.pdWay));
+}
 
-    const int pd_way = pdMatch(group, pattern);
-    if (pd_way >= 0) {
-        Line &l = lineAt(group, static_cast<std::size_t>(pd_way));
-        if (l.upper == upper) {
-            // PD hit and full tag match: a one-cycle cache hit.
-            lastOutcome_ = PdOutcome::HitAndCacheHit;
-            if (req.type == AccessType::Write) {
-                if (write_through) {
-                    sink.writethrough();
-                    if (nextLevel())
-                        nextLevel()->writeback(
-                            geom_.blockAlign(req.addr));
-                } else {
-                    l.dirty = true;
-                }
-            }
-            repl_->touch(group, static_cast<std::size_t>(pd_way));
-            sink.access(req.type, true);
-            recordLineOnly(group * layout_.bas + pd_way, true);
-            return {true, hitLatency()};
-        }
-        if (write_through && req.type == AccessType::Write) {
-            // No-write-allocate: forward the store; the PD entry and
-            // the resident block are left untouched, so no physical
-            // line is charged with this miss.
-            lastOutcome_ = PdOutcome::HitButCacheMiss;
-            sink.pdHitCacheMiss();
-            sink.writethrough();
-            if (nextLevel())
-                nextLevel()->writeback(geom_.blockAlign(req.addr));
-            sink.access(req.type, false);
-            return {false, hitLatency()};
-        }
+void
+BCache::onMissClassified(const Probe &pr, EngineMode mode)
+{
+    // PD statistics are a demand-path taxonomy; writebacks from above
+    // are not accesses and leave them (and lastOutcome_) untouched.
+    if (mode != EngineMode::Demand)
+        return;
+    if (pr.pdWay >= 0) {
+        lastOutcome_ = PdOutcome::HitButCacheMiss;
+        ++pdStats_.pdHitCacheMiss;
+    } else {
+        // PD miss: the cache miss is predetermined before any tag or
+        // data array is read.
+        lastOutcome_ = PdOutcome::Miss;
+        ++pdStats_.pdMiss;
+    }
+}
+
+std::size_t
+BCache::victimFrame(const Probe &pr, const MemAccess &, EngineMode)
+{
+    std::size_t way;
+    if (pr.pdWay >= 0) {
         // PD hit but the tag differs: replacing any line other than the
         // activated one would leave two lines decoding the same pattern,
         // so the activated line itself must be the victim (Section 2.3).
-        lastOutcome_ = PdOutcome::HitButCacheMiss;
-        sink.pdHitCacheMiss();
-        const Cycles extra = replaceLine(
-            group, static_cast<std::size_t>(pd_way), req, upper, true);
-        sink.access(req.type, false);
-        recordLineOnly(group * layout_.bas + pd_way, false);
-        return {false, hitLatency() + extra};
+        way = static_cast<std::size_t>(pr.pdWay);
+    } else {
+        // PD miss: the victim may be any line of the group, chosen by
+        // the replacement policy; install() reprograms its PD entry.
+        way = chooseFillWay(lines_.data() + pr.group * layout_.bas,
+                            layout_.bas, *repl_, pr.group);
     }
-
-    // PD miss: the cache miss is predetermined before any tag or data
-    // array is read. The victim may be any line of the group, chosen by
-    // the replacement policy; its PD entry is reprogrammed to 'pattern'.
-    lastOutcome_ = PdOutcome::Miss;
-    sink.pdMiss();
-    if (write_through && req.type == AccessType::Write) {
-        // Non-allocating miss: no line is touched, so none is charged
-        // (charging way 0 of the group skews the Table 7 balance).
-        sink.writethrough();
-        if (nextLevel())
-            nextLevel()->writeback(geom_.blockAlign(req.addr));
-        sink.access(req.type, false);
-        return {false, hitLatency()};
+    Line &l = lineAt(pr.group, way);
+    if (l.valid && l.dirty) {
+        const Addr victim_block =
+            (l.upper << layout_.npiBits | pr.group) << geom_.offsetBits();
+        writebackToNext(victim_block);
     }
-    std::size_t victim = layout_.bas;
-    for (std::size_t w = 0; w < layout_.bas; ++w) {
-        if (!lineAt(group, w).valid) {
-            victim = w;
-            break;
-        }
-    }
-    if (victim == layout_.bas)
-        victim = repl_->victim(group);
-    const Cycles extra = replaceLine(group, victim, req, upper, true);
-    sink.access(req.type, false);
-    recordLineOnly(group * layout_.bas + victim, false);
-    return {false, hitLatency() + extra};
-}
-
-AccessOutcome
-BCache::access(const MemAccess &req)
-{
-    DirectStatsSink sink{stats_, pdStats_};
-    return accessImpl(req, sink);
+    return pr.group * layout_.bas + way;
 }
 
 void
-BCache::accessBatch(std::span<const MemAccess> reqs, AccessOutcome *out)
+BCache::install(std::size_t frame, const Probe &pr, const MemAccess &req,
+                EngineMode)
 {
-    // Hot loop: hits are resolved entirely inline against hoisted layout
-    // fields, the SoA pattern array and a register-resident stats sink.
-    // Everything else (misses, write-through stores) runs through the
-    // same accessImpl core as the per-access path, so state mutations
+    Line &l = lines_[frame];
+    l.valid = true;
+    l.dirty = params_.writePolicy == WritePolicy::WriteBackAllocate &&
+              req.type == AccessType::Write;
+    l.upper = pr.upper;
+    pdPatterns_[frame] = pr.pattern;
+    repl_->fill(pr.group, frame - pr.group * layout_.bas);
+}
+
+BCache::BatchCtx
+BCache::makeBatchContext()
+{
+    // Hoisted once per batch: layout fields, the SoA pattern array, and
+    // the replacement update devirtualized (LRU is the default policy;
+    // touchFast is a single inlinable store).
+    return {pdPatterns_.data(),
+            lines_.data(),
+            layout_.bas,
+            geom_.offsetBits(),
+            layout_.npiBits,
+            piMask_,
+            hitLatency(),
+            params_.writePolicy == WritePolicy::WriteBackAllocate,
+            dynamic_cast<LruPolicy *>(repl_.get()),
+            usageTracker_.rawUsage(),
+            lineObserver()};
+}
+
+bool
+BCache::tryFastHit(BatchCtx &ctx, const MemAccess &req,
+                   BatchTagStatsSink &sink, AccessOutcome &out)
+{
+    // Hits resolve entirely inline against the hoisted layout fields and
+    // SoA pattern array. Everything else (misses, write-through stores)
+    // runs through the engine's shared run() core, so state mutations
     // and next-level traffic are identical access by access.
-    BatchedStatsSink sink;
-    const std::size_t bas = layout_.bas;
-    const unsigned offset_bits = geom_.offsetBits();
-    const unsigned npi_bits = layout_.npiBits;
-    const Addr pi_mask = piMask_;
-    const Addr *const pats = pdPatterns_.data();
-    Line *const lines = lines_.data();
-    const Cycles hit_lat = hitLatency();
-    const bool write_back =
-        params_.writePolicy == WritePolicy::WriteBackAllocate;
-    // Devirtualize the per-hit replacement update once per batch: LRU is
-    // the default policy, and its touch is a single inlinable store.
-    LruPolicy *const lru = dynamic_cast<LruPolicy *>(repl_.get());
-    SetUsage *const usage = usageTracker_.rawUsage();
-    LineAccessObserver *const obs = lineObserver();
-    // lastOutcome_ for fast-path hits is written once after the loop
-    // (it only needs to reflect the final access of the batch).
-    bool last_was_fast_hit = false;
+    ctx.lastFast = false;
+    const std::size_t group = bitsRange(req.addr, ctx.offsetBits,
+                                        ctx.npiBits);
+    const Addr upper = req.addr >> (ctx.offsetBits + ctx.npiBits);
+    const Addr pattern = upper & ctx.piMask;
 
-    for (std::size_t i = 0; i < reqs.size(); ++i) {
-        const MemAccess req = reqs[i];
-        const std::size_t group = bitsRange(req.addr, offset_bits,
-                                            npi_bits);
-        const Addr upper = req.addr >> (offset_bits + npi_bits);
-        const Addr pattern = upper & pi_mask;
-
-        const Addr *const gp = pats + group * bas;
-        std::size_t pd_way = bas;
-        for (std::size_t w = 0; w < bas; ++w) {
-            if (gp[w] == pattern) {
-                pd_way = w;
-                break;
-            }
-        }
-        if (pd_way != bas) {
-            Line &l = lines[group * bas + pd_way];
-            const bool write = req.type == AccessType::Write;
-            if (l.upper == upper && (!write || write_back)) {
-                if (write)
-                    l.dirty = true;
-                if (lru)
-                    lru->touchFast(group, pd_way);
-                else
-                    repl_->touch(group, pd_way);
-                sink.access(req.type, true);
-                SetUsage &u = usage[group * bas + pd_way];
-                ++u.accesses;
-                ++u.hits;
-                if (obs)
-                    obs->onLineAccess(group * bas + pd_way, true);
-                out[i] = {true, hit_lat};
-                last_was_fast_hit = true;
-                continue;
-            }
-        }
-        out[i] = accessImpl(req, sink);
-        last_was_fast_hit = false;
-    }
-    if (last_was_fast_hit)
-        lastOutcome_ = PdOutcome::HitAndCacheHit;
-    sink.flushInto(stats_, pdStats_);
-}
-
-void
-BCache::writeback(Addr addr)
-{
-    const std::size_t group = groupOf(addr);
-    const Addr upper = upperOf(addr);
-    const int pd_way = pdMatch(group, pdPattern(upper));
-    if (params_.writePolicy == WritePolicy::WriteThroughNoAllocate) {
-        // Write-through: the incoming dirty data must reach the next
-        // level (installing it here with dirty=false would silently
-        // drop the write); no-write-allocate means a miss installs
-        // nothing. A resident copy stays resident (and clean).
-        ++stats_.writethroughs;
-        if (nextLevel())
-            nextLevel()->writeback(geom_.blockAlign(addr));
-        if (pd_way >= 0 &&
-            lineAt(group, static_cast<std::size_t>(pd_way)).upper == upper)
-            repl_->touch(group, static_cast<std::size_t>(pd_way));
-        return;
-    }
-    MemAccess req{addr, AccessType::Write};
-    if (pd_way >= 0) {
-        Line &l = lineAt(group, static_cast<std::size_t>(pd_way));
-        if (l.upper == upper) {
-            l.dirty = true;
-            repl_->touch(group, static_cast<std::size_t>(pd_way));
-            return;
-        }
-        replaceLine(group, static_cast<std::size_t>(pd_way), req, upper,
-                    false);
-        ++stats_.refills;
-        return;
-    }
-    std::size_t victim = layout_.bas;
-    for (std::size_t w = 0; w < layout_.bas; ++w) {
-        if (!lineAt(group, w).valid) {
-            victim = w;
+    const Addr *const gp = ctx.pats + group * ctx.bas;
+    std::size_t pd_way = ctx.bas;
+    for (std::size_t w = 0; w < ctx.bas; ++w) {
+        if (gp[w] == pattern) {
+            pd_way = w;
             break;
         }
     }
-    if (victim == layout_.bas)
-        victim = repl_->victim(group);
-    replaceLine(group, victim, req, upper, false);
-    ++stats_.refills;
+    if (pd_way == ctx.bas)
+        return false;
+    Line &l = ctx.lines[group * ctx.bas + pd_way];
+    const bool write = req.type == AccessType::Write;
+    if (l.upper != upper || (write && !ctx.writeBack))
+        return false;
+
+    if (write)
+        l.dirty = true;
+    if (ctx.lru)
+        ctx.lru->touchFast(group, pd_way);
+    else
+        repl_->touch(group, pd_way);
+    sink.access(req.type, true);
+    SetUsage &u = ctx.usage[group * ctx.bas + pd_way];
+    ++u.accesses;
+    ++u.hits;
+    if (ctx.obs)
+        ctx.obs->onLineAccess(group * ctx.bas + pd_way, true);
+    out = {true, ctx.hitLat};
+    ctx.lastFast = true;
+    return true;
+}
+
+void
+BCache::finishBatch(BatchCtx &ctx)
+{
+    if (ctx.lastFast)
+        lastOutcome_ = PdOutcome::HitAndCacheHit;
 }
 
 void
@@ -401,5 +291,9 @@ makeBCache(const std::string &name, const BCacheParams &params,
 {
     return std::make_unique<BCache>(name, params, hit_latency, next);
 }
+
+// Emit the engine here, next to the hook definitions (see the extern
+// template declaration in the header).
+template class TagArrayEngine<BCache>;
 
 } // namespace bsim

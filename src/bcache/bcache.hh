@@ -29,6 +29,13 @@
  * direct-mapped cache; MF large enough that PI covers the entire upper
  * address makes the B-Cache exactly a BAS-way set-associative cache with
  * 2^NPI sets.
+ *
+ * Composed over the shared TagArrayEngine: the PD is this variant's
+ * (dynamic) index function + way filter in one structure, so probe()
+ * runs the PD match, victimFrame() enforces the forced-replacement rule,
+ * and install() reprograms the pattern. The engine owns the
+ * access()/accessBatch()/writeback() sequencing; the batched hot path
+ * keeps the SoA pattern scan via the tryFastHit() hook.
  */
 
 #ifndef BSIM_BCACHE_BCACHE_HH
@@ -38,8 +45,8 @@
 #include <vector>
 
 #include "bcache/bcache_params.hh"
-#include "cache/base_cache.hh"
 #include "cache/replacement.hh"
+#include "cache/tag_array_engine.hh"
 
 namespace bsim {
 
@@ -77,26 +84,12 @@ struct PdStats
     void reset() { *this = PdStats{}; }
 };
 
-class BCache : public BaseCache
+class BCache : public TagArrayEngine<BCache>
 {
   public:
     BCache(std::string name, const BCacheParams &params,
            Cycles hit_latency = 1, MemLevel *next = nullptr);
 
-    AccessOutcome access(const MemAccess &req) override;
-
-    /**
-     * Batched access path: per-access logic identical to access() (both
-     * are instances of the same accessImpl core), but the PD scan runs
-     * over the contiguous per-group pattern array, layout fields are
-     * hoisted, and aggregate CacheStats/PdStats increments accumulate in
-     * registers and flush once per batch. Bit-identical to per-access
-     * driving (tests/test_batch_equivalence.cc, BSIM_VERIFY_BATCHED=1).
-     */
-    void accessBatch(std::span<const MemAccess> reqs,
-                     AccessOutcome *out) override;
-
-    void writeback(Addr addr) override;
     void reset() override;
 
     const BCacheParams &params() const { return params_; }
@@ -143,6 +136,8 @@ class BCache : public BaseCache
                         Addr pattern);
 
   private:
+    friend class TagArrayEngine<BCache>;
+
     struct Line
     {
         bool valid = false;
@@ -150,6 +145,60 @@ class BCache : public BaseCache
         /** block address >> npiBits; low piBits are the PD pattern. */
         Addr upper = 0;
     };
+
+    /** Engine probe result: NPI group, upper field, PD match. */
+    struct Probe : ProbeBase
+    {
+        std::size_t group = 0;
+        Addr upper = 0;
+        Addr pattern = 0;
+        int pdWay = -1;
+    };
+
+    /** Hoisted fields of the batched fast hit path (one per batch). */
+    struct BatchCtx
+    {
+        const Addr *pats;
+        Line *lines;
+        std::size_t bas;
+        unsigned offsetBits;
+        unsigned npiBits;
+        Addr piMask;
+        Cycles hitLat;
+        bool writeBack;
+        LruPolicy *lru;
+        SetUsage *usage;
+        LineAccessObserver *obs;
+        /**
+         * lastOutcome_ for fast-path hits is written once per batch by
+         * finishBatch() (it only needs to reflect the final access).
+         */
+        bool lastFast = false;
+    };
+
+    // Engine traits + hooks (see cache/tag_array_engine.hh).
+    static constexpr bool kHasWritePolicy = true;
+    static constexpr bool kCountWritebackRefills = true;
+
+    bool
+    writeThroughPolicy() const
+    {
+        return params_.writePolicy == WritePolicy::WriteThroughNoAllocate;
+    }
+
+    Probe probe(const MemAccess &req, EngineMode mode);
+    void onHit(const Probe &pr, const MemAccess &req, EngineMode mode,
+               bool set_dirty);
+    void onMissClassified(const Probe &pr, EngineMode mode);
+    std::size_t victimFrame(const Probe &pr, const MemAccess &req,
+                            EngineMode mode);
+    void install(std::size_t frame, const Probe &pr, const MemAccess &req,
+                 EngineMode mode);
+
+    BatchCtx makeBatchContext();
+    bool tryFastHit(BatchCtx &ctx, const MemAccess &req,
+                    BatchTagStatsSink &sink, AccessOutcome &out);
+    void finishBatch(BatchCtx &ctx);
 
     Line &lineAt(std::size_t group, std::size_t way)
     {
@@ -169,19 +218,6 @@ class BCache : public BaseCache
 
     /** Way whose valid PD pattern matches, or -1 (the decode step). */
     int pdMatch(std::size_t group, Addr pattern) const;
-
-    /** Evict (writing back if dirty) and refill a line. */
-    Cycles replaceLine(std::size_t group, std::size_t way,
-                       const MemAccess &req, Addr upper, bool count_refill);
-
-    /**
-     * The single source of the access algorithm: access() instantiates it
-     * with a sink that writes CacheStats/PdStats immediately, the
-     * accessBatch() loop with a sink that accumulates locally. Defined in
-     * bcache.cc (both instantiations live in that translation unit).
-     */
-    template <typename StatsSink>
-    AccessOutcome accessImpl(const MemAccess &req, StatsSink &sink);
 
     /**
      * Sentinel stored in pdPatterns_ for invalid lines. Cannot collide
@@ -215,6 +251,9 @@ class BCache : public BaseCache
     PdStats pdStats_;
     PdOutcome lastOutcome_ = PdOutcome::Miss;
 };
+
+/** Engine compiled once, in bcache.cc, next to the hook definitions. */
+extern template class TagArrayEngine<BCache>;
 
 /** Convenience factory returning a BCache as a BaseCache pointer. */
 std::unique_ptr<BCache>

@@ -1,5 +1,7 @@
 #include "cache/set_assoc_cache.hh"
 
+#include "cache/index_function.hh"
+#include "cache/way_filter.hh"
 #include "common/logging.hh"
 
 namespace bsim {
@@ -8,7 +10,7 @@ SetAssocCache::SetAssocCache(std::string name, const CacheGeometry &geom,
                              Cycles hit_latency, MemLevel *next,
                              ReplPolicyKind repl, std::uint64_t repl_seed,
                              WritePolicy write_policy)
-    : BaseCache(std::move(name), geom, hit_latency, next),
+    : TagArrayEngine(std::move(name), geom, hit_latency, next),
       lines_(geom.numLines()),
       repl_(makeReplacementPolicy(repl, repl_seed)),
       writePolicy_(write_policy)
@@ -19,165 +21,112 @@ SetAssocCache::SetAssocCache(std::string name, const CacheGeometry &geom,
 int
 SetAssocCache::findWay(std::size_t set, Addr tag) const
 {
-    for (std::size_t w = 0; w < geom_.ways(); ++w) {
-        const Line &l = lineAt(set, w);
-        if (l.valid && l.tag == tag)
-            return static_cast<int>(w);
+    return scanWays(lines_.data() + set * geom_.ways(), geom_.ways(), tag,
+                    AllWays{});
+}
+
+SetAssocCache::Probe
+SetAssocCache::probe(const MemAccess &req, EngineMode)
+{
+    Probe pr;
+    pr.set = moduloIndex(geom_, req.addr);
+    pr.tag = geom_.tag(req.addr);
+    const int w = findWay(pr.set, pr.tag);
+    if (w >= 0) {
+        pr.hit = true;
+        pr.way = static_cast<std::size_t>(w);
+        pr.frame = pr.set * geom_.ways() + pr.way;
     }
-    return -1;
+    return pr;
+}
+
+void
+SetAssocCache::onHit(const Probe &pr, const MemAccess &, EngineMode,
+                     bool set_dirty)
+{
+    if (set_dirty)
+        lineAt(pr.set, pr.way).dirty = true;
+    repl_->touch(pr.set, pr.way);
 }
 
 std::size_t
-SetAssocCache::chooseVictim(std::size_t set)
+SetAssocCache::victimFrame(const Probe &pr, const MemAccess &, EngineMode)
 {
-    for (std::size_t w = 0; w < geom_.ways(); ++w)
-        if (!lineAt(set, w).valid)
-            return w;
-    return repl_->victim(set);
-}
-
-SetAssocCache::Result
-SetAssocCache::lookupAndFill(const MemAccess &req, bool count_refill)
-{
-    const std::size_t set = geom_.index(req.addr);
-    const Addr tag = geom_.tag(req.addr);
-
-    const bool write_through =
-        writePolicy_ == WritePolicy::WriteThroughNoAllocate;
-
-    const int hit_way = findWay(set, tag);
-    if (hit_way >= 0) {
-        Line &l = lineAt(set, static_cast<std::size_t>(hit_way));
-        if (req.type == AccessType::Write) {
-            if (write_through) {
-                ++stats_.writethroughs;
-                if (nextLevel())
-                    nextLevel()->writeback(geom_.blockAlign(req.addr));
-            } else {
-                l.dirty = true;
-            }
-        }
-        repl_->touch(set, static_cast<std::size_t>(hit_way));
-        return {true, set * geom_.ways() + hit_way, 0};
-    }
-
-    // Write miss under no-write-allocate: forward the store, touch no
-    // cache state and no physical line.
-    if (write_through && req.type == AccessType::Write) {
-        ++stats_.writethroughs;
-        if (nextLevel())
-            nextLevel()->writeback(geom_.blockAlign(req.addr));
-        return {false, kNoLine, 0};
-    }
-
-    // Miss: pick a victim, write it back if dirty, refill.
-    const std::size_t victim = chooseVictim(set);
-    Line &l = lineAt(set, victim);
+    const std::size_t way =
+        chooseFillWay(lines_.data() + pr.set * geom_.ways(), geom_.ways(),
+                      *repl_, pr.set);
+    Line &l = lineAt(pr.set, way);
     if (l.valid && l.dirty)
-        writebackToNext(geom_.rebuild(l.tag, set));
+        writebackToNext(geom_.rebuild(l.tag, pr.set));
+    return pr.set * geom_.ways() + way;
+}
 
-    Cycles extra = 0;
-    if (count_refill)
-        extra = refillFromNext(req);
-
+void
+SetAssocCache::install(std::size_t frame, const Probe &pr,
+                       const MemAccess &req, EngineMode)
+{
+    Line &l = lines_[frame];
     l.valid = true;
-    l.dirty = !write_through && (req.type == AccessType::Write);
-    l.tag = tag;
-    repl_->fill(set, victim);
-    return {false, set * geom_.ways() + victim, extra};
+    l.dirty = !writeThroughPolicy() && req.type == AccessType::Write;
+    l.tag = pr.tag;
+    repl_->fill(pr.set, frame - pr.set * geom_.ways());
 }
 
-AccessOutcome
-SetAssocCache::access(const MemAccess &req)
+SetAssocCache::BatchCtx
+SetAssocCache::makeBatchContext()
 {
-    const Result r = lookupAndFill(req, /*count_refill=*/true);
-    if (r.physicalLine == kNoLine)
-        record(req.type, r.hit);
-    else
-        record(req.type, r.hit, r.physicalLine);
-    return {r.hit, hitLatency() + r.extraLatency};
+    // Hoisted once per batch: geometry fields, the line array base, the
+    // write policy, and the replacement update devirtualized (LRU is the
+    // default policy; touchFast is a single inlinable store).
+    return {lines_.data(),
+            geom_.ways(),
+            geom_.offsetBits(),
+            geom_.indexBits(),
+            hitLatency(),
+            writeThroughPolicy(),
+            dynamic_cast<LruPolicy *>(repl_.get()),
+            usageTracker_.rawUsage(),
+            lineObserver()};
 }
 
-void
-SetAssocCache::accessBatch(std::span<const MemAccess> reqs,
-                           AccessOutcome *out)
+bool
+SetAssocCache::tryFastHit(BatchCtx &ctx, const MemAccess &req,
+                          BatchTagStatsSink &sink, AccessOutcome &out)
 {
-    // Hot loop: geometry fields, the line array base and the write policy
-    // are hoisted out of the per-access path, hits are resolved inline and
-    // aggregate counters accumulate in registers. Anything that touches
-    // the next level or mutates more than one line (misses, write-through
-    // stores) drops into the shared lookupAndFill() core, so both paths
-    // perform the same state mutations in the same order.
-    BatchStatsAccumulator acc;
-    Line *const lines = lines_.data();
-    const std::size_t ways = geom_.ways();
-    const unsigned offset_bits = geom_.offsetBits();
-    const unsigned index_bits = geom_.indexBits();
-    const Cycles hit_lat = hitLatency();
-    const bool write_through =
-        writePolicy_ == WritePolicy::WriteThroughNoAllocate;
-    // Devirtualize the per-hit replacement update once per batch (LRU is
-    // the default policy; touchFast is a single inlinable store).
-    LruPolicy *const lru = dynamic_cast<LruPolicy *>(repl_.get());
-    SetUsage *const usage = usageTracker_.rawUsage();
-    LineAccessObserver *const obs = lineObserver();
+    // Hits resolve entirely inline; anything that touches the next level
+    // or mutates more than one line (misses, write-through stores) drops
+    // into the engine's shared run() core, so both paths perform the
+    // same state mutations in the same order.
+    const std::size_t set = bitsRange(req.addr, ctx.offsetBits,
+                                      ctx.indexBits);
+    const Addr tag = req.addr >> (ctx.offsetBits + ctx.indexBits);
+    Line *const row = ctx.lines + set * ctx.ways;
 
-    for (std::size_t i = 0; i < reqs.size(); ++i) {
-        const MemAccess req = reqs[i];
-        const std::size_t set = bitsRange(req.addr, offset_bits,
-                                          index_bits);
-        const Addr tag = req.addr >> (offset_bits + index_bits);
-        Line *const row = lines + set * ways;
-
-        std::size_t hit_way = ways;
-        for (std::size_t w = 0; w < ways; ++w) {
-            if (row[w].valid && row[w].tag == tag) {
-                hit_way = w;
-                break;
-            }
+    std::size_t hit_way = ctx.ways;
+    for (std::size_t w = 0; w < ctx.ways; ++w) {
+        if (row[w].valid && row[w].tag == tag) {
+            hit_way = w;
+            break;
         }
-        const bool write = req.type == AccessType::Write;
-        if (hit_way != ways && !(write && write_through)) {
-            if (write)
-                row[hit_way].dirty = true;
-            if (lru)
-                lru->touchFast(set, hit_way);
-            else
-                repl_->touch(set, hit_way);
-            acc.record(req.type, true);
-            SetUsage &u = usage[set * ways + hit_way];
-            ++u.accesses;
-            ++u.hits;
-            if (obs)
-                obs->onLineAccess(set * ways + hit_way, true);
-            out[i] = {true, hit_lat};
-            continue;
-        }
-
-        const Result r = lookupAndFill(req, /*count_refill=*/true);
-        acc.record(req.type, r.hit);
-        if (r.physicalLine != kNoLine)
-            recordLineOnly(r.physicalLine, r.hit);
-        out[i] = {r.hit, hit_lat + r.extraLatency};
     }
-    acc.flushInto(stats_);
-}
+    const bool write = req.type == AccessType::Write;
+    if (hit_way == ctx.ways || (write && ctx.writeThrough))
+        return false;
 
-void
-SetAssocCache::writeback(Addr addr)
-{
-    // A writeback from above behaves like a write that does not fetch the
-    // block on a miss's critical path; under write-allocate we still
-    // allocate (typical for an inclusive write-back L2 receiving dirty L1
-    // victims); under write-through/no-allocate lookupAndFill forwards the
-    // store without installing anything.
-    MemAccess req{addr, AccessType::Write};
-    const Result r = lookupAndFill(req, /*count_refill=*/false);
-    // Writebacks are not demand accesses: tracked separately so they do
-    // not perturb the miss-rate metric the paper reports. Only count a
-    // refill when a line was actually installed.
-    if (!r.hit && r.physicalLine != kNoLine)
-        ++stats_.refills;
+    if (write)
+        row[hit_way].dirty = true;
+    if (ctx.lru)
+        ctx.lru->touchFast(set, hit_way);
+    else
+        repl_->touch(set, hit_way);
+    sink.access(req.type, true);
+    SetUsage &u = ctx.usage[set * ctx.ways + hit_way];
+    ++u.accesses;
+    ++u.hits;
+    if (ctx.obs)
+        ctx.obs->onLineAccess(set * ctx.ways + hit_way, true);
+    out = {true, ctx.hitLat};
+    return true;
 }
 
 void
@@ -199,5 +148,9 @@ SetAssocCache::probeWay(Addr addr) const
 {
     return findWay(geom_.index(addr), geom_.tag(addr));
 }
+
+// Emit the engine here, next to the hook definitions (see the extern
+// template declaration in the header).
+template class TagArrayEngine<SetAssocCache>;
 
 } // namespace bsim

@@ -1,7 +1,13 @@
 /**
  * @file
  * Conventional N-way set-associative cache (N = 1 gives the paper's
- * direct-mapped baseline). Write-back, write-allocate.
+ * direct-mapped baseline). Write-back, write-allocate by default.
+ *
+ * Composed over the shared TagArrayEngine: modulo index function,
+ * all-ways activation, pluggable ReplacementPolicy and write policy.
+ * The engine owns access()/accessBatch()/writeback(); this class only
+ * supplies the probe/onHit/victimFrame/install hooks plus a tuned
+ * inline hit path for the batched loop.
  */
 
 #ifndef BSIM_CACHE_SET_ASSOC_CACHE_HH
@@ -10,12 +16,12 @@
 #include <memory>
 #include <vector>
 
-#include "cache/base_cache.hh"
 #include "cache/replacement.hh"
+#include "cache/tag_array_engine.hh"
 
 namespace bsim {
 
-class SetAssocCache : public BaseCache
+class SetAssocCache : public TagArrayEngine<SetAssocCache>
 {
   public:
     SetAssocCache(std::string name, const CacheGeometry &geom,
@@ -25,18 +31,6 @@ class SetAssocCache : public BaseCache
                   WritePolicy write_policy =
                       WritePolicy::WriteBackAllocate);
 
-    AccessOutcome access(const MemAccess &req) override;
-
-    /**
-     * Batched access path: the same lookup/fill core as access(), with
-     * the way scan hoisted into a tight loop and the aggregate counters
-     * gathered in a BatchStatsAccumulator flushed once per batch.
-     * Bit-identical to per-access driving (tests/test_batch_equivalence).
-     */
-    void accessBatch(std::span<const MemAccess> reqs,
-                     AccessOutcome *out) override;
-
-    void writeback(Addr addr) override;
     void reset() override;
 
     /** True if the block containing @p addr is resident (no side effects). */
@@ -49,12 +43,58 @@ class SetAssocCache : public BaseCache
     WritePolicy writePolicy() const { return writePolicy_; }
 
   private:
+    friend class TagArrayEngine<SetAssocCache>;
+
     struct Line
     {
         bool valid = false;
         bool dirty = false;
         Addr tag = 0;
     };
+
+    /** Engine probe result: modulo set, full tag, hit way. */
+    struct Probe : ProbeBase
+    {
+        std::size_t set = 0;
+        std::size_t way = 0;
+        Addr tag = 0;
+    };
+
+    /** Hoisted fields of the batched fast hit path (one per batch). */
+    struct BatchCtx
+    {
+        Line *lines;
+        std::size_t ways;
+        unsigned offsetBits;
+        unsigned indexBits;
+        Cycles hitLat;
+        bool writeThrough;
+        LruPolicy *lru;
+        SetUsage *usage;
+        LineAccessObserver *obs;
+    };
+
+    // Engine traits + hooks (see cache/tag_array_engine.hh).
+    static constexpr bool kHasWritePolicy = true;
+    static constexpr bool kCountWritebackRefills = true;
+
+    bool
+    writeThroughPolicy() const
+    {
+        return writePolicy_ == WritePolicy::WriteThroughNoAllocate;
+    }
+
+    Probe probe(const MemAccess &req, EngineMode mode);
+    void onHit(const Probe &pr, const MemAccess &req, EngineMode mode,
+               bool set_dirty);
+    std::size_t victimFrame(const Probe &pr, const MemAccess &req,
+                            EngineMode mode);
+    void install(std::size_t frame, const Probe &pr, const MemAccess &req,
+                 EngineMode mode);
+
+    BatchCtx makeBatchContext();
+    bool tryFastHit(BatchCtx &ctx, const MemAccess &req,
+                    BatchTagStatsSink &sink, AccessOutcome &out);
 
     Line &lineAt(std::size_t set, std::size_t way)
     {
@@ -68,28 +108,18 @@ class SetAssocCache : public BaseCache
     /** Find the way matching addr in its set, or -1. */
     int findWay(std::size_t set, Addr tag) const;
 
-    /** Choose fill way: first invalid way, else policy victim. */
-    std::size_t chooseVictim(std::size_t set);
-
-    /**
-     * Core lookup/fill shared by demand accesses and writebacks from the
-     * level above. Returns hit status and the touched physical line
-     * (kNoLine when the access touched none, i.e. a forwarded
-     * no-write-allocate store miss).
-     */
-    static constexpr std::size_t kNoLine = ~std::size_t{0};
-    struct Result
-    {
-        bool hit;
-        std::size_t physicalLine;
-        Cycles extraLatency;
-    };
-    Result lookupAndFill(const MemAccess &req, bool count_refill);
-
     std::vector<Line> lines_;
     std::unique_ptr<ReplacementPolicy> repl_;
     WritePolicy writePolicy_;
 };
+
+/**
+ * The engine entry points are compiled once, in set_assoc_cache.cc,
+ * where every hook definition is visible and inlines into the hot
+ * access/accessBatch loops (the hooks live in the .cc, so an implicit
+ * instantiation elsewhere would call them out of line per access).
+ */
+extern template class TagArrayEngine<SetAssocCache>;
 
 } // namespace bsim
 

@@ -1,5 +1,6 @@
 #include "cache/victim_cache.hh"
 
+#include "cache/index_function.hh"
 #include "common/logging.hh"
 
 namespace bsim {
@@ -7,7 +8,7 @@ namespace bsim {
 VictimCache::VictimCache(std::string name, const CacheGeometry &geom,
                          Cycles hit_latency, MemLevel *next,
                          std::size_t victim_entries)
-    : BaseCache(std::move(name), geom, hit_latency, next),
+    : TagArrayEngine(std::move(name), geom, hit_latency, next),
       main_(geom.numLines()), buffer_(victim_entries)
 {
     bsim_assert(geom.ways() == 1,
@@ -50,85 +51,97 @@ VictimCache::insertVictim(Addr block_addr, bool dirty)
     e.lastUse = ++now_;
 }
 
-AccessOutcome
-VictimCache::access(const MemAccess &req)
+VictimCache::Probe
+VictimCache::probe(const MemAccess &req, EngineMode mode)
 {
-    const std::size_t set = geom_.index(req.addr);
-    const Addr tag = geom_.tag(req.addr);
-    Line &l = main_[set];
-
-    if (l.valid && l.tag == tag) {
-        if (req.type == AccessType::Write)
-            l.dirty = true;
-        record(req.type, true, set);
-        return {true, hitLatency()};
+    Probe pr;
+    pr.set = moduloIndex(geom_, req.addr);
+    pr.tag = geom_.tag(req.addr);
+    const Line &l = main_[pr.set];
+    if (l.valid && l.tag == pr.tag) {
+        pr.hit = true;
+        pr.frame = pr.set;
+        return pr;
     }
 
-    // Main-array miss: probe the victim buffer (one extra cycle).
-    ++victimProbes_;
-    const Addr block = geom_.blockAlign(req.addr);
-    const int vb = findBuffer(block);
-    if (vb >= 0) {
-        // Swap buffer entry with the conflicting main-array block.
-        BufEntry &e = buffer_[static_cast<std::size_t>(vb)];
-        const bool old_valid = l.valid;
-        const Addr old_block = geom_.rebuild(l.tag, set);
-        const bool old_dirty = l.dirty;
-
-        l.valid = true;
-        l.tag = tag;
-        l.dirty = e.dirty || (req.type == AccessType::Write);
-
-        if (old_valid) {
-            e.valid = true;
-            e.dirty = old_dirty;
-            e.blockAddr = old_block;
-            e.lastUse = ++now_;
-        } else {
-            e.valid = false;
-        }
-
-        ++victimHits_;
+    // Main-array miss: probe the victim buffer. On the demand path that
+    // is a sequential probe costing one extra cycle (buffer hit or not).
+    if (mode == EngineMode::Demand) {
+        ++victimProbes_;
+        pr.penalty = 1;
+    }
+    pr.buf = findBuffer(geom_.blockAlign(req.addr));
+    if (pr.buf >= 0) {
         // Victim-buffer hits avoid the next-level access; the paper's
         // miss-rate metric counts them as hits.
-        record(req.type, true, set);
-        return {true, hitLatency() + 1};
+        pr.hit = true;
+        pr.frame = pr.set;
+        if (mode == EngineMode::Demand)
+            ++victimHits_;
     }
-
-    // Full miss: fetch from next level; old main block moves to the buffer.
-    if (l.valid)
-        insertVictim(geom_.rebuild(l.tag, set), l.dirty);
-    const Cycles extra = refillFromNext(req);
-    l.valid = true;
-    l.tag = tag;
-    l.dirty = (req.type == AccessType::Write);
-
-    record(req.type, false, set);
-    return {false, hitLatency() + 1 + extra};
+    return pr;
 }
 
 void
-VictimCache::writeback(Addr addr)
+VictimCache::onHit(const Probe &pr, const MemAccess &req, EngineMode mode,
+                   bool set_dirty)
 {
-    // Treat like a store from above without critical-path refill.
-    const std::size_t set = geom_.index(addr);
-    const Addr tag = geom_.tag(addr);
-    Line &l = main_[set];
-    if (l.valid && l.tag == tag) {
-        l.dirty = true;
+    Line &l = main_[pr.set];
+    if (pr.buf < 0) {
+        // Plain main-array hit.
+        if (set_dirty)
+            l.dirty = true;
         return;
     }
-    const int vb = findBuffer(geom_.blockAlign(addr));
-    if (vb >= 0) {
-        buffer_[static_cast<std::size_t>(vb)].dirty = true;
-        buffer_[static_cast<std::size_t>(vb)].lastUse = ++now_;
+
+    BufEntry &e = buffer_[static_cast<std::size_t>(pr.buf)];
+    if (mode == EngineMode::Writeback) {
+        // A dirty block arriving from above merely dirties the buffered
+        // copy; no swap (the access did not go through the main array).
+        e.dirty = true;
+        e.lastUse = ++now_;
         return;
     }
-    if (l.valid)
-        insertVictim(geom_.rebuild(l.tag, set), l.dirty);
+
+    // Demand buffer hit: swap the buffer entry with the conflicting
+    // main-array block.
+    const bool old_valid = l.valid;
+    const Addr old_block = geom_.rebuild(l.tag, pr.set);
+    const bool old_dirty = l.dirty;
+
     l.valid = true;
-    l.tag = tag;
-    l.dirty = true;
+    l.tag = pr.tag;
+    l.dirty = e.dirty || (req.type == AccessType::Write);
+
+    if (old_valid) {
+        e.valid = true;
+        e.dirty = old_dirty;
+        e.blockAddr = old_block;
+        e.lastUse = ++now_;
+    } else {
+        e.valid = false;
+    }
+}
+
+std::size_t
+VictimCache::victimFrame(const Probe &pr, const MemAccess &, EngineMode)
+{
+    // Full miss: the old main block moves to the buffer (which writes
+    // back the buffer entry it displaces, if dirty).
+    const Line &l = main_[pr.set];
+    if (l.valid)
+        insertVictim(geom_.rebuild(l.tag, pr.set), l.dirty);
+    return pr.set;
+}
+
+void
+VictimCache::install(std::size_t frame, const Probe &pr,
+                     const MemAccess &req, EngineMode)
+{
+    Line &l = main_[frame];
+    l.valid = true;
+    l.tag = pr.tag;
+    l.dirty = (req.type == AccessType::Write);
 }
 
 void
@@ -153,5 +166,9 @@ VictimCache::bufferContains(Addr addr) const
 {
     return findBuffer(geom_.blockAlign(addr)) >= 0;
 }
+
+// Emit the engine here, next to the hook definitions (see the extern
+// template declaration in the header).
+template class TagArrayEngine<VictimCache>;
 
 } // namespace bsim

@@ -6,6 +6,12 @@
  * The buffer is probed sequentially after a main-array miss, so victim hits
  * cost one extra cycle (Section 2.1 of the paper); a buffer hit swaps the
  * buffered block with the conflicting main-array block.
+ *
+ * Composed over the shared TagArrayEngine: the main array uses the
+ * modulo index function; the buffer probe and the swap/insert dance live
+ * in the probe/onHit/victimFrame hooks. The engine supplies
+ * access()/accessBatch()/writeback() — the batched path reuses the same
+ * hooks, so victim-buffer behaviour cannot drift between entry points.
  */
 
 #ifndef BSIM_CACHE_VICTIM_CACHE_HH
@@ -13,11 +19,11 @@
 
 #include <vector>
 
-#include "cache/base_cache.hh"
+#include "cache/tag_array_engine.hh"
 
 namespace bsim {
 
-class VictimCache : public BaseCache
+class VictimCache : public TagArrayEngine<VictimCache>
 {
   public:
     /**
@@ -28,8 +34,6 @@ class VictimCache : public BaseCache
                 Cycles hit_latency, MemLevel *next,
                 std::size_t victim_entries = 16);
 
-    AccessOutcome access(const MemAccess &req) override;
-    void writeback(Addr addr) override;
     void reset() override;
 
     std::size_t victimEntries() const { return buffer_.size(); }
@@ -48,6 +52,8 @@ class VictimCache : public BaseCache
     }
 
   private:
+    friend class TagArrayEngine<VictimCache>;
+
     struct Line
     {
         bool valid = false;
@@ -63,6 +69,24 @@ class VictimCache : public BaseCache
         Tick lastUse = 0;
     };
 
+    /** Engine probe result: main set/tag, and any buffer hit. */
+    struct Probe : ProbeBase
+    {
+        std::size_t set = 0;
+        Addr tag = 0;
+        int buf = -1; ///< buffer entry holding the block, or -1
+    };
+
+    // Engine hooks (see cache/tag_array_engine.hh). No write policy:
+    // the victim cache is always write-back/write-allocate.
+    Probe probe(const MemAccess &req, EngineMode mode);
+    void onHit(const Probe &pr, const MemAccess &req, EngineMode mode,
+               bool set_dirty);
+    std::size_t victimFrame(const Probe &pr, const MemAccess &req,
+                            EngineMode mode);
+    void install(std::size_t frame, const Probe &pr, const MemAccess &req,
+                 EngineMode mode);
+
     int findBuffer(Addr block_addr) const;
     std::size_t bufferVictim();
     /** Insert a block evicted from the main array into the buffer. */
@@ -74,6 +98,9 @@ class VictimCache : public BaseCache
     std::uint64_t victimHits_ = 0;
     std::uint64_t victimProbes_ = 0;
 };
+
+/** Engine compiled once, in victim_cache.cc, next to the hooks. */
+extern template class TagArrayEngine<VictimCache>;
 
 } // namespace bsim
 

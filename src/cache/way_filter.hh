@@ -1,0 +1,148 @@
+/**
+ * @file
+ * The WayFilter (activation) layer of the tag-array engine: which ways
+ * of a set wake up for the tag comparison. A filter decides per way
+ * whether the full comparator runs, and models the energy/prediction
+ * side effects of the structures that gate activation in hardware:
+ *
+ *   AllWays        every valid way activates (the conventional cache);
+ *                  the scan stops at the first full match
+ *   HaltTagFilter  way halting: a small fully-parallel halt-tag CAM
+ *                  suppresses ways whose low tag bits mismatch, and the
+ *                  halted/activated counters feed the energy metric
+ *   PadPredictor   partial-address matching: the PAD predicts the hit
+ *                  way from the first partial match; aliases (several
+ *                  partial matches) and mispredictions cost extra
+ *
+ * scanWays() runs a filter over one set's ways and returns the full-tag
+ * hit way. Filters that observe every way (kScanAll) keep scanning after
+ * a hit — the hardware they model compares all ways in parallel.
+ */
+
+#ifndef BSIM_CACHE_WAY_FILTER_HH
+#define BSIM_CACHE_WAY_FILTER_HH
+
+#include <cstdint>
+
+#include "common/bits.hh"
+#include "common/types.hh"
+
+namespace bsim {
+
+/** The conventional cache: every valid way's comparator runs. */
+struct AllWays
+{
+    static constexpr bool kScanAll = false;
+
+    template <typename Line>
+    bool
+    activate(std::size_t, const Line &)
+    {
+        return true;
+    }
+};
+
+/**
+ * Way-halting filter: ways whose halt tag (low @p halt_bits of the
+ * stored tag) mismatches the address, or which are invalid, are not
+ * activated at all — their tag/data read energy is saved.
+ */
+class HaltTagFilter
+{
+  public:
+    static constexpr bool kScanAll = true;
+
+    HaltTagFilter(Addr halt, unsigned halt_bits, std::uint64_t &halted,
+                  std::uint64_t &activated)
+        : halt_(halt), mask_(mask(halt_bits)), halted_(halted),
+          activated_(activated)
+    {
+    }
+
+    template <typename Line>
+    bool
+    activate(std::size_t, const Line &l)
+    {
+        if (!l.valid || (l.tag & mask_) != halt_) {
+            ++halted_;
+            return false;
+        }
+        ++activated_;
+        return true;
+    }
+
+  private:
+    Addr halt_;
+    Addr mask_;
+    std::uint64_t &halted_;
+    std::uint64_t &activated_;
+};
+
+/**
+ * Partial-address-directory predictor: tracks the first way whose
+ * partial tag matches (the PAD's speculative way choice) and how many
+ * ways matched (an alias forces the full comparison to disambiguate).
+ * All valid ways stay activated — the Main Directory compares them in
+ * parallel to confirm or reject the prediction.
+ */
+class PadPredictor
+{
+  public:
+    static constexpr bool kScanAll = true;
+
+    PadPredictor(Addr partial, unsigned partial_bits)
+        : part_(partial), mask_(mask(partial_bits))
+    {
+    }
+
+    template <typename Line>
+    bool
+    activate(std::size_t way, const Line &l)
+    {
+        if (!l.valid)
+            return false;
+        if ((l.tag & mask_) == part_) {
+            ++matches_;
+            if (predicted_ < 0)
+                predicted_ = static_cast<int>(way);
+        }
+        return true;
+    }
+
+    /** The PAD's predicted way, or -1 when no partial tag matched. */
+    int predicted() const { return predicted_; }
+    /** Number of ways whose partial tag matched. */
+    unsigned matches() const { return matches_; }
+
+  private:
+    Addr part_;
+    Addr mask_;
+    int predicted_ = -1;
+    unsigned matches_ = 0;
+};
+
+/**
+ * Run @p filter over one set's @p ways lines; returns the way holding
+ * the full tag @p tag, or -1. Non-kScanAll filters stop at the first
+ * match (the sequential probe); kScanAll filters observe every way.
+ */
+template <typename Line, typename Filter>
+inline int
+scanWays(const Line *row, std::size_t ways, Addr tag, Filter &&filter)
+{
+    int hit_way = -1;
+    for (std::size_t w = 0; w < ways; ++w) {
+        if (!filter.activate(w, row[w]))
+            continue;
+        if (row[w].valid && row[w].tag == tag) {
+            hit_way = static_cast<int>(w);
+            if constexpr (!std::remove_reference_t<Filter>::kScanAll)
+                break;
+        }
+    }
+    return hit_way;
+}
+
+} // namespace bsim
+
+#endif // BSIM_CACHE_WAY_FILTER_HH

@@ -96,6 +96,21 @@ struct SweepSummary
     double wallSeconds = 0.0;
 
     double eventsPerSecond() const;
+
+    /**
+     * Fold in another sweep's metrics (a harness that runs several
+     * sweeps reports one combined perf record): counts add, wall time
+     * adds (the sweeps ran back to back).
+     */
+    void
+    merge(const SweepSummary &other)
+    {
+        jobs += other.jobs;
+        failed += other.failed;
+        threads = threads > other.threads ? threads : other.threads;
+        events += other.events;
+        wallSeconds += other.wallSeconds;
+    }
 };
 
 /** Snapshot handed to the progress hook after each job completes. */

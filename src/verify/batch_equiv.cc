@@ -12,16 +12,18 @@ namespace {
 
 constexpr std::size_t kMaxMismatches = 8;
 
+} // namespace
+
 void
-note(BatchEquivResult &res, std::string what)
+equivNote(BatchEquivResult &res, std::string what)
 {
     if (res.mismatches.size() < kMaxMismatches)
         res.mismatches.push_back(std::move(what));
 }
 
 void
-compareStats(BatchEquivResult &res, const CacheStats &pa,
-             const CacheStats &ba)
+equivCompareStats(BatchEquivResult &res, const CacheStats &pa,
+                  const CacheStats &ba)
 {
     const struct
     {
@@ -43,36 +45,34 @@ compareStats(BatchEquivResult &res, const CacheStats &pa,
     };
     for (const auto &f : fields)
         if (f.a != f.b)
-            note(res, strprintf("CacheStats.%s: per-access %llu vs "
-                                "batched %llu",
-                                f.name, (unsigned long long)f.a,
-                                (unsigned long long)f.b));
+            equivNote(res, strprintf("CacheStats.%s: per-access %llu vs "
+                                     "batched %llu",
+                                     f.name, (unsigned long long)f.a,
+                                     (unsigned long long)f.b));
 }
 
 void
-compareEvents(BatchEquivResult &res, const std::vector<MemEvent> &ea,
-              const std::vector<MemEvent> &eb)
+equivCompareEvents(BatchEquivResult &res, const std::vector<MemEvent> &ea,
+                   const std::vector<MemEvent> &eb)
 {
     if (ea.size() != eb.size())
-        note(res, strprintf("memory event count: per-access %zu vs "
-                            "batched %zu",
-                            ea.size(), eb.size()));
+        equivNote(res, strprintf("memory event count: per-access %zu vs "
+                                 "batched %zu",
+                                 ea.size(), eb.size()));
     const std::size_t n = std::min(ea.size(), eb.size());
     for (std::size_t i = 0; i < n; ++i) {
         if (ea[i] == eb[i])
             continue;
-        note(res,
-             strprintf("memory event %zu: per-access %s(0x%llx) vs "
-                       "batched %s(0x%llx)",
-                       i, memEventKindName(ea[i].kind),
-                       (unsigned long long)ea[i].addr,
-                       memEventKindName(eb[i].kind),
-                       (unsigned long long)eb[i].addr));
+        equivNote(res,
+                  strprintf("memory event %zu: per-access %s(0x%llx) vs "
+                            "batched %s(0x%llx)",
+                            i, memEventKindName(ea[i].kind),
+                            (unsigned long long)ea[i].addr,
+                            memEventKindName(eb[i].kind),
+                            (unsigned long long)eb[i].addr));
         break; // later events are noise once the sequences skew
     }
 }
-
-} // namespace
 
 std::string
 BatchEquivResult::toString() const
@@ -113,7 +113,7 @@ runBatchEquivCase(const FuzzSpec &spec, std::uint64_t accesses,
         for (std::size_t i = 0; i < batch.size(); ++i) {
             const AccessOutcome o = per_access.access(batch[i]);
             if (o.hit != outs[i].hit || o.latency != outs[i].latency)
-                note(res,
+                equivNote(res,
                      strprintf("outcome of access 0x%llx: per-access "
                                "(hit=%d lat=%llu) vs batched (hit=%d "
                                "lat=%llu)",
@@ -123,7 +123,7 @@ runBatchEquivCase(const FuzzSpec &spec, std::uint64_t accesses,
                                (unsigned long long)outs[i].latency));
         }
         if (per_access.lastOutcome() != batched.lastOutcome())
-            note(res, strprintf("lastOutcome after batch: per-access %d "
+            equivNote(res, strprintf("lastOutcome after batch: per-access %d "
                                 "vs batched %d",
                                 (int)per_access.lastOutcome(),
                                 (int)batched.lastOutcome()));
@@ -150,11 +150,11 @@ runBatchEquivCase(const FuzzSpec &spec, std::uint64_t accesses,
     }
     flush();
 
-    compareStats(res, per_access.stats(), batched.stats());
+    equivCompareStats(res, per_access.stats(), batched.stats());
     if (per_access.pdStats().pdHitCacheMiss !=
             batched.pdStats().pdHitCacheMiss ||
         per_access.pdStats().pdMiss != batched.pdStats().pdMiss)
-        note(res,
+        equivNote(res,
              strprintf("PdStats: per-access {%llu, %llu} vs batched "
                        "{%llu, %llu}",
                        (unsigned long long)
@@ -164,7 +164,7 @@ runBatchEquivCase(const FuzzSpec &spec, std::uint64_t accesses,
                            batched.pdStats().pdHitCacheMiss,
                        (unsigned long long)batched.pdStats().pdMiss));
     if (per_access.validLines() != batched.validLines())
-        note(res, strprintf("validLines: per-access %zu vs batched %zu",
+        equivNote(res, strprintf("validLines: per-access %zu vs batched %zu",
                             per_access.validLines(),
                             batched.validLines()));
 
@@ -175,7 +175,7 @@ runBatchEquivCase(const FuzzSpec &spec, std::uint64_t accesses,
     for (std::size_t l = 0; l < ua.size(); ++l) {
         if (ua[l].accesses != ub[l].accesses ||
             ua[l].hits != ub[l].hits || ua[l].misses != ub[l].misses) {
-            note(res,
+            equivNote(res,
                  strprintf("line %zu usage: per-access {%llu,%llu,%llu} "
                            "vs batched {%llu,%llu,%llu}",
                            l, (unsigned long long)ua[l].accesses,
@@ -195,12 +195,12 @@ runBatchEquivCase(const FuzzSpec &spec, std::uint64_t accesses,
     for (int s = 0; s < 4096; ++s) {
         const Addr addr = sample.nextBounded(space);
         if (per_access.contains(addr) != batched.contains(addr)) {
-            note(res, strprintf("residency of 0x%llx differs",
+            equivNote(res, strprintf("residency of 0x%llx differs",
                                 (unsigned long long)addr));
             break;
         }
         if (per_access.classify(addr) != batched.classify(addr)) {
-            note(res, strprintf("classify(0x%llx): per-access %d vs "
+            equivNote(res, strprintf("classify(0x%llx): per-access %d vs "
                                 "batched %d",
                                 (unsigned long long)addr,
                                 (int)per_access.classify(addr),
@@ -209,7 +209,7 @@ runBatchEquivCase(const FuzzSpec &spec, std::uint64_t accesses,
         }
     }
 
-    compareEvents(res, mem_a.drain(), mem_b.drain());
+    equivCompareEvents(res, mem_a.drain(), mem_b.drain());
 
     res.ok = res.mismatches.empty();
     return res;

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "verify/fuzz.hh"
+#include "verify/tracking_memory.hh"
 
 namespace bsim {
 
@@ -34,6 +35,19 @@ struct BatchEquivResult
 
     std::string toString() const;
 };
+
+/**
+ * Shared comparison helpers, also used by the alt-variant campaign in
+ * verify/alt_fuzz: record a mismatch (capped at a handful per case),
+ * compare every CacheStats field, and compare two ordered
+ * memory-boundary event logs.
+ */
+void equivNote(BatchEquivResult &res, std::string what);
+void equivCompareStats(BatchEquivResult &res, const CacheStats &pa,
+                       const CacheStats &ba);
+void equivCompareEvents(BatchEquivResult &res,
+                        const std::vector<MemEvent> &ea,
+                        const std::vector<MemEvent> &eb);
 
 /**
  * Run @p spec for @p accesses steps with batch length @p batch_len

@@ -7,15 +7,22 @@
  *
  * BCache coverage fuzzes random FuzzSpec configurations through the
  * twin-DUT checker in verify/batch_equiv (which also compares PD
- * classification and per-line usage); SetAssocCache and the
- * default-fallback path (VictimCache overrides nothing, so accessBatch
- * is the base-class loop) get their own twin drives here.
+ * classification and per-line usage); every other variant of the shared
+ * tag-array engine — SetAssocCache, VictimCache and the six alt/
+ * organisations — gets a twin drive here, including its variant-side
+ * counters (victim hits, rehash hits, halt activations, PAD stats).
  */
 
 #include <gtest/gtest.h>
 
 #include <vector>
 
+#include "alt/column_assoc_cache.hh"
+#include "alt/hac_cache.hh"
+#include "alt/partial_match_cache.hh"
+#include "alt/skewed_assoc_cache.hh"
+#include "alt/way_halting_cache.hh"
+#include "alt/xor_index_cache.hh"
 #include "cache/set_assoc_cache.hh"
 #include "cache/victim_cache.hh"
 #include "common/random.hh"
@@ -157,22 +164,118 @@ TEST(BatchEquivalence, SetAssocNonLruPolicy)
     expectStatsEqual(a.stats(), b.stats());
 }
 
-TEST(BatchEquivalence, DefaultFallbackVictimCache)
+/**
+ * Twin-drive any engine variant and require identical counters and the
+ * identical ordered next-level event sequence; the caller then compares
+ * the variant's side counters.
+ */
+template <typename Cache, typename Make>
+void
+twinVariantCase(Make make, std::size_t n, std::uint64_t seed,
+                std::size_t batch_len, Addr space,
+                void (*side_check)(const Cache &, const Cache &))
 {
-    // VictimCache does not override accessBatch: the MemLevel default
-    // (a per-access loop) must be exactly per-access driving.
-    const CacheGeometry geom(8 * 1024, 32, 1);
-    const auto reqs = makeStream(100000, 0xbead5, Addr{1} << 19);
+    const auto reqs = makeStream(n, seed, space);
     TrackingMemory mem_a, mem_b;
-    VictimCache a("per-access", geom, 1, &mem_a, 8);
-    VictimCache b("batched", geom, 1, &mem_b, 8);
-    twinDrive(a, b, reqs, 512);
+    Cache a = make("per-access", &mem_a);
+    Cache b = make("batched", &mem_b);
+    twinDrive(a, b, reqs, batch_len);
     expectStatsEqual(a.stats(), b.stats());
-    EXPECT_EQ(a.victimHits(), b.victimHits());
+    side_check(a, b);
     const auto ea = mem_a.drain(), eb = mem_b.drain();
     ASSERT_EQ(ea.size(), eb.size());
     for (std::size_t i = 0; i < ea.size(); ++i)
         ASSERT_TRUE(ea[i] == eb[i]) << "event " << i << " differs";
+}
+
+TEST(BatchEquivalence, VictimCacheTwins)
+{
+    const CacheGeometry geom(8 * 1024, 32, 1);
+    twinVariantCase<VictimCache>(
+        [&](const char *name, TrackingMemory *mem) {
+            return VictimCache(name, geom, 1, mem, 8);
+        },
+        100000, 0xbead5, 512, Addr{1} << 19,
+        +[](const VictimCache &a, const VictimCache &b) {
+            EXPECT_EQ(a.victimHits(), b.victimHits());
+            EXPECT_EQ(a.victimProbes(), b.victimProbes());
+        });
+}
+
+TEST(BatchEquivalence, XorIndexTwins)
+{
+    const CacheGeometry geom(16 * 1024, 32, 1);
+    twinVariantCase<XorIndexCache>(
+        [&](const char *name, TrackingMemory *mem) {
+            return XorIndexCache(name, geom, 1, mem);
+        },
+        100000, 0x0f0e1, 192, Addr{1} << 20,
+        +[](const XorIndexCache &, const XorIndexCache &) {});
+}
+
+TEST(BatchEquivalence, SkewedAssocTwins)
+{
+    const CacheGeometry geom(16 * 1024, 32, 2);
+    twinVariantCase<SkewedAssocCache>(
+        [&](const char *name, TrackingMemory *mem) {
+            return SkewedAssocCache(name, geom, 1, mem);
+        },
+        100000, 0x5ce3d, 192, Addr{1} << 20,
+        +[](const SkewedAssocCache &, const SkewedAssocCache &) {});
+}
+
+TEST(BatchEquivalence, ColumnAssocTwins)
+{
+    const CacheGeometry geom(16 * 1024, 32, 1);
+    twinVariantCase<ColumnAssocCache>(
+        [&](const char *name, TrackingMemory *mem) {
+            return ColumnAssocCache(name, geom, 1, mem);
+        },
+        100000, 0xc01a5, 320, Addr{1} << 20,
+        +[](const ColumnAssocCache &a, const ColumnAssocCache &b) {
+            EXPECT_EQ(a.firstHits(), b.firstHits());
+            EXPECT_EQ(a.rehashHits(), b.rehashHits());
+        });
+}
+
+TEST(BatchEquivalence, WayHaltingTwins)
+{
+    const CacheGeometry geom(16 * 1024, 32, 4);
+    twinVariantCase<WayHaltingCache>(
+        [&](const char *name, TrackingMemory *mem) {
+            return WayHaltingCache(name, geom, 1, mem, 4);
+        },
+        100000, 0x4a17e, 256, Addr{1} << 20,
+        +[](const WayHaltingCache &a, const WayHaltingCache &b) {
+            EXPECT_EQ(a.haltedWays(), b.haltedWays());
+            EXPECT_EQ(a.activatedWays(), b.activatedWays());
+        });
+}
+
+TEST(BatchEquivalence, PartialMatchTwins)
+{
+    const CacheGeometry geom(16 * 1024, 32, 2);
+    twinVariantCase<PartialMatchCache>(
+        [&](const char *name, TrackingMemory *mem) {
+            return PartialMatchCache(name, geom, 1, mem, 5);
+        },
+        100000, 0x9ad5a, 224, Addr{1} << 20,
+        +[](const PartialMatchCache &a, const PartialMatchCache &b) {
+            EXPECT_EQ(a.slowHits(), b.slowHits());
+            EXPECT_EQ(a.padAliases(), b.padAliases());
+        });
+}
+
+TEST(BatchEquivalence, HacTwins)
+{
+    // HAC rides the SetAssocCache composition; its fully-associative
+    // subarrays stress the widest way scan the engine runs.
+    twinVariantCase<HacCache>(
+        [&](const char *name, TrackingMemory *mem) {
+            return HacCache(name, 16 * 1024, 32, 1024, 1, mem);
+        },
+        60000, 0xaced1, 128, Addr{1} << 20,
+        +[](const HacCache &, const HacCache &) {});
 }
 
 } // namespace
