@@ -1,0 +1,23 @@
+/**
+ * @file
+ * The bsim driver binary with perf telemetry wired in: identical to
+ * examples/bsim_cli except that sweep-backed runs (--shards) append a
+ * record to BENCH_perf.json via bench::reportSweepPerf, so sharded
+ * trace replays show up in the repo's perf trajectory alongside the
+ * figure/table harnesses. See sim/bsim_driver.hh for the flag set and
+ * docs/TRACES.md for the trace workflow.
+ */
+
+#include "bench/bench_json.hh"
+#include "sim/bsim_driver.hh"
+
+int
+main(int argc, char **argv)
+{
+    bsim::BsimHooks hooks;
+    hooks.onSweepDone = [](const std::string &config,
+                           const bsim::SweepSummary &summary) {
+        bsim::bench::reportSweepPerf("bsim", config, summary);
+    };
+    return bsim::bsimMain(argc, argv, hooks);
+}

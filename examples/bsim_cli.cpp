@@ -1,282 +1,16 @@
 /**
  * @file
- * General-purpose command-line cache simulator over the library: pick
- * any organisation, drive it with a named synthetic benchmark or a
- * trace file, and get the full statistics readout (miss rates, PD
- * behaviour, balance, energy and area estimates).
- *
- * Usage:
- *   bsim_cli [options]
- *     --kind dm|setassoc|victim|bcache|column|skewed|hac|xor
- *     --size BYTES        (default 16384)
- *     --line BYTES        (default 32)
- *     --ways N            (setassoc, default 8)
- *     --mf N --bas N      (bcache, default 8/8)
- *     --repl lru|random|fifo|plru|nmru
- *     --write-policy wb|wt
- *     --workload NAME     (spec2k name, default gcc)
- *     --side data|inst
- *     --trace FILE        (.bst or dinero text; overrides --workload)
- *     --accesses N        (default 1000000)
- *     --seed N
- *
- * Example:
- *   bsim_cli --kind bcache --mf 8 --bas 8 --workload equake
+ * Historical name for the bsim driver, kept so existing scripts and
+ * docs referencing bsim_cli keep working. All the logic lives in
+ * sim/bsim_driver.{hh,cc}; bench/bsim.cc is the same driver with perf
+ * telemetry (BENCH_perf.json) wired in. Run with --help for the flag
+ * set, or see docs/TRACES.md for the trace-replay workflow.
  */
 
-#include <cstdio>
-#include <cstdlib>
-#include <cstring>
-#include <string>
-
-#include "common/strings.hh"
-#include "power/cacti_lite.hh"
-#include "sim/experiment_file.hh"
-#include "sim/report.hh"
-#include "sim/runner.hh"
-#include "timing/storage_model.hh"
-#include "workload/generators.hh"
-#include "workload/spec2k.hh"
-#include "workload/trace.hh"
-
-using namespace bsim;
-
-namespace {
-
-[[noreturn]] void
-usage(const char *msg = nullptr)
-{
-    if (msg)
-        std::fprintf(stderr, "error: %s\n", msg);
-    std::fprintf(stderr,
-                 "usage: bsim_cli [--kind dm|setassoc|victim|bcache|"
-                 "column|skewed|hac|xor]\n"
-                 "  [--size B] [--line B] [--ways N] [--mf N] [--bas N]"
-                 "\n"
-                 "  [--repl lru|random|fifo|plru|nmru] "
-                 "[--write-policy wb|wt]\n"
-                 "  [--workload NAME] [--side data|inst] "
-                 "[--trace FILE]\n"
-                 "  [--accesses N] [--seed N] [--json] [--config FILE]\n"
-                 "  [--timed]  (run the OOO-core/Table-4 processor "
-                 "instead of a\n"
-                 "             standalone miss-rate pass; workload-"
-                 "driven only)\n"
-                 "A --config file (see sim/experiment_file.hh) sets the\n"
-                 "defaults; explicit flags given AFTER it override.\n");
-    std::exit(2);
-}
-
-std::uint64_t
-parseU64(const char *s)
-{
-    char *end = nullptr;
-    const std::uint64_t v = std::strtoull(s, &end, 0);
-    if (end == s)
-        usage("bad number");
-    return v;
-}
-
-} // namespace
+#include "sim/bsim_driver.hh"
 
 int
 main(int argc, char **argv)
 {
-    std::string kind = "bcache";
-    std::uint64_t size = 16 * 1024;
-    std::uint32_t line = 32;
-    std::uint32_t ways = 8;
-    std::uint32_t mf = 8, bas = 8;
-    std::string repl = "lru";
-    std::string wp = "wb";
-    std::string workload = "gcc";
-    std::string side = "data";
-    std::string trace_path;
-    std::uint64_t accesses = 1'000'000;
-    std::uint64_t seed = 0xb5eedULL;
-    bool json = false;
-    bool timed = false;
-    bool haveFileConfig = false;
-    CacheConfig cfgFromFile;
-
-    for (int i = 1; i < argc; ++i) {
-        auto need = [&](const char *flag) -> const char * {
-            if (i + 1 >= argc)
-                usage(flag);
-            return argv[++i];
-        };
-        if (!std::strcmp(argv[i], "--config")) {
-            const ExperimentSpec spec =
-                parseExperimentFile(need("--config"));
-            cfgFromFile = spec.cache;
-            haveFileConfig = true;
-            workload = spec.workload;
-            side = spec.side == StreamSide::Inst ? "inst" : "data";
-            trace_path = spec.tracePath;
-            accesses = spec.accesses;
-            seed = spec.seed;
-        } else if (!std::strcmp(argv[i], "--kind")) {
-            kind = need("--kind");
-            haveFileConfig = false; // explicit kind rebuilds the config
-        }
-        else if (!std::strcmp(argv[i], "--size"))
-            size = parseU64(need("--size"));
-        else if (!std::strcmp(argv[i], "--line"))
-            line = static_cast<std::uint32_t>(parseU64(need("--line")));
-        else if (!std::strcmp(argv[i], "--ways"))
-            ways = static_cast<std::uint32_t>(parseU64(need("--ways")));
-        else if (!std::strcmp(argv[i], "--mf"))
-            mf = static_cast<std::uint32_t>(parseU64(need("--mf")));
-        else if (!std::strcmp(argv[i], "--bas"))
-            bas = static_cast<std::uint32_t>(parseU64(need("--bas")));
-        else if (!std::strcmp(argv[i], "--repl"))
-            repl = need("--repl");
-        else if (!std::strcmp(argv[i], "--write-policy"))
-            wp = need("--write-policy");
-        else if (!std::strcmp(argv[i], "--workload"))
-            workload = need("--workload");
-        else if (!std::strcmp(argv[i], "--side"))
-            side = need("--side");
-        else if (!std::strcmp(argv[i], "--trace"))
-            trace_path = need("--trace");
-        else if (!std::strcmp(argv[i], "--accesses"))
-            accesses = parseU64(need("--accesses"));
-        else if (!std::strcmp(argv[i], "--seed"))
-            seed = parseU64(need("--seed"));
-        else if (!std::strcmp(argv[i], "--json"))
-            json = true;
-        else if (!std::strcmp(argv[i], "--timed"))
-            timed = true;
-        else if (!std::strcmp(argv[i], "--help") ||
-                 !std::strcmp(argv[i], "-h"))
-            usage();
-        else
-            usage(argv[i]);
-    }
-
-    CacheConfig cfg;
-    if (haveFileConfig)
-        cfg = cfgFromFile;
-    else if (kind == "dm")
-        cfg = CacheConfig::directMapped(size, line);
-    else if (kind == "setassoc")
-        cfg = CacheConfig::setAssoc(size, ways,
-                                    replPolicyFromName(repl), line);
-    else if (kind == "victim")
-        cfg = CacheConfig::victim(size, 16, line);
-    else if (kind == "bcache")
-        cfg = CacheConfig::bcache(size, mf, bas,
-                                  replPolicyFromName(repl), line);
-    else if (kind == "column")
-        cfg = CacheConfig::columnAssoc(size, line);
-    else if (kind == "skewed")
-        cfg = CacheConfig::skewed(size, line);
-    else if (kind == "hac")
-        cfg = CacheConfig::hac(size, 1024, line);
-    else if (kind == "xor")
-        cfg = CacheConfig::xorDm(size, line);
-    else
-        usage("unknown --kind");
-    if (!haveFileConfig)
-        cfg.repl = replPolicyFromName(repl);
-    if (wp == "wt")
-        cfg.writePolicy = WritePolicy::WriteThroughNoAllocate;
-    else if (wp != "wb")
-        usage("--write-policy must be wb or wt");
-
-    if (timed) {
-        if (!trace_path.empty())
-            usage("--timed drives workloads, not traces");
-        if (!isSpec2kName(workload))
-            usage("unknown --workload");
-        const TimedResult tr = runTimed(workload, cfg, accesses, seed);
-        if (json) {
-            std::printf("%s\n", toJson(tr).c_str());
-            return 0;
-        }
-        std::printf("config   : %s\n", cfg.label.c_str());
-        std::printf("workload : %s (%llu uops)\n", workload.c_str(),
-                    static_cast<unsigned long long>(tr.cpu.uops));
-        std::printf("IPC      : %.3f  (%llu cycles)\n", tr.ipc(),
-                    static_cast<unsigned long long>(tr.cpu.cycles));
-        std::printf("L1I      : %s\n", tr.l1i.toString().c_str());
-        std::printf("L1D      : %s\n", tr.l1d.toString().c_str());
-        std::printf("L2       : %s\n", tr.l2.toString().c_str());
-        std::printf("stalls   : I$ %llu cyc, load-miss %llu cyc, "
-                    "mispredict %llu cyc (overlapping)\n",
-                    static_cast<unsigned long long>(
-                        tr.cpu.icacheStallCycles),
-                    static_cast<unsigned long long>(
-                        tr.cpu.loadMissCycles),
-                    static_cast<unsigned long long>(
-                        tr.cpu.mispredictCycles));
-        return 0;
-    }
-
-    MissRateResult r;
-    if (!trace_path.empty()) {
-        VectorStream replay(loadTrace(trace_path));
-        const std::uint64_t n =
-            std::min<std::uint64_t>(accesses, replay.size());
-        r = runMissRateOn(replay, cfg, n, trace_path);
-    } else {
-        if (!isSpec2kName(workload))
-            usage("unknown --workload");
-        r = runMissRate(workload, side == "inst" ? StreamSide::Inst
-                                                 : StreamSide::Data,
-                        cfg, accesses, seed);
-    }
-
-    if (json) {
-        std::printf("%s\n", toJson(r).c_str());
-        return 0;
-    }
-
-    std::printf("config   : %s (%s, %s, %s)\n", cfg.label.c_str(),
-                sizeString(cfg.sizeBytes).c_str(),
-                replPolicyName(cfg.repl),
-                writePolicyName(cfg.writePolicy));
-    std::printf("driver   : %s\n",
-                trace_path.empty()
-                    ? (workload + " (" + side + ")").c_str()
-                    : trace_path.c_str());
-    std::printf("accesses : %llu\n",
-                static_cast<unsigned long long>(r.stats.accesses));
-    std::printf("miss rate: %.4f%%  (hits %llu, misses %llu)\n",
-                100.0 * r.missRate(),
-                static_cast<unsigned long long>(r.stats.hits),
-                static_cast<unsigned long long>(r.stats.misses));
-    std::printf("traffic  : refills %llu, writebacks %llu, "
-                "writethroughs %llu\n",
-                static_cast<unsigned long long>(r.stats.refills),
-                static_cast<unsigned long long>(r.stats.writebacks),
-                static_cast<unsigned long long>(r.stats.writethroughs));
-    if (r.pd)
-        std::printf("PD       : hit-on-miss %.2f%%, predicted misses "
-                    "%.2f%%\n",
-                    100.0 * r.pd->pdHitRateOnMiss(),
-                    100.0 * r.pd->missPredictionRate());
-    if (r.victimHits)
-        std::printf("victim   : %llu buffer hits\n",
-                    static_cast<unsigned long long>(r.victimHits));
-    std::printf("balance  : %s\n", r.balance.toString().c_str());
-
-    if (cfg.kind == CacheKind::BCache) {
-        const BCacheParams p = cfg.bcacheParams();
-        std::printf("layout   : %s\n", deriveLayout(p).toString().c_str());
-        std::printf("area     : %+.2f%% vs same-sized direct-mapped\n",
-                    areaOverheadPct(
-                        conventionalStorage(p.sizeBytes, p.lineBytes, 1),
-                        bcacheStorage(p)));
-        std::printf("energy   : %.1f pJ/access (DM baseline %.1f)\n",
-                    CactiLite::bcache(p).total(),
-                    [&] {
-                        CacheOrg o;
-                        o.sizeBytes = p.sizeBytes;
-                        o.lineBytes = p.lineBytes;
-                        o.ways = 1;
-                        return CactiLite::conventional(o).total();
-                    }());
-    }
-    return 0;
+    return bsim::bsimMain(argc, argv);
 }

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Regenerates the checked-in sample traces under examples/traces/ —
+ * small, deterministic inputs used by the docs/TRACES.md walkthrough,
+ * the bsim smoke ctest, and the trace-reader unit tests. Run from the
+ * repo root after changing the generators or the trace format:
+ *
+ *   gen_sample_traces [output-dir]      (default examples/traces)
+ *
+ * Both traces are pure functions of this file (no RNG), so a rerun on
+ * any host reproduces them byte for byte:
+ *  - conflict_dm.bst: BST2 (chunk length 64, deliberately tiny so the
+ *    ~600-record file spans several chunks) of the paper's canonical
+ *    direct-mapped conflict pattern — 8 lines 16kB apart thrashing one
+ *    set — with a sprinkle of writes.
+ *  - mixed.din: ~150-line Dinero text trace mixing sequential reads,
+ *    read-modify-write pairs, and instruction fetches.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "workload/generators.hh"
+#include "workload/trace.hh"
+
+using namespace bsim;
+
+namespace {
+
+std::vector<MemAccess>
+conflictTrace()
+{
+    // 8 conflicting lines, 16kB stride: every address maps to the same
+    // direct-mapped set of a 16kB cache (the paper's Section 1 example).
+    StridedConflictStream gen(0x10000, 16 * 1024, 8);
+    std::vector<MemAccess> t;
+    t.reserve(600);
+    for (int i = 0; i < 600; ++i) {
+        MemAccess a = gen.next();
+        if (i % 5 == 4)
+            a.type = AccessType::Write;
+        t.push_back(a);
+    }
+    return t;
+}
+
+std::vector<MemAccess>
+mixedTrace()
+{
+    std::vector<MemAccess> t;
+    t.reserve(150);
+    for (int i = 0; i < 50; ++i) {
+        // A fetch, a sequential read, and every third iteration a
+        // read-modify-write to a second region.
+        t.push_back({0x400000 + std::uint64_t(i % 16) * 4,
+                     AccessType::Fetch});
+        t.push_back({0x800000 + std::uint64_t(i) * 32,
+                     AccessType::Read});
+        if (i % 3 == 0) {
+            t.push_back({0xc00000 + std::uint64_t(i) * 64,
+                         AccessType::Read});
+            t.push_back({0xc00000 + std::uint64_t(i) * 64,
+                         AccessType::Write});
+        }
+    }
+    return t;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    const std::string dir = argc > 1 ? argv[1] : "examples/traces";
+
+    const auto conflict = conflictTrace();
+    writeBst2Trace(dir + "/conflict_dm.bst", conflict, 64);
+    std::printf("wrote %zu records to %s/conflict_dm.bst (BST2, "
+                "chunk 64)\n",
+                conflict.size(), dir.c_str());
+
+    const auto mixed = mixedTrace();
+    writeTextTrace(dir + "/mixed.din", mixed);
+    std::printf("wrote %zu records to %s/mixed.din (dinero text)\n",
+                mixed.size(), dir.c_str());
+    return 0;
+}

@@ -9,6 +9,13 @@
  *   trace_convert <in> <out>          convert by extension
  *   trace_convert <in> --summary      print a profile, write nothing
  *   trace_convert <in> <out> --head N keep only the first N records
+ *   trace_convert <in> <out> --chunk N BST2 chunk length (default 65536)
+ *   trace_convert <in> <out> --bst1    legacy flat BST1 instead of BST2
+ *
+ * `.bst` outputs are written in the chunked BST2 format (the zero-copy
+ * mmap fast path — see docs/TRACES.md for the byte-level spec); --bst1
+ * keeps the legacy flat format for tools that predate it. Inputs may be
+ * .bst (either version), Dinero text, or gzip-compressed variants.
  */
 
 #include <cstdio>
@@ -68,10 +75,12 @@ main(int argc, char **argv)
 {
     if (argc < 3) {
         std::fprintf(stderr,
-                     "usage: trace_convert <in> <out> [--head N]\n"
+                     "usage: trace_convert <in> <out> [--head N] "
+                     "[--chunk N] [--bst1]\n"
                      "       trace_convert <in> --summary\n"
-                     "formats by extension: .bst = binary, else "
-                     "dinero text\n");
+                     "formats by extension: .bst = binary (chunked "
+                     "BST2, or --bst1),\n"
+                     "else dinero text\n");
         return 2;
     }
     std::vector<MemAccess> trace = loadTrace(argv[1]);
@@ -81,11 +90,19 @@ main(int argc, char **argv)
         return 0;
     }
 
-    for (int i = 3; i + 1 < argc; i += 2) {
-        if (!std::strcmp(argv[i], "--head")) {
-            const std::size_t n = std::strtoull(argv[i + 1], nullptr, 10);
+    std::uint32_t chunk_len = kBst2DefaultChunkLen;
+    bool bst1 = false;
+    for (int i = 3; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--head") && i + 1 < argc) {
+            const std::size_t n =
+                std::strtoull(argv[++i], nullptr, 10);
             if (trace.size() > n)
                 trace.resize(n);
+        } else if (!std::strcmp(argv[i], "--chunk") && i + 1 < argc) {
+            chunk_len = static_cast<std::uint32_t>(
+                std::strtoull(argv[++i], nullptr, 10));
+        } else if (!std::strcmp(argv[i], "--bst1")) {
+            bst1 = true;
         } else {
             std::fprintf(stderr, "unknown option %s\n", argv[i]);
             return 2;
@@ -93,9 +110,12 @@ main(int argc, char **argv)
     }
 
     const std::string out = argv[2];
-    if (out.size() >= 4 && out.compare(out.size() - 4, 4, ".bst") == 0)
-        writeBinaryTrace(out, trace);
-    else
+    if (out.size() >= 4 && out.compare(out.size() - 4, 4, ".bst") == 0) {
+        if (bst1)
+            writeBinaryTrace(out, trace);
+        else
+            writeBst2Trace(out, trace, chunk_len);
+    } else
         writeTextTrace(out, trace);
     std::printf("wrote %zu records to %s\n", trace.size(), out.c_str());
     return 0;

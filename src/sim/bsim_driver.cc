@@ -1,0 +1,399 @@
+#include "sim/bsim_driver.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/strings.hh"
+#include "common/table.hh"
+#include "power/cacti_lite.hh"
+#include "sim/experiment_file.hh"
+#include "sim/report.hh"
+#include "sim/trace_replay.hh"
+#include "timing/storage_model.hh"
+#include "workload/spec2k.hh"
+#include "workload/trace_format.hh"
+#include "workload/trace_reader.hh"
+
+namespace bsim {
+
+namespace {
+
+[[noreturn]] void
+usage(const char *msg = nullptr)
+{
+    if (msg)
+        std::fprintf(stderr, "error: %s\n", msg);
+    std::fprintf(stderr,
+                 "usage: bsim [--kind dm|setassoc|victim|bcache|"
+                 "column|skewed|hac|xor]\n"
+                 "  [--size B] [--line B] [--ways N] [--mf N] [--bas N]"
+                 "\n"
+                 "  [--repl lru|random|fifo|plru|nmru] "
+                 "[--write-policy wb|wt]\n"
+                 "  [--workload NAME] [--side data|inst] [--seed N]\n"
+                 "  [--trace FILE]   replay a trace (.bst, .din/text, "
+                 "or either .gz);\n"
+                 "                   streamed chunk by chunk, O(chunk) "
+                 "memory\n"
+                 "  [--shards N]     split the trace into N windows and "
+                 "replay them\n"
+                 "                   in parallel on the sweep engine "
+                 "(cold cache per\n"
+                 "                   shard; see docs/TRACES.md)\n"
+                 "  [--jobs N]       sweep worker threads for --shards "
+                 "(BSIM_JOBS)\n"
+                 "  [--batch N]      accessBatch span length (BSIM_BATCH;"
+                 " 0/1 =\n"
+                 "                   per-access path)\n"
+                 "  [--accesses N]   synthetic run length, or a cap on "
+                 "trace replay\n"
+                 "                   (traces default to the whole file)\n"
+                 "  [--trace-info FILE]  print a trace's header/format "
+                 "and exit\n"
+                 "  [--timed]        OOO-core/Table-4 processor model "
+                 "(workload-\n"
+                 "                   driven only)\n"
+                 "  [--json] [--config FILE]\n"
+                 "A --config file (see sim/experiment_file.hh) sets the\n"
+                 "defaults; explicit flags given AFTER it override.\n");
+    std::exit(2);
+}
+
+std::uint64_t
+parseU64(const char *s)
+{
+    char *end = nullptr;
+    const std::uint64_t v = std::strtoull(s, &end, 0);
+    if (end == s || *end)
+        usage("bad number");
+    return v;
+}
+
+/** --trace-info: the header/probe readout, no records replayed. */
+int
+printTraceInfo(const std::string &path)
+{
+    const TraceInfo info = probeTrace(path);
+    std::printf("trace    : %s\n", path.c_str());
+    std::printf("format   : %s%s\n", info.format.c_str(),
+                info.compressed ? " (gzip)" : "");
+    if (info.recordCount == kUnknownRecordCount)
+        std::printf("records  : unknown (text traces carry no header; "
+                    "convert to .bst)\n");
+    else
+        std::printf("records  : %llu\n",
+                    static_cast<unsigned long long>(info.recordCount));
+    if (info.format == "BST2") {
+        const Bst2Header h{info.recordCount, info.addrBits,
+                           info.chunkLen, 0};
+        std::printf("chunking : %u records/chunk, %llu chunks\n",
+                    info.chunkLen,
+                    static_cast<unsigned long long>(h.chunks()));
+        std::printf("addr bits: %u\n", info.addrBits);
+        std::printf("zero-copy: %s\n",
+                    !info.compressed && kBst2RecordMatchesMemAccess
+                        ? "yes (mmap spans feed accessBatch directly)"
+                        : info.compressed
+                              ? "no (gzip inflates into a chunk buffer)"
+                              : "no (host layout differs; records are "
+                                "converted per chunk)");
+    }
+    return 0;
+}
+
+void
+printMissRate(const MissRateResult &r, const CacheConfig &cfg,
+              const std::string &driver_desc)
+{
+    std::printf("config   : %s (%s, %s, %s)\n", cfg.label.c_str(),
+                sizeString(cfg.sizeBytes).c_str(),
+                replPolicyName(cfg.repl),
+                writePolicyName(cfg.writePolicy));
+    std::printf("driver   : %s\n", driver_desc.c_str());
+    std::printf("accesses : %llu\n",
+                static_cast<unsigned long long>(r.stats.accesses));
+    std::printf("miss rate: %.4f%%  (hits %llu, misses %llu)\n",
+                100.0 * r.missRate(),
+                static_cast<unsigned long long>(r.stats.hits),
+                static_cast<unsigned long long>(r.stats.misses));
+    std::printf("traffic  : refills %llu, writebacks %llu, "
+                "writethroughs %llu\n",
+                static_cast<unsigned long long>(r.stats.refills),
+                static_cast<unsigned long long>(r.stats.writebacks),
+                static_cast<unsigned long long>(r.stats.writethroughs));
+    if (r.pd)
+        std::printf("PD       : hit-on-miss %.2f%%, predicted misses "
+                    "%.2f%%\n",
+                    100.0 * r.pd->pdHitRateOnMiss(),
+                    100.0 * r.pd->missPredictionRate());
+    if (r.victimHits)
+        std::printf("victim   : %llu buffer hits\n",
+                    static_cast<unsigned long long>(r.victimHits));
+    std::printf("balance  : %s\n", r.balance.toString().c_str());
+}
+
+void
+printBCacheCosts(const CacheConfig &cfg)
+{
+    if (cfg.kind != CacheKind::BCache)
+        return;
+    const BCacheParams p = cfg.bcacheParams();
+    std::printf("layout   : %s\n", deriveLayout(p).toString().c_str());
+    std::printf("area     : %+.2f%% vs same-sized direct-mapped\n",
+                areaOverheadPct(
+                    conventionalStorage(p.sizeBytes, p.lineBytes, 1),
+                    bcacheStorage(p)));
+    std::printf("energy   : %.1f pJ/access (DM baseline %.1f)\n",
+                CactiLite::bcache(p).total(), [&] {
+                    CacheOrg o;
+                    o.sizeBytes = p.sizeBytes;
+                    o.lineBytes = p.lineBytes;
+                    o.ways = 1;
+                    return CactiLite::conventional(o).total();
+                }());
+}
+
+/** --shards: parallel replay, per-shard table + merged totals. */
+int
+runSharded(const std::string &trace_path, const CacheConfig &cfg,
+           unsigned shards, unsigned jobs, bool json,
+           const BsimHooks &hooks)
+{
+    SweepOptions opts;
+    opts.jobs = jobs;
+    const TraceSweepResult res =
+        runTraceSharded(trace_path, cfg, shards, opts);
+
+    if (json) {
+        // A JSON array of per-shard MissRateResult records; merged
+        // totals are the field-wise sums (trace-sampling semantics).
+        std::printf("[");
+        for (std::size_t i = 0; i < res.shards.size(); ++i)
+            std::printf("%s%s", i ? ",\n " : "",
+                        toJson(res.shards[i]).c_str());
+        std::printf("]\n");
+    } else {
+        Table t({"shard", "window", "accesses", "misses", "miss%"});
+        for (std::size_t i = 0; i < res.shards.size(); ++i) {
+            const MissRateResult &s = res.shards[i];
+            const std::size_t win = s.workload.find('[');
+            t.row()
+                .cell(std::uint64_t(i))
+                .cell(win == std::string::npos
+                          ? std::string("[whole file)")
+                          : s.workload.substr(win))
+                .cell(s.stats.accesses)
+                .cell(s.stats.misses)
+                .cell(100.0 * s.missRate(), 4);
+        }
+        t.print("sharded replay of " + trace_path + " on " +
+                cfg.label);
+        std::printf("merged   : %s\n", res.total.toString().c_str());
+        if (res.victimHits)
+            std::printf("victim   : %llu buffer hits\n",
+                        static_cast<unsigned long long>(res.victimHits));
+        if (res.pd)
+            std::printf("PD       : %llu hit-on-miss, %llu predicted "
+                        "misses\n",
+                        static_cast<unsigned long long>(
+                            res.pd->pdHitCacheMiss),
+                        static_cast<unsigned long long>(res.pd->pdMiss));
+        printSweepSummary(res.summary);
+    }
+    if (hooks.onSweepDone)
+        hooks.onSweepDone(cfg.label, res.summary);
+    return 0;
+}
+
+} // namespace
+
+int
+bsimMain(int argc, char **argv, const BsimHooks &hooks)
+{
+    std::string kind = "bcache";
+    std::uint64_t size = 16 * 1024;
+    std::uint32_t line = 32;
+    std::uint32_t ways = 8;
+    std::uint32_t mf = 8, bas = 8;
+    std::string repl = "lru";
+    std::string wp = "wb";
+    std::string workload = "gcc";
+    std::string side = "data";
+    std::string trace_path;
+    std::uint64_t accesses = 1'000'000;
+    bool accesses_set = false;
+    std::uint64_t seed = kDefaultSeed;
+    unsigned shards = 0;
+    unsigned jobs = 0;
+    std::size_t batch = 0;
+    bool json = false;
+    bool timed = false;
+    bool haveFileConfig = false;
+    CacheConfig cfgFromFile;
+
+    for (int i = 1; i < argc; ++i) {
+        auto need = [&](const char *flag) -> const char * {
+            if (i + 1 >= argc)
+                usage(flag);
+            return argv[++i];
+        };
+        if (!std::strcmp(argv[i], "--config")) {
+            const ExperimentSpec spec =
+                parseExperimentFile(need("--config"));
+            cfgFromFile = spec.cache;
+            haveFileConfig = true;
+            workload = spec.workload;
+            side = spec.side == StreamSide::Inst ? "inst" : "data";
+            trace_path = spec.tracePath;
+            accesses = spec.accesses;
+            accesses_set = true;
+            seed = spec.seed;
+        } else if (!std::strcmp(argv[i], "--kind")) {
+            kind = need("--kind");
+            haveFileConfig = false; // explicit kind rebuilds the config
+        }
+        else if (!std::strcmp(argv[i], "--size"))
+            size = parseU64(need("--size"));
+        else if (!std::strcmp(argv[i], "--line"))
+            line = static_cast<std::uint32_t>(parseU64(need("--line")));
+        else if (!std::strcmp(argv[i], "--ways"))
+            ways = static_cast<std::uint32_t>(parseU64(need("--ways")));
+        else if (!std::strcmp(argv[i], "--mf"))
+            mf = static_cast<std::uint32_t>(parseU64(need("--mf")));
+        else if (!std::strcmp(argv[i], "--bas"))
+            bas = static_cast<std::uint32_t>(parseU64(need("--bas")));
+        else if (!std::strcmp(argv[i], "--repl"))
+            repl = need("--repl");
+        else if (!std::strcmp(argv[i], "--write-policy"))
+            wp = need("--write-policy");
+        else if (!std::strcmp(argv[i], "--workload"))
+            workload = need("--workload");
+        else if (!std::strcmp(argv[i], "--side"))
+            side = need("--side");
+        else if (!std::strcmp(argv[i], "--trace"))
+            trace_path = need("--trace");
+        else if (!std::strcmp(argv[i], "--trace-info"))
+            return printTraceInfo(need("--trace-info"));
+        else if (!std::strcmp(argv[i], "--shards"))
+            shards =
+                static_cast<unsigned>(parseU64(need("--shards")));
+        else if (!std::strcmp(argv[i], "--jobs"))
+            jobs = static_cast<unsigned>(parseU64(need("--jobs")));
+        else if (!std::strcmp(argv[i], "--batch"))
+            batch =
+                static_cast<std::size_t>(parseU64(need("--batch")));
+        else if (!std::strcmp(argv[i], "--accesses")) {
+            accesses = parseU64(need("--accesses"));
+            accesses_set = true;
+        }
+        else if (!std::strcmp(argv[i], "--seed"))
+            seed = parseU64(need("--seed"));
+        else if (!std::strcmp(argv[i], "--json"))
+            json = true;
+        else if (!std::strcmp(argv[i], "--timed"))
+            timed = true;
+        else if (!std::strcmp(argv[i], "--help") ||
+                 !std::strcmp(argv[i], "-h"))
+            usage();
+        else
+            usage(argv[i]);
+    }
+
+    CacheConfig cfg;
+    if (haveFileConfig)
+        cfg = cfgFromFile;
+    else if (kind == "dm")
+        cfg = CacheConfig::directMapped(size, line);
+    else if (kind == "setassoc")
+        cfg = CacheConfig::setAssoc(size, ways,
+                                    replPolicyFromName(repl), line);
+    else if (kind == "victim")
+        cfg = CacheConfig::victim(size, 16, line);
+    else if (kind == "bcache")
+        cfg = CacheConfig::bcache(size, mf, bas,
+                                  replPolicyFromName(repl), line);
+    else if (kind == "column")
+        cfg = CacheConfig::columnAssoc(size, line);
+    else if (kind == "skewed")
+        cfg = CacheConfig::skewed(size, line);
+    else if (kind == "hac")
+        cfg = CacheConfig::hac(size, 1024, line);
+    else if (kind == "xor")
+        cfg = CacheConfig::xorDm(size, line);
+    else
+        usage("unknown --kind");
+    if (!haveFileConfig)
+        cfg.repl = replPolicyFromName(repl);
+    if (wp == "wt")
+        cfg.writePolicy = WritePolicy::WriteThroughNoAllocate;
+    else if (wp != "wb")
+        usage("--write-policy must be wb or wt");
+
+    if (timed) {
+        if (!trace_path.empty())
+            usage("--timed drives workloads, not traces");
+        if (!isSpec2kName(workload))
+            usage("unknown --workload");
+        const TimedResult tr = runTimed(workload, cfg, accesses, seed);
+        if (json) {
+            std::printf("%s\n", toJson(tr).c_str());
+            return 0;
+        }
+        std::printf("config   : %s\n", cfg.label.c_str());
+        std::printf("workload : %s (%llu uops)\n", workload.c_str(),
+                    static_cast<unsigned long long>(tr.cpu.uops));
+        std::printf("IPC      : %.3f  (%llu cycles)\n", tr.ipc(),
+                    static_cast<unsigned long long>(tr.cpu.cycles));
+        std::printf("L1I      : %s\n", tr.l1i.toString().c_str());
+        std::printf("L1D      : %s\n", tr.l1d.toString().c_str());
+        std::printf("L2       : %s\n", tr.l2.toString().c_str());
+        std::printf("stalls   : I$ %llu cyc, load-miss %llu cyc, "
+                    "mispredict %llu cyc (overlapping)\n",
+                    static_cast<unsigned long long>(
+                        tr.cpu.icacheStallCycles),
+                    static_cast<unsigned long long>(
+                        tr.cpu.loadMissCycles),
+                    static_cast<unsigned long long>(
+                        tr.cpu.mispredictCycles));
+        return 0;
+    }
+
+    if (shards > 0) {
+        if (trace_path.empty())
+            usage("--shards needs --trace");
+        return runSharded(trace_path, cfg, shards, jobs, json, hooks);
+    }
+
+    MissRateResult r;
+    if (!trace_path.empty()) {
+        // Streamed replay: O(chunk) resident memory regardless of the
+        // file's record count (no whole-trace vector).
+        TraceReplayOptions opts;
+        opts.maxAccesses = accesses_set ? accesses : 0;
+        opts.batchLen = batch;
+        r = runTraceReplay(trace_path, cfg, TraceShard{}, opts);
+    } else {
+        if (!isSpec2kName(workload))
+            usage("unknown --workload");
+        r = runMissRate(workload, side == "inst" ? StreamSide::Inst
+                                                 : StreamSide::Data,
+                        cfg, accesses, seed);
+    }
+
+    if (json) {
+        std::printf("%s\n", toJson(r).c_str());
+        return 0;
+    }
+
+    printMissRate(r, cfg,
+                  trace_path.empty() ? workload + " (" + side + ")"
+                                     : trace_path);
+    printBCacheCosts(cfg);
+    return 0;
+}
+
+} // namespace bsim

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * The bsim driver: one command-line front end that runs any cache
+ * organisation over any input — a named synthetic workload, a trace
+ * file (streamed in O(chunk) memory via workload/trace_reader), a
+ * sharded parallel trace replay on the sweep engine, or the timed
+ * OOO-core model — and prints the standard statistics readout or JSON.
+ *
+ * The driver is a library function so several binaries can share it:
+ * bench/bsim.cc wires the perf-telemetry hook (BENCH_perf.json) on top,
+ * while examples/bsim_cli.cpp is the bare driver under its historical
+ * name. docs/TRACES.md walks through the trace-facing flags.
+ *
+ * Usage (see usage() in the .cc for the authoritative text):
+ *   bsim [--kind dm|setassoc|victim|bcache|column|skewed|hac|xor]
+ *        [--size B] [--line B] [--ways N] [--mf N] [--bas N]
+ *        [--repl lru|random|fifo|plru|nmru] [--write-policy wb|wt]
+ *        [--workload NAME] [--side data|inst] [--seed N]
+ *        [--trace FILE] [--shards N] [--jobs N] [--batch N]
+ *        [--accesses N] [--timed] [--json] [--config FILE]
+ *        [--trace-info FILE]
+ */
+
+#ifndef BSIM_SIM_BSIM_DRIVER_HH
+#define BSIM_SIM_BSIM_DRIVER_HH
+
+#include <functional>
+#include <string>
+
+#include "sim/sweep.hh"
+
+namespace bsim {
+
+/** Optional callbacks the host binary hangs on driver milestones. */
+struct BsimHooks
+{
+    /**
+     * Invoked after a sweep-backed run (--shards) with the config label
+     * and the engine's aggregate metrics. bench/bsim.cc points this at
+     * bench::reportSweepPerf so sharded replays land in the repo's
+     * BENCH_perf.json trajectory; the bare examples/bsim_cli build
+     * leaves it unset.
+     */
+    std::function<void(const std::string &configLabel,
+                       const SweepSummary &summary)>
+        onSweepDone;
+};
+
+/**
+ * The driver entry point: parse @p argv, run, print. Returns the
+ * process exit code (0 on success; usage errors exit(2) directly and
+ * malformed inputs are bsim_fatal, matching the library's conventions).
+ */
+int bsimMain(int argc, char **argv, const BsimHooks &hooks = {});
+
+} // namespace bsim
+
+#endif // BSIM_SIM_BSIM_DRIVER_HH

@@ -67,6 +67,25 @@ runMissRateOn(AccessStream &stream, const CacheConfig &config,
     if (batch_len <= 1) {
         for (std::uint64_t i = 0; i < accesses; ++i)
             cache->access(stream.next());
+    } else if (stream.hasSpanBatches()) {
+        // Zero-copy hot loop for trace-backed streams: the stream hands
+        // out views of its own chunk buffer (the mmap itself for
+        // uncompressed BST2), which go straight into accessBatch with no
+        // per-record copy. Batch boundaries differ from the copying path
+        // (spans stop at chunk edges) but results are bit-identical —
+        // the accessBatch contract (verify/batch_equiv) is boundary-
+        // independent. An empty span means the bounded, non-cycling
+        // trace ran out before @p accesses; the run ends there.
+        std::vector<AccessOutcome> outs(batch_len);
+        for (std::uint64_t left = accesses; left > 0;) {
+            const std::span<const MemAccess> s = stream.nextSpan(
+                static_cast<std::size_t>(
+                    std::min<std::uint64_t>(batch_len, left)));
+            if (s.empty())
+                break;
+            cache->accessBatch(s, outs.data());
+            left -= s.size();
+        }
     } else {
         // Hot loop of every miss-rate experiment: stream and cache both
         // work in fixed-size batches (bit-identical to the per-access

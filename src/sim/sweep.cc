@@ -10,6 +10,7 @@
 #include "common/strings.hh"
 #include "common/table.hh"
 #include "sim/config.hh"
+#include "sim/trace_replay.hh"
 
 namespace bsim {
 
@@ -45,9 +46,11 @@ runOne(const SweepJob &job, std::size_t index, std::uint64_t base_seed)
     out.seed = job.seed ? *job.seed : sweepSeed(base_seed, index);
     const auto start = Clock::now();
     try {
-        // Custom jobs carry their own workload in the callable; the
-        // spec2k name check only applies to the built-in runners.
-        if (job.kind != SweepJob::Kind::Custom) {
+        // Custom jobs carry their own workload in the callable and
+        // trace jobs theirs in the file; the spec2k name and length
+        // checks only apply to the built-in synthetic runners.
+        if (job.kind == SweepJob::Kind::MissRate ||
+            job.kind == SweepJob::Kind::Timed) {
             if (!isSpec2kName(job.workload))
                 throw std::invalid_argument("unknown workload '" +
                                             job.workload + "'");
@@ -71,6 +74,13 @@ runOne(const SweepJob &job, std::size_t index, std::uint64_t base_seed)
                                             "' has no callable");
             out.customEvents = job.custom(out.seed);
             break;
+          case SweepJob::Kind::Trace: {
+            TraceReplayOptions opts;
+            opts.maxAccesses = job.length;
+            out.miss = runTraceReplay(job.tracePath, job.config,
+                                      job.shard, opts);
+            break;
+          }
         }
     } catch (const std::exception &e) {
         out.error = e.what();
@@ -123,6 +133,20 @@ SweepJob::customJob(std::string label,
     j.workload = std::move(label);
     j.custom = std::move(fn);
     j.seed = seed;
+    return j;
+}
+
+SweepJob
+SweepJob::traceReplay(std::string path, TraceShard shard,
+                      CacheConfig config, std::uint64_t max_accesses)
+{
+    SweepJob j;
+    j.kind = Kind::Trace;
+    j.workload = "trace:" + path;
+    j.config = std::move(config);
+    j.length = max_accesses;
+    j.tracePath = std::move(path);
+    j.shard = shard;
     return j;
 }
 

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "sim/runner.hh"
+#include "workload/trace_reader.hh"
 
 namespace bsim {
 
@@ -33,6 +34,7 @@ struct SweepJob
         MissRate, ///< standalone cache via runMissRate()
         Timed,    ///< OOO core + two-level hierarchy via runTimed()
         Custom,   ///< caller-supplied callable (e.g. a verify fuzz case)
+        Trace,    ///< trace-window replay via runTraceReplay()
     };
 
     Kind kind = Kind::MissRate;
@@ -56,6 +58,9 @@ struct SweepJob
      * other jobs, preserving the engine's determinism contract.
      */
     std::function<std::uint64_t(std::uint64_t seed)> custom;
+    /** Trace jobs only: file to replay and the record window owned. */
+    std::string tracePath;
+    TraceShard shard;
 
     static SweepJob missRate(std::string workload, StreamSide side,
                              CacheConfig config, std::uint64_t accesses,
@@ -69,6 +74,16 @@ struct SweepJob
         std::string label,
         std::function<std::uint64_t(std::uint64_t seed)> fn,
         std::optional<std::uint64_t> seed = {});
+    /**
+     * Replay one window of a trace file (sim/trace_replay.hh).
+     * @p max_accesses 0 replays the whole window. The trace is the
+     * workload, so the derived seed is unused — the job is a pure
+     * function of (path, shard, config), which is what makes sharded
+     * replay bit-identical at any thread count.
+     */
+    static SweepJob traceReplay(std::string path, TraceShard shard,
+                                CacheConfig config,
+                                std::uint64_t max_accesses = 0);
 };
 
 /** Result of one job, delivered in submission order. */

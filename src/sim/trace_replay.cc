@@ -1,0 +1,177 @@
+#include "sim/trace_replay.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "cache/victim_cache.hh"
+#include "common/logging.hh"
+
+namespace bsim {
+
+namespace {
+
+std::string
+replayLabel(const std::string &path, const TraceShard &shard)
+{
+    if (shard.firstRecord == 0 &&
+        shard.recordCount == kUnknownRecordCount)
+        return "trace:" + path;
+    const std::string count =
+        shard.recordCount == kUnknownRecordCount
+            ? std::string("rest")
+            : std::to_string(shard.recordCount);
+    return "trace:" + path + "[" + std::to_string(shard.firstRecord) +
+           "+" + count + ")";
+}
+
+} // namespace
+
+MissRateResult
+runTraceReplay(const std::string &path, const CacheConfig &config,
+               const TraceShard &shard,
+               const TraceReplayOptions &options)
+{
+    TraceReaderPtr reader = openTraceReader(path, shard);
+    auto cache = config.build(config.label, 1, nullptr);
+    const std::size_t batch_len =
+        options.batchLen ? options.batchLen : defaultBatchLen();
+    std::uint64_t left =
+        options.maxAccesses ? options.maxAccesses : ~std::uint64_t{0};
+
+    if (batch_len <= 1) {
+        // Per-access path (BSIM_BATCH=0/1): still streamed one chunk at
+        // a time, just replayed record by record.
+        while (left > 0) {
+            const std::span<const MemAccess> s =
+                reader->nextSpan(static_cast<std::size_t>(
+                    std::min<std::uint64_t>(left, 65536)));
+            if (s.empty())
+                break;
+            for (const MemAccess &a : s)
+                cache->access(a);
+            left -= s.size();
+        }
+    } else {
+        // Batched hot loop: spans come straight from the reader's chunk
+        // buffer (the mmap itself for uncompressed BST2), so nothing is
+        // copied per record on the way into accessBatch.
+        std::vector<AccessOutcome> outs(batch_len);
+        while (left > 0) {
+            const std::span<const MemAccess> s =
+                reader->nextSpan(static_cast<std::size_t>(
+                    std::min<std::uint64_t>(left, batch_len)));
+            if (s.empty())
+                break;
+            cache->accessBatch(s, outs.data());
+            left -= s.size();
+        }
+    }
+
+    MissRateResult r;
+    r.workload = replayLabel(path, shard);
+    r.config = config.label;
+    r.stats = cache->stats();
+    r.balance = analyzeBalance(cache->setUsage());
+    if (auto *bc = dynamic_cast<BCache *>(cache.get()))
+        r.pd = bc->pdStats();
+    if (auto *vc = dynamic_cast<VictimCache *>(cache.get()))
+        r.victimHits = vc->victimHits();
+    return r;
+}
+
+std::vector<TraceShard>
+shardTrace(const std::string &path, unsigned shards)
+{
+    const TraceInfo info = probeTrace(path);
+    if (info.recordCount == kUnknownRecordCount)
+        bsim_fatal("cannot shard text trace '", path,
+                   "': the record count is unknown without a full "
+                   "scan; convert it to .bst first (docs/TRACES.md)");
+    const std::uint64_t records = info.recordCount;
+    const std::uint64_t want = std::max(shards, 1u);
+    std::vector<TraceShard> out;
+    if (records == 0) {
+        // One empty shard keeps "replay this trace" well-formed.
+        out.push_back(TraceShard{0, 0});
+        return out;
+    }
+    if (info.chunkLen > 0) {
+        // BST2: boundaries land on chunk edges so every shard's window
+        // starts at an O(1)-seekable offset and no chunk is split.
+        const std::uint64_t chunks =
+            (records + info.chunkLen - 1) / info.chunkLen;
+        const std::uint64_t groups =
+            std::min<std::uint64_t>(want, chunks);
+        for (std::uint64_t g = 0; g < groups; ++g) {
+            const std::uint64_t c0 = g * chunks / groups;
+            const std::uint64_t c1 = (g + 1) * chunks / groups;
+            const std::uint64_t r0 = c0 * info.chunkLen;
+            const std::uint64_t r1 = std::min<std::uint64_t>(
+                c1 * info.chunkLen, records);
+            out.push_back(TraceShard{r0, r1 - r0});
+        }
+    } else {
+        // BST1 has no chunk framing; an even record split is as good as
+        // any (the reader skips to the window sequentially).
+        const std::uint64_t groups =
+            std::min<std::uint64_t>(want, records);
+        for (std::uint64_t g = 0; g < groups; ++g) {
+            const std::uint64_t r0 = g * records / groups;
+            const std::uint64_t r1 = (g + 1) * records / groups;
+            out.push_back(TraceShard{r0, r1 - r0});
+        }
+    }
+    return out;
+}
+
+CacheStats
+mergeShardStats(const std::vector<MissRateResult> &shards)
+{
+    CacheStats total;
+    for (const MissRateResult &s : shards) {
+        total.accesses += s.stats.accesses;
+        total.hits += s.stats.hits;
+        total.misses += s.stats.misses;
+        total.readAccesses += s.stats.readAccesses;
+        total.readMisses += s.stats.readMisses;
+        total.writeAccesses += s.stats.writeAccesses;
+        total.writeMisses += s.stats.writeMisses;
+        total.fetchAccesses += s.stats.fetchAccesses;
+        total.fetchMisses += s.stats.fetchMisses;
+        total.writebacks += s.stats.writebacks;
+        total.writethroughs += s.stats.writethroughs;
+        total.refills += s.stats.refills;
+    }
+    return total;
+}
+
+TraceSweepResult
+runTraceSharded(const std::string &path, const CacheConfig &config,
+                unsigned shards, const SweepOptions &options)
+{
+    const std::vector<TraceShard> windows = shardTrace(path, shards);
+    std::vector<SweepJob> jobs;
+    jobs.reserve(windows.size());
+    for (const TraceShard &w : windows)
+        jobs.push_back(SweepJob::traceReplay(path, w, config));
+    const SweepRun run = runSweep(jobs, options);
+
+    TraceSweepResult result;
+    result.shards.reserve(run.outcomes.size());
+    for (const SweepOutcome &out : run.outcomes)
+        result.shards.push_back(missResult(out));
+    result.total = mergeShardStats(result.shards);
+    for (const MissRateResult &s : result.shards) {
+        result.victimHits += s.victimHits;
+        if (s.pd) {
+            if (!result.pd)
+                result.pd = PdStats{};
+            result.pd->pdHitCacheMiss += s.pd->pdHitCacheMiss;
+            result.pd->pdMiss += s.pd->pdMiss;
+        }
+    }
+    result.summary = run.summary;
+    return result;
+}
+
+} // namespace bsim

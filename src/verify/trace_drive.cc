@@ -1,0 +1,149 @@
+#include "verify/trace_drive.hh"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/strings.hh"
+
+namespace bsim {
+
+namespace {
+
+constexpr std::size_t kDriveSpan = 4096;
+
+Addr
+maskOf(unsigned addr_bits)
+{
+    return addr_bits >= 64 ? ~Addr{0}
+                           : (Addr{1} << addr_bits) - 1;
+}
+
+} // namespace
+
+FuzzResult
+runOracleOnTrace(const std::string &path, const BCacheParams &params,
+                 const OracleOptions &opts, const TraceShard &shard,
+                 std::uint64_t max_accesses)
+{
+    TraceReaderPtr reader = openTraceReader(path, shard);
+
+    TrackingMemory mem;
+    BCache dut("trace-dut", params, /*hit_latency=*/1, &mem);
+    OracleChecker checker(dut, mem, opts);
+    const Addr mask = maskOf(opts.addrBits);
+
+    FuzzResult res;
+    res.oracleModes = checker.oracleModes();
+    std::uint64_t left =
+        max_accesses ? max_accesses : ~std::uint64_t{0};
+    bool diverged = false;
+    while (left > 0 && !diverged) {
+        const std::span<const MemAccess> s =
+            reader->nextSpan(static_cast<std::size_t>(
+                std::min<std::uint64_t>(left, kDriveSpan)));
+        if (s.empty())
+            break;
+        for (MemAccess a : s) {
+            a.addr &= mask;
+            ++res.steps;
+            if (!checker.onAccess(a)) {
+                // Keep the report focused on the first divergence.
+                diverged = true;
+                break;
+            }
+        }
+        left -= s.size();
+    }
+    checker.finish();
+    res.ok = checker.ok();
+    res.divergences = checker.divergences();
+    return res;
+}
+
+BatchEquivResult
+runBatchEquivOnTrace(const std::string &path,
+                     const BCacheParams &params, unsigned addr_bits,
+                     std::size_t batch_len, const TraceShard &shard,
+                     std::uint64_t max_accesses)
+{
+    TraceReaderPtr reader = openTraceReader(path, shard);
+
+    BatchEquivResult res;
+    TrackingMemory mem_a, mem_b;
+    BCache per_access("trace-per-access", params, /*hit_latency=*/1,
+                      &mem_a);
+    BCache batched("trace-batched", params, /*hit_latency=*/1, &mem_b);
+    const Addr mask = maskOf(addr_bits);
+
+    std::vector<MemAccess> batch;
+    batch.reserve(batch_len);
+    std::vector<AccessOutcome> outs(std::max<std::size_t>(batch_len,
+                                                          1));
+
+    const auto flush = [&] {
+        if (batch.empty())
+            return;
+        batched.accessBatch({batch.data(), batch.size()}, outs.data());
+        for (std::size_t i = 0; i < batch.size(); ++i) {
+            const AccessOutcome o = per_access.access(batch[i]);
+            if (o.hit != outs[i].hit || o.latency != outs[i].latency)
+                equivNote(res,
+                          strprintf("outcome of access 0x%llx: "
+                                    "per-access (hit=%d lat=%llu) vs "
+                                    "batched (hit=%d lat=%llu)",
+                                    (unsigned long long)batch[i].addr,
+                                    o.hit,
+                                    (unsigned long long)o.latency,
+                                    outs[i].hit,
+                                    (unsigned long long)
+                                        outs[i].latency));
+        }
+        batch.clear();
+    };
+
+    std::uint64_t left =
+        max_accesses ? max_accesses : ~std::uint64_t{0};
+    while (left > 0 && res.mismatches.empty()) {
+        const std::span<const MemAccess> s =
+            reader->nextSpan(static_cast<std::size_t>(
+                std::min<std::uint64_t>(left, kDriveSpan)));
+        if (s.empty())
+            break;
+        for (MemAccess a : s) {
+            a.addr &= mask;
+            batch.push_back(a);
+            if (batch.size() == batch_len)
+                flush();
+            ++res.steps;
+        }
+        left -= s.size();
+    }
+    flush();
+
+    equivCompareStats(res, per_access.stats(), batched.stats());
+    if (per_access.pdStats().pdHitCacheMiss !=
+            batched.pdStats().pdHitCacheMiss ||
+        per_access.pdStats().pdMiss != batched.pdStats().pdMiss)
+        equivNote(res,
+                  strprintf("PdStats: per-access {%llu, %llu} vs "
+                            "batched {%llu, %llu}",
+                            (unsigned long long)
+                                per_access.pdStats().pdHitCacheMiss,
+                            (unsigned long long)
+                                per_access.pdStats().pdMiss,
+                            (unsigned long long)
+                                batched.pdStats().pdHitCacheMiss,
+                            (unsigned long long)
+                                batched.pdStats().pdMiss));
+    if (per_access.validLines() != batched.validLines())
+        equivNote(res,
+                  strprintf("validLines: per-access %zu vs batched %zu",
+                            per_access.validLines(),
+                            batched.validLines()));
+    equivCompareEvents(res, mem_a.pending(), mem_b.pending());
+
+    res.ok = res.mismatches.empty();
+    return res;
+}
+
+} // namespace bsim

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * Trace-driven entry points into the verify layer: run the full
+ * OracleChecker arsenal, or the twin-DUT batched/per-access equivalence
+ * check, over a window of a real trace file instead of a fuzzed
+ * synthetic stream. This closes the loop between the streaming
+ * ingestion layer (workload/trace_reader) and the differential
+ * oracles — a captured workload that misbehaves in an experiment can be
+ * replayed under the checker verbatim, shard by shard.
+ *
+ * Trace records are masked to OracleOptions::addrBits (resp.
+ * FuzzSpec::addrBits) on the way in, because the shadow oracles need a
+ * bound on the upper-address width; the copy this implies is fine here —
+ * verification runs are not the perf path.
+ */
+
+#ifndef BSIM_VERIFY_TRACE_DRIVE_HH
+#define BSIM_VERIFY_TRACE_DRIVE_HH
+
+#include <string>
+
+#include "verify/batch_equiv.hh"
+#include "verify/fuzz.hh"
+#include "workload/trace_reader.hh"
+
+namespace bsim {
+
+/**
+ * Drive a BCache built from @p params and its oracles in lockstep over
+ * one trace window (the whole file by default). @p max_accesses 0
+ * replays the window to its end; traces carry no writebacks from above,
+ * so only onAccess steps are driven. Divergences stop the replay early,
+ * exactly like runFuzzCase.
+ */
+FuzzResult runOracleOnTrace(const std::string &path,
+                            const BCacheParams &params,
+                            const OracleOptions &opts = {},
+                            const TraceShard &shard = {},
+                            std::uint64_t max_accesses = 0);
+
+/**
+ * Twin-DUT equivalence over one trace window: one BCache sees the
+ * records through access(), the other through accessBatch() with
+ * @p batch_len-element batches, and every observable — per-access
+ * outcomes, CacheStats/PdStats, residency, the ordered memory-boundary
+ * event log — must be bit-identical. Addresses are masked to
+ * @p addr_bits.
+ */
+BatchEquivResult runBatchEquivOnTrace(const std::string &path,
+                                      const BCacheParams &params,
+                                      unsigned addr_bits = 32,
+                                      std::size_t batch_len = 64,
+                                      const TraceShard &shard = {},
+                                      std::uint64_t max_accesses = 0);
+
+} // namespace bsim
+
+#endif // BSIM_VERIFY_TRACE_DRIVE_HH

@@ -6,12 +6,11 @@
 
 #include "common/logging.hh"
 #include "common/strings.hh"
+#include "workload/trace_reader.hh"
 
 namespace bsim {
 
 namespace {
-
-constexpr char kMagic[4] = {'B', 'S', 'T', '1'};
 
 struct FileCloser
 {
@@ -46,19 +45,20 @@ dineroLabel(AccessType t)
     return 0;
 }
 
-AccessType
-typeFromLabel(int label, const std::string &path)
+/** Drain a streaming reader into a vector (the whole-trace helpers). */
+std::vector<MemAccess>
+drainReader(TraceReader &reader)
 {
-    switch (label) {
-      case 0:
-        return AccessType::Read;
-      case 1:
-        return AccessType::Write;
-      case 2:
-        return AccessType::Fetch;
-      default:
-        bsim_fatal("bad record label ", label, " in '", path, "'");
+    std::vector<MemAccess> out;
+    if (reader.size() != kUnknownRecordCount)
+        out.reserve(reader.size());
+    for (;;) {
+        const std::span<const MemAccess> s = reader.nextSpan(65536);
+        if (s.empty())
+            break;
+        out.insert(out.end(), s.begin(), s.end());
     }
+    return out;
 }
 
 } // namespace
@@ -68,7 +68,7 @@ writeBinaryTrace(const std::string &path,
                  const std::vector<MemAccess> &accesses)
 {
     FilePtr f = openOrDie(path, "wb");
-    if (std::fwrite(kMagic, 1, 4, f.get()) != 4)
+    if (std::fwrite(kBst1Magic, 1, 4, f.get()) != 4)
         bsim_fatal("write failed on '", path, "'");
     const std::uint64_t n = accesses.size();
     if (std::fwrite(&n, sizeof n, 1, f.get()) != 1)
@@ -84,26 +84,10 @@ writeBinaryTrace(const std::string &path,
 std::vector<MemAccess>
 readBinaryTrace(const std::string &path)
 {
-    FilePtr f = openOrDie(path, "rb");
-    char magic[4];
-    if (std::fread(magic, 1, 4, f.get()) != 4 ||
-        std::memcmp(magic, kMagic, 4) != 0)
-        bsim_fatal("'", path, "' is not a BST1 trace");
-    std::uint64_t n = 0;
-    if (std::fread(&n, sizeof n, 1, f.get()) != 1)
-        bsim_fatal("truncated trace '", path, "'");
-    std::vector<MemAccess> out;
-    out.reserve(n);
-    for (std::uint64_t i = 0; i < n; ++i) {
-        MemAccess a;
-        std::uint8_t t = 0;
-        if (std::fread(&a.addr, sizeof a.addr, 1, f.get()) != 1 ||
-            std::fread(&t, sizeof t, 1, f.get()) != 1)
-            bsim_fatal("truncated trace '", path, "' at record ", i);
-        a.type = typeFromLabel(t, path);
-        out.push_back(a);
-    }
-    return out;
+    TraceReaderPtr reader = openTraceReader(path);
+    if (!startsWith(reader->format(), "BST"))
+        bsim_fatal("'", path, "' is not a BST1/BST2 binary trace");
+    return drainReader(*reader);
 }
 
 void
@@ -121,34 +105,15 @@ writeTextTrace(const std::string &path,
 std::vector<MemAccess>
 readTextTrace(const std::string &path)
 {
-    FilePtr f = openOrDie(path, "r");
-    std::vector<MemAccess> out;
-    char line[256];
-    std::size_t lineno = 0;
-    while (std::fgets(line, sizeof line, f.get())) {
-        ++lineno;
-        const char *p = line;
-        while (*p == ' ' || *p == '\t')
-            ++p;
-        if (*p == '\0' || *p == '\n' || *p == '#')
-            continue;
-        int label = 0;
-        unsigned long long addr = 0;
-        if (std::sscanf(p, "%d %llx", &label, &addr) != 2)
-            bsim_fatal("bad trace line ", lineno, " in '", path, "'");
-        out.push_back({static_cast<Addr>(addr),
-                       typeFromLabel(label, path)});
-    }
-    return out;
+    // Route through the streaming DineroReader so the error messages and
+    // parsing rules stay identical in both layers.
+    return drainReader(*openTextTraceReader(path));
 }
 
 std::vector<MemAccess>
 loadTrace(const std::string &path)
 {
-    if (path.size() >= 4 &&
-        path.compare(path.size() - 4, 4, ".bst") == 0)
-        return readBinaryTrace(path);
-    return readTextTrace(path);
+    return drainReader(*openTraceReader(path));
 }
 
 RecordingStream::RecordingStream(AccessStreamPtr child)
@@ -161,7 +126,10 @@ MemAccess
 RecordingStream::next()
 {
     const MemAccess a = child_->next();
-    recorded_.push_back(a);
+    if (limit_ == 0 || recorded_.size() < limit_)
+        recorded_.push_back(a);
+    else
+        ++dropped_;
     return a;
 }
 
@@ -169,6 +137,13 @@ void
 RecordingStream::reset()
 {
     child_->reset();
+}
+
+void
+RecordingStream::clearRecorded()
+{
+    recorded_.clear();
+    dropped_ = 0;
 }
 
 std::string

@@ -4,9 +4,16 @@
  * converted SimpleScalar/ChampSim traces) can drive every cache model, and
  * synthetic workloads can be captured for exact replay.
  *
- * Two formats:
- *  - binary ".bst": magic "BST1", u64 record count, then packed records
- *    of {u64 address, u8 type}
+ * These are the convenience whole-trace helpers (vectors in memory);
+ * large traces should go through the streaming layer instead
+ * (workload/trace_reader.hh), which all of the readers here are built
+ * on. Formats — dispatch is by case-insensitive extension, with `.gz`
+ * accepted on top of any of them (see docs/TRACES.md for the normative
+ * spec):
+ *  - binary ".bst": BST2 (chunked, seekable — written by
+ *    writeBst2Trace/Bst2Writer in workload/trace_format.hh) or the
+ *    legacy BST1 (magic "BST1", u64 record count, packed 9-byte
+ *    {u64 address, u8 type} records); readers sniff the magic.
  *  - text (Dinero-style "din"): one record per line, "<label> <hex-addr>"
  *    with label 0 = read, 1 = write, 2 = instruction fetch
  */
@@ -18,14 +25,20 @@
 #include <vector>
 
 #include "workload/access_stream.hh"
+#include "workload/trace_format.hh"
 
 namespace bsim {
 
-/** Write accesses to a binary .bst trace. Fatal on I/O failure. */
+/** Write accesses to a legacy binary BST1 trace. Fatal on I/O failure. */
 void writeBinaryTrace(const std::string &path,
                       const std::vector<MemAccess> &accesses);
 
-/** Read a binary .bst trace. Fatal on I/O or format failure. */
+/**
+ * Read a binary .bst trace (BST1 or BST2, sniffed by magic). Fatal on
+ * I/O or format failure, including a file shorter than its header
+ * declares (truncation is diagnosed with the format and path, never
+ * read as garbage records).
+ */
 std::vector<MemAccess> readBinaryTrace(const std::string &path);
 
 /** Write accesses in Dinero din text format. */
@@ -35,12 +48,23 @@ void writeTextTrace(const std::string &path,
 /** Read a Dinero din text trace; blank lines and '#' comments skipped. */
 std::vector<MemAccess> readTextTrace(const std::string &path);
 
-/** Load either format by extension (.bst = binary, anything else text). */
+/**
+ * Load a whole trace into memory, dispatching by case-insensitive
+ * extension: `.bst` (and `.bst.gz`) = binary, anything else = Dinero
+ * text (`.gz` also accepted). Fatal with the detected format and the
+ * offending path on any malformed or truncated input.
+ */
 std::vector<MemAccess> loadTrace(const std::string &path);
 
 /**
  * Wrap a stream, recording everything produced (for capture-then-replay
  * tests and the trace_analysis example).
+ *
+ * By default the recording grows without bound — fine for test-sized
+ * captures, not for long runs. setRecordLimit() caps it: once the limit
+ * is reached the wrapper keeps passing accesses through but stops
+ * recording (the first N accesses are kept, the overflow is counted in
+ * droppedCount()).
  */
 class RecordingStream : public AccessStream
 {
@@ -52,11 +76,24 @@ class RecordingStream : public AccessStream
     std::string name() const override;
 
     const std::vector<MemAccess> &recorded() const { return recorded_; }
-    void clearRecorded() { recorded_.clear(); }
+    void clearRecorded();
+
+    /**
+     * Cap the recording at @p limit accesses (0 = unlimited, the
+     * default). A limit below the current recording size keeps what was
+     * already recorded and stops there.
+     */
+    void setRecordLimit(std::size_t limit) { limit_ = limit; }
+    std::size_t recordLimit() const { return limit_; }
+
+    /** Accesses passed through but not recorded (limit overflow). */
+    std::uint64_t droppedCount() const { return dropped_; }
 
   private:
     AccessStreamPtr child_;
     std::vector<MemAccess> recorded_;
+    std::size_t limit_ = 0;
+    std::uint64_t dropped_ = 0;
 };
 
 } // namespace bsim

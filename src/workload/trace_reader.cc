@@ -1,0 +1,1012 @@
+#include "workload/trace_reader.hh"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#include "common/logging.hh"
+#include "common/strings.hh"
+
+#if BSIM_HAVE_ZLIB
+#include <zlib.h>
+#endif
+
+namespace bsim {
+
+namespace {
+
+// ---------------------------------------------------------------------
+// Byte sources: sequential reads over a plain or gzip-compressed file.
+// ---------------------------------------------------------------------
+
+class ByteSource
+{
+  public:
+    virtual ~ByteSource() = default;
+    /** Read up to @p n bytes; short counts only at EOF. Fatal on error. */
+    virtual std::size_t read(void *dst, std::size_t n) = 0;
+    virtual void rewind() = 0;
+};
+
+class FileByteSource : public ByteSource
+{
+  public:
+    explicit FileByteSource(const std::string &path) : path_(path)
+    {
+        file_ = std::fopen(path.c_str(), "rb");
+        if (!file_)
+            bsim_fatal("cannot open trace '", path, "'");
+    }
+    ~FileByteSource() override
+    {
+        if (file_)
+            std::fclose(file_);
+    }
+
+    std::size_t
+    read(void *dst, std::size_t n) override
+    {
+        const std::size_t got = std::fread(dst, 1, n, file_);
+        if (got < n && std::ferror(file_))
+            bsim_fatal("read error on trace '", path_, "'");
+        return got;
+    }
+
+    void
+    rewind() override
+    {
+        if (std::fseek(file_, 0, SEEK_SET) != 0)
+            bsim_fatal("cannot rewind trace '", path_, "'");
+    }
+
+  private:
+    std::string path_;
+    std::FILE *file_ = nullptr;
+};
+
+#if BSIM_HAVE_ZLIB
+/**
+ * The zlib-backed source behind `.gz` traces: streaming inflate via the
+ * gzFile API, so only one decompressed chunk is ever resident.
+ */
+class InflateSource : public ByteSource
+{
+  public:
+    explicit InflateSource(const std::string &path) : path_(path)
+    {
+        gz_ = gzopen(path.c_str(), "rb");
+        if (!gz_)
+            bsim_fatal("cannot open gzip trace '", path, "'");
+        gzbuffer(gz_, 256 * 1024);
+    }
+    ~InflateSource() override
+    {
+        if (gz_)
+            gzclose(gz_);
+    }
+
+    std::size_t
+    read(void *dst, std::size_t n) override
+    {
+        std::size_t total = 0;
+        while (total < n) {
+            const unsigned want = static_cast<unsigned>(
+                std::min<std::size_t>(n - total, 1u << 30));
+            const int got =
+                gzread(gz_, static_cast<char *>(dst) + total, want);
+            if (got < 0) {
+                int errnum = 0;
+                const char *msg = gzerror(gz_, &errnum);
+                bsim_fatal("gzip error on trace '", path_, "': ",
+                           msg ? msg : "unknown");
+            }
+            if (got == 0)
+                break; // EOF
+            total += static_cast<std::size_t>(got);
+        }
+        return total;
+    }
+
+    void
+    rewind() override
+    {
+        if (gzrewind(gz_) != 0)
+            bsim_fatal("cannot rewind gzip trace '", path_, "'");
+    }
+
+  private:
+    std::string path_;
+    gzFile gz_ = nullptr;
+};
+#endif // BSIM_HAVE_ZLIB
+
+bool
+hasSuffix(const std::string &lower, const char *suffix)
+{
+    const std::size_t n = std::strlen(suffix);
+    return lower.size() >= n &&
+           lower.compare(lower.size() - n, n, suffix) == 0;
+}
+
+bool
+isGzPath(const std::string &path)
+{
+    return hasSuffix(toLower(path), ".gz");
+}
+
+/** The extension that decides the format, with any ".gz" stripped. */
+std::string
+formatExtension(const std::string &path)
+{
+    std::string lower = toLower(path);
+    if (hasSuffix(lower, ".gz"))
+        lower.resize(lower.size() - 3);
+    const std::size_t dot = lower.rfind('.');
+    return dot == std::string::npos ? std::string() : lower.substr(dot);
+}
+
+std::unique_ptr<ByteSource>
+openByteSource(const std::string &path)
+{
+    if (isGzPath(path)) {
+#if BSIM_HAVE_ZLIB
+        return std::make_unique<InflateSource>(path);
+#else
+        bsim_fatal("'", path, "' is gzip-compressed but this build has "
+                   "no zlib; reconfigure with zlib installed or "
+                   "decompress the trace first");
+#endif
+    }
+    return std::make_unique<FileByteSource>(path);
+}
+
+std::uint64_t
+fileSizeOf(const std::string &path)
+{
+    struct stat st;
+    if (::stat(path.c_str(), &st) != 0)
+        bsim_fatal("cannot stat trace '", path, "'");
+    return static_cast<std::uint64_t>(st.st_size);
+}
+
+[[noreturn]] void
+fatalBadMagic(const std::string &path)
+{
+    bsim_fatal("'", path, "' is not a BST1/BST2 binary trace "
+               "(bad magic)");
+}
+
+// ---------------------------------------------------------------------
+// Zero-copy mmap reader for uncompressed BST2 files.
+// ---------------------------------------------------------------------
+
+/** RAII read-only mapping of a whole file. */
+class MappedFile
+{
+  public:
+    explicit MappedFile(const std::string &path)
+    {
+        const int fd = ::open(path.c_str(), O_RDONLY);
+        if (fd < 0)
+            bsim_fatal("cannot open trace '", path, "'");
+        struct stat st;
+        if (::fstat(fd, &st) != 0) {
+            ::close(fd);
+            bsim_fatal("cannot stat trace '", path, "'");
+        }
+        size_ = static_cast<std::size_t>(st.st_size);
+        if (size_ > 0) {
+            void *p = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+            if (p == MAP_FAILED) {
+                ::close(fd);
+                bsim_fatal("cannot mmap trace '", path, "'");
+            }
+            data_ = static_cast<const unsigned char *>(p);
+            ::madvise(const_cast<unsigned char *>(data_), size_,
+                      MADV_SEQUENTIAL);
+        }
+        ::close(fd);
+    }
+    ~MappedFile()
+    {
+        if (data_)
+            ::munmap(const_cast<unsigned char *>(data_), size_);
+    }
+    MappedFile(const MappedFile &) = delete;
+    MappedFile &operator=(const MappedFile &) = delete;
+
+    const unsigned char *data() const { return data_; }
+    std::size_t size() const { return size_; }
+
+    /**
+     * Tell the kernel the byte range [begin, end) will not be touched
+     * again, so its pages can be reclaimed. Keeps a sequential replay's
+     * resident set at O(chunk) instead of O(file). Re-touching dropped
+     * pages is still safe (clean read-only file pages re-fault from
+     * disk), so this is purely advisory and failure is ignored.
+     */
+    void
+    dropRange(std::size_t begin, std::size_t end) const
+    {
+        static const std::size_t page =
+            static_cast<std::size_t>(::sysconf(_SC_PAGESIZE));
+        begin = (begin + page - 1) & ~(page - 1); // round up
+        end &= ~(page - 1);                       // round down
+        if (data_ && begin < end)
+            ::madvise(const_cast<unsigned char *>(data_) + begin,
+                      end - begin, MADV_DONTNEED);
+    }
+
+  private:
+    const unsigned char *data_ = nullptr;
+    std::size_t size_ = 0;
+};
+
+/** Clamp @p shard to a window of @p total records; fatal if outside. */
+std::pair<std::uint64_t, std::uint64_t>
+shardWindow(const TraceShard &shard, std::uint64_t total,
+            const std::string &path)
+{
+    if (shard.firstRecord > total)
+        bsim_fatal("shard start ", shard.firstRecord, " beyond the ",
+                   total, " records of trace '", path, "'");
+    const std::uint64_t avail = total - shard.firstRecord;
+    const std::uint64_t count =
+        shard.recordCount == kUnknownRecordCount
+            ? avail
+            : std::min(shard.recordCount, avail);
+    return {shard.firstRecord, shard.firstRecord + count};
+}
+
+class Bst2MmapReader : public TraceReader
+{
+  public:
+    Bst2MmapReader(const std::string &path, const TraceShard &shard)
+        : path_(path), map_(path)
+    {
+        if (map_.size() < kBst2HeaderBytes)
+            bsim_fatal("truncated BST2 trace '", path, "': ", map_.size(),
+                       " bytes is smaller than the ", kBst2HeaderBytes,
+                       "-byte header");
+        std::string err;
+        if (std::memcmp(map_.data(), kBst2Magic, 4) != 0)
+            fatalBadMagic(path);
+        if (!decodeBst2Header(map_.data(), &header_, &err))
+            bsim_fatal("malformed BST2 trace '", path, "': ", err);
+        if (map_.size() != header_.fileBytes())
+            bsim_fatal("truncated BST2 trace '", path,
+                       "': header declares ", header_.recordCount,
+                       " records (", header_.fileBytes(),
+                       " bytes) but the file has ", map_.size(), " bytes");
+        std::tie(begin_, end_) =
+            shardWindow(shard, header_.recordCount, path);
+        pos_ = begin_;
+    }
+
+    std::uint64_t size() const override { return end_ - begin_; }
+    std::uint64_t position() const override { return pos_ - begin_; }
+    std::string format() const override { return "BST2/mmap"; }
+    const std::string &path() const override { return path_; }
+
+    void
+    reset() override
+    {
+        pos_ = begin_;
+        validatedChunk_ = kUnknownRecordCount;
+    }
+
+    std::span<const MemAccess>
+    nextSpan(std::size_t max_n) override
+    {
+        if (pos_ >= end_ || max_n == 0)
+            return {};
+        const std::uint64_t chunk = pos_ / header_.chunkLen;
+        if (chunk != validatedChunk_)
+            validateChunk(chunk);
+        const std::uint64_t chunk_first = chunk * header_.chunkLen;
+        const std::uint64_t chunk_end = std::min<std::uint64_t>(
+            chunk_first + header_.chunkLen, header_.recordCount);
+        const std::uint64_t n = std::min<std::uint64_t>(
+            {chunk_end - pos_, end_ - pos_, max_n});
+        const unsigned char *payload = map_.data() +
+                                       header_.chunkOffset(chunk) +
+                                       kBst2ChunkHeaderBytes;
+        std::span<const MemAccess> out;
+        if constexpr (kBst2RecordMatchesMemAccess) {
+            // The zero-copy path: the validated 16-byte LE records *are*
+            // MemAccess objects; hand a view into the mapping itself.
+            out = {reinterpret_cast<const MemAccess *>(payload) +
+                       (pos_ - chunk_first),
+                   static_cast<std::size_t>(n)};
+        } else {
+            convert_.resize(static_cast<std::size_t>(n));
+            for (std::uint64_t i = 0; i < n; ++i) {
+                const unsigned char *rec =
+                    payload + (pos_ - chunk_first + i) * kBst2RecordBytes;
+                std::uint64_t addr = 0;
+                for (int b = 7; b >= 0; --b)
+                    addr = addr << 8 | rec[b];
+                convert_[static_cast<std::size_t>(i)] = {
+                    addr, static_cast<AccessType>(rec[8])};
+            }
+            out = {convert_.data(), convert_.size()};
+        }
+        pos_ += n;
+        return out;
+    }
+
+  private:
+    void
+    validateChunk(std::uint64_t chunk)
+    {
+        const std::uint64_t first = chunk * header_.chunkLen;
+        const std::uint32_t records = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(header_.chunkLen,
+                                    header_.recordCount - first));
+        const unsigned char *hdr =
+            map_.data() + header_.chunkOffset(chunk);
+        std::string err;
+        if (!decodeBst2ChunkHeader(hdr, records, first, &err))
+            bsim_fatal("malformed BST2 trace '", path_, "' at chunk ",
+                       chunk, ": ", err);
+        const std::uint64_t bad = validateBst2Payload(
+            hdr + kBst2ChunkHeaderBytes, records);
+        if (bad != records)
+            bsim_fatal("malformed BST2 trace '", path_, "': record ",
+                       first + bad, " has a bad type/reserved field");
+        if (validatedChunk_ != kUnknownRecordCount)
+            map_.dropRange(
+                header_.chunkOffset(validatedChunk_),
+                std::min<std::uint64_t>(
+                    header_.chunkOffset(validatedChunk_ + 1),
+                    header_.fileBytes()));
+        validatedChunk_ = chunk;
+    }
+
+    std::string path_;
+    MappedFile map_;
+    Bst2Header header_;
+    std::uint64_t begin_ = 0, end_ = 0, pos_ = 0;
+    std::uint64_t validatedChunk_ = kUnknownRecordCount;
+    /** Big-endian fallback only; unused on the zero-copy path. */
+    std::vector<MemAccess> convert_;
+};
+
+// ---------------------------------------------------------------------
+// Buffered readers: one decoded chunk resident, any byte source.
+// ---------------------------------------------------------------------
+
+/**
+ * Common machinery for the converting formats (BST1, BST2-over-gzip,
+ * Dinero text): subclasses decode up to a buffer's worth of records per
+ * refill; windowing (shard skip + cap) is handled here.
+ */
+class BufferedReader : public TraceReader
+{
+  public:
+    BufferedReader(const std::string &path, const TraceShard &shard,
+                   std::size_t buf_records)
+        : path_(path), shard_(shard)
+    {
+        buf_.resize(buf_records);
+    }
+
+    std::uint64_t position() const override { return handed_; }
+    const std::string &path() const override { return path_; }
+
+    std::span<const MemAccess>
+    nextSpan(std::size_t max_n) override
+    {
+        if (!skipped_)
+            skipToWindow();
+        if (handed_ >= windowCount_ || max_n == 0)
+            return {};
+        if (bufPos_ == bufLen_) {
+            bufPos_ = 0;
+            bufLen_ = refill(buf_.data(), buf_.size());
+            if (bufLen_ == 0) {
+                sawEof();
+                windowCount_ = handed_;
+                return {};
+            }
+        }
+        const std::size_t n = static_cast<std::size_t>(
+            std::min<std::uint64_t>(
+                {bufLen_ - bufPos_, windowCount_ - handed_, max_n}));
+        std::span<const MemAccess> out(buf_.data() + bufPos_, n);
+        bufPos_ += n;
+        handed_ += n;
+        return out;
+    }
+
+    void
+    reset() override
+    {
+        restart();
+        bufPos_ = bufLen_ = 0;
+        handed_ = 0;
+        skipped_ = false;
+    }
+
+  protected:
+    /** Decode up to @p max records into @p dst; 0 at end of input. */
+    virtual std::size_t refill(MemAccess *dst, std::size_t max) = 0;
+    /** Rewind the underlying input to the first record. */
+    virtual void restart() = 0;
+    /** Total records the input holds, or kUnknownRecordCount. */
+    virtual std::uint64_t inputCount() const = 0;
+    /** Called once the input is exhausted (text readers learn size()). */
+    virtual void sawEof() {}
+
+    /** Window size for size(); recomputed after shard skip / EOF. */
+    std::uint64_t
+    windowOrUnknown() const
+    {
+        if (skipped_ && windowCount_ != kUnknownRecordCount)
+            return windowCount_;
+        if (inputCount() == kUnknownRecordCount)
+            return kUnknownRecordCount;
+        const auto [b, e] = shardWindow(shard_, inputCount(), path_);
+        return e - b;
+    }
+
+    const std::string path_;
+
+  private:
+    void
+    skipToWindow()
+    {
+        skipped_ = true;
+        // Sequential inputs reach the window start by decode-and-discard
+        // (documented cost for compressed/text shards; the mmap reader
+        // seeks instead).
+        std::uint64_t left = shard_.firstRecord;
+        while (left > 0) {
+            const std::size_t got = refill(
+                buf_.data(),
+                static_cast<std::size_t>(std::min<std::uint64_t>(
+                    left, buf_.size())));
+            if (got == 0) {
+                if (inputCount() != kUnknownRecordCount)
+                    bsim_fatal("shard start ", shard_.firstRecord,
+                               " beyond the ", inputCount(),
+                               " records of trace '", path_, "'");
+                bsim_fatal("shard start ", shard_.firstRecord,
+                           " beyond the end of trace '", path_, "'");
+            }
+            left -= got;
+        }
+        if (inputCount() != kUnknownRecordCount) {
+            const auto [b, e] = shardWindow(shard_, inputCount(), path_);
+            windowCount_ = e - b;
+        } else {
+            windowCount_ = shard_.recordCount;
+        }
+    }
+
+    TraceShard shard_;
+    std::vector<MemAccess> buf_;
+    std::size_t bufPos_ = 0, bufLen_ = 0;
+    std::uint64_t handed_ = 0;
+    std::uint64_t windowCount_ = kUnknownRecordCount;
+    bool skipped_ = false;
+};
+
+/** Records a buffered decode loop works through per refill. */
+constexpr std::size_t kBufferRecords = 65536;
+
+class Bst1Reader : public BufferedReader
+{
+  public:
+    Bst1Reader(const std::string &path, const TraceShard &shard,
+               std::unique_ptr<ByteSource> src, bool compressed)
+        : BufferedReader(path, shard, kBufferRecords),
+          src_(std::move(src)), compressed_(compressed)
+    {
+        readHeader();
+        if (!compressed_) {
+            // Plain files can be checked up front: a header that
+            // declares more records than the bytes on disk would
+            // otherwise read garbage or fail deep into a run.
+            const std::uint64_t expect =
+                kBst1HeaderBytes + declared_ * kBst1RecordBytes;
+            const std::uint64_t actual = fileSizeOf(path);
+            if (actual != expect)
+                bsim_fatal("truncated BST1 trace '", path,
+                           "': header declares ", declared_,
+                           " records (", expect,
+                           " bytes) but the file has ", actual, " bytes");
+        }
+    }
+
+    std::uint64_t size() const override { return windowOrUnknown(); }
+    std::string
+    format() const override
+    {
+        return compressed_ ? "BST1/gzip" : "BST1";
+    }
+
+  protected:
+    std::size_t
+    refill(MemAccess *dst, std::size_t max) override
+    {
+        const std::uint64_t left = declared_ - decoded_;
+        const std::size_t want = static_cast<std::size_t>(
+            std::min<std::uint64_t>(left, max));
+        if (want == 0)
+            return 0;
+        raw_.resize(want * kBst1RecordBytes);
+        const std::size_t got_bytes = src_->read(raw_.data(), raw_.size());
+        const std::size_t got = got_bytes / kBst1RecordBytes;
+        if (got < want && got_bytes != got * kBst1RecordBytes)
+            bsim_fatal("truncated BST1 trace '", path_, "' at record ",
+                       decoded_ + got, " of ", declared_);
+        if (got == 0 && want > 0)
+            bsim_fatal("truncated BST1 trace '", path_,
+                       "': header declares ", declared_,
+                       " records but the data ends at record ", decoded_);
+        for (std::size_t i = 0; i < got; ++i) {
+            const unsigned char *rec = raw_.data() + i * kBst1RecordBytes;
+            std::uint64_t addr = 0;
+            for (int b = 7; b >= 0; --b)
+                addr = addr << 8 | rec[b];
+            if (rec[8] > 2)
+                bsim_fatal("bad record label ", int{rec[8]},
+                           " in BST1 trace '", path_, "' at record ",
+                           decoded_ + i);
+            dst[i] = {addr, static_cast<AccessType>(rec[8])};
+        }
+        decoded_ += got;
+        return got;
+    }
+
+    void
+    restart() override
+    {
+        src_->rewind();
+        decoded_ = 0;
+        readHeader();
+    }
+
+    std::uint64_t inputCount() const override { return declared_; }
+
+  private:
+    void
+    readHeader()
+    {
+        unsigned char hdr[kBst1HeaderBytes];
+        if (src_->read(hdr, sizeof hdr) != sizeof hdr)
+            bsim_fatal("truncated BST1 trace '", path_,
+                       "': missing header");
+        if (std::memcmp(hdr, kBst1Magic, 4) != 0)
+            fatalBadMagic(path_);
+        declared_ = 0;
+        for (int b = 11; b >= 4; --b)
+            declared_ = declared_ << 8 | hdr[b];
+    }
+
+    std::unique_ptr<ByteSource> src_;
+    bool compressed_;
+    std::uint64_t declared_ = 0, decoded_ = 0;
+    std::vector<unsigned char> raw_;
+};
+
+/** BST2 over a sequential source (the `.bst.gz` path). */
+class Bst2SourceReader : public BufferedReader
+{
+  public:
+    Bst2SourceReader(const std::string &path, const TraceShard &shard,
+                     std::unique_ptr<ByteSource> src)
+        : BufferedReader(path, shard, kBufferRecords),
+          src_(std::move(src))
+    {
+        readHeader();
+    }
+
+    std::uint64_t size() const override { return windowOrUnknown(); }
+    std::string format() const override { return "BST2/gzip"; }
+
+  protected:
+    std::size_t
+    refill(MemAccess *dst, std::size_t max) override
+    {
+        std::size_t out = 0;
+        while (out < max && decoded_ < header_.recordCount) {
+            if (chunkLeft_ == 0)
+                openChunk();
+            const std::size_t want = static_cast<std::size_t>(
+                std::min<std::uint64_t>(chunkLeft_, max - out));
+            raw_.resize(want * kBst2RecordBytes);
+            if (src_->read(raw_.data(), raw_.size()) != raw_.size())
+                bsim_fatal("truncated BST2 trace '", path_,
+                           "': header declares ", header_.recordCount,
+                           " records but the data ends at record ",
+                           decoded_);
+            const std::uint64_t bad =
+                validateBst2Payload(raw_.data(), want);
+            if (bad != want)
+                bsim_fatal("malformed BST2 trace '", path_, "': record ",
+                           decoded_ + bad,
+                           " has a bad type/reserved field");
+            for (std::size_t i = 0; i < want; ++i) {
+                const unsigned char *rec =
+                    raw_.data() + i * kBst2RecordBytes;
+                std::uint64_t addr = 0;
+                for (int b = 7; b >= 0; --b)
+                    addr = addr << 8 | rec[b];
+                dst[out + i] = {addr, static_cast<AccessType>(rec[8])};
+            }
+            decoded_ += want;
+            chunkLeft_ -= want;
+            out += want;
+        }
+        return out;
+    }
+
+    void
+    restart() override
+    {
+        src_->rewind();
+        decoded_ = 0;
+        chunkLeft_ = 0;
+        readHeader();
+    }
+
+    std::uint64_t inputCount() const override
+    {
+        return header_.recordCount;
+    }
+
+  private:
+    void
+    readHeader()
+    {
+        unsigned char hdr[kBst2HeaderBytes];
+        if (src_->read(hdr, sizeof hdr) != sizeof hdr)
+            bsim_fatal("truncated BST2 trace '", path_,
+                       "': missing header");
+        std::string err;
+        if (std::memcmp(hdr, kBst2Magic, 4) != 0)
+            fatalBadMagic(path_);
+        if (!decodeBst2Header(hdr, &header_, &err))
+            bsim_fatal("malformed BST2 trace '", path_, "': ", err);
+    }
+
+    void
+    openChunk()
+    {
+        unsigned char hdr[kBst2ChunkHeaderBytes];
+        if (src_->read(hdr, sizeof hdr) != sizeof hdr)
+            bsim_fatal("truncated BST2 trace '", path_,
+                       "': header declares ", header_.recordCount,
+                       " records but the data ends at record ", decoded_);
+        const std::uint32_t expect = static_cast<std::uint32_t>(
+            std::min<std::uint64_t>(header_.chunkLen,
+                                    header_.recordCount - decoded_));
+        std::string err;
+        if (!decodeBst2ChunkHeader(hdr, expect, decoded_, &err))
+            bsim_fatal("malformed BST2 trace '", path_, "' at record ",
+                       decoded_, ": ", err);
+        chunkLeft_ = expect;
+    }
+
+    std::unique_ptr<ByteSource> src_;
+    Bst2Header header_;
+    std::uint64_t decoded_ = 0;
+    std::uint64_t chunkLeft_ = 0;
+    std::vector<unsigned char> raw_;
+};
+
+/** Dinero text ("label hex-addr" per line), plain or gzipped. */
+class DineroReader : public BufferedReader
+{
+  public:
+    DineroReader(const std::string &path, const TraceShard &shard,
+                 std::unique_ptr<ByteSource> src, bool compressed)
+        : BufferedReader(path, shard, kBufferRecords),
+          src_(std::move(src)), compressed_(compressed)
+    {
+    }
+
+    std::uint64_t size() const override { return windowOrUnknown(); }
+    std::string
+    format() const override
+    {
+        return compressed_ ? "dinero/gzip" : "dinero";
+    }
+
+  protected:
+    std::size_t
+    refill(MemAccess *dst, std::size_t max) override
+    {
+        std::size_t out = 0;
+        while (out < max) {
+            if (linePos_ == lineLen_ && !fillText())
+                break;
+            // Assemble one line across text-buffer refills.
+            line_.clear();
+            bool complete = false;
+            while (!complete) {
+                while (linePos_ < lineLen_) {
+                    const char c = text_[linePos_++];
+                    if (c == '\n') {
+                        complete = true;
+                        break;
+                    }
+                    line_.push_back(c);
+                }
+                if (!complete && !fillText()) {
+                    complete = true; // final unterminated line
+                    eof_ = true;
+                }
+            }
+            ++lineno_;
+            const char *p = line_.c_str();
+            while (*p == ' ' || *p == '\t')
+                ++p;
+            if (*p == '\0' || *p == '#')
+                continue;
+            int label = 0;
+            unsigned long long addr = 0;
+            if (std::sscanf(p, "%d %llx", &label, &addr) != 2)
+                bsim_fatal("bad trace line ", lineno_, " in '", path_,
+                           "'");
+            if (label < 0 || label > 2)
+                bsim_fatal("bad record label ", label, " in '", path_,
+                           "'");
+            dst[out++] = {static_cast<Addr>(addr),
+                          static_cast<AccessType>(label)};
+        }
+        count_ += out;
+        return out;
+    }
+
+    void
+    restart() override
+    {
+        src_->rewind();
+        linePos_ = lineLen_ = 0;
+        lineno_ = 0;
+        eof_ = false;
+        count_ = 0;
+    }
+
+    std::uint64_t
+    inputCount() const override
+    {
+        return total_;
+    }
+
+    void
+    sawEof() override
+    {
+        total_ = count_;
+    }
+
+  private:
+    bool
+    fillText()
+    {
+        if (eof_)
+            return false;
+        lineLen_ = src_->read(text_, sizeof text_);
+        linePos_ = 0;
+        if (lineLen_ == 0)
+            eof_ = true;
+        return lineLen_ > 0;
+    }
+
+    std::unique_ptr<ByteSource> src_;
+    bool compressed_;
+    char text_[64 * 1024];
+    std::size_t linePos_ = 0, lineLen_ = 0;
+    std::string line_;
+    std::size_t lineno_ = 0;
+    bool eof_ = false;
+    /** Records decoded since restart / total once EOF has been seen. */
+    std::uint64_t count_ = 0;
+    std::uint64_t total_ = kUnknownRecordCount;
+};
+
+/** Read the leading magic through a source (handles gz transparently). */
+std::string
+sniffMagic(const std::string &path)
+{
+    auto src = openByteSource(path);
+    char magic[4] = {0, 0, 0, 0};
+    src->read(magic, sizeof magic);
+    return std::string(magic, 4);
+}
+
+} // namespace
+
+bool
+zlibAvailable()
+{
+#if BSIM_HAVE_ZLIB
+    return true;
+#else
+    return false;
+#endif
+}
+
+void
+gzipFile(const std::string &src, const std::string &dst)
+{
+#if BSIM_HAVE_ZLIB
+    FileByteSource in(src);
+    gzFile out = gzopen(dst.c_str(), "wb");
+    if (!out)
+        bsim_fatal("cannot open '", dst, "' for writing");
+    char buf[64 * 1024];
+    std::size_t n;
+    while ((n = in.read(buf, sizeof buf)) > 0) {
+        if (gzwrite(out, buf, static_cast<unsigned>(n)) !=
+            static_cast<int>(n)) {
+            gzclose(out);
+            bsim_fatal("gzip write failed on '", dst, "'");
+        }
+    }
+    if (gzclose(out) != Z_OK)
+        bsim_fatal("gzip close failed on '", dst, "'");
+#else
+    bsim_fatal("cannot write gzip file '", dst,
+               "': this build has no zlib");
+#endif
+}
+
+TraceReaderPtr
+openTraceReader(const std::string &path, const TraceShard &shard)
+{
+    const bool gz = isGzPath(path);
+    if (formatExtension(path) == ".bst") {
+        const std::string magic = sniffMagic(path);
+        if (magic == std::string(kBst2Magic, 4)) {
+            if (!gz)
+                return std::make_unique<Bst2MmapReader>(path, shard);
+            return std::make_unique<Bst2SourceReader>(
+                path, shard, openByteSource(path));
+        }
+        if (magic == std::string(kBst1Magic, 4))
+            return std::make_unique<Bst1Reader>(
+                path, shard, openByteSource(path), gz);
+        fatalBadMagic(path);
+    }
+    return std::make_unique<DineroReader>(path, shard,
+                                          openByteSource(path), gz);
+}
+
+TraceReaderPtr
+openTextTraceReader(const std::string &path, const TraceShard &shard)
+{
+    return std::make_unique<DineroReader>(path, shard,
+                                          openByteSource(path),
+                                          isGzPath(path));
+}
+
+TraceInfo
+probeTrace(const std::string &path)
+{
+    TraceInfo info;
+    info.compressed = isGzPath(path);
+    if (formatExtension(path) != ".bst") {
+        info.format = "dinero";
+        return info;
+    }
+    auto src = openByteSource(path);
+    unsigned char hdr[kBst2HeaderBytes];
+    const std::size_t got = src->read(hdr, sizeof hdr);
+    if (got >= 4 && std::memcmp(hdr, kBst2Magic, 4) == 0) {
+        if (got < kBst2HeaderBytes)
+            bsim_fatal("truncated BST2 trace '", path,
+                       "': missing header");
+        Bst2Header h;
+        std::string err;
+        if (!decodeBst2Header(hdr, &h, &err))
+            bsim_fatal("malformed BST2 trace '", path, "': ", err);
+        info.format = "BST2";
+        info.recordCount = h.recordCount;
+        info.chunkLen = h.chunkLen;
+        info.addrBits = h.addrBits;
+        return info;
+    }
+    if (got >= 4 && std::memcmp(hdr, kBst1Magic, 4) == 0) {
+        if (got < kBst1HeaderBytes)
+            bsim_fatal("truncated BST1 trace '", path,
+                       "': missing header");
+        info.format = "BST1";
+        info.recordCount = 0;
+        for (int b = 11; b >= 4; --b)
+            info.recordCount = info.recordCount << 8 | hdr[b];
+        return info;
+    }
+    fatalBadMagic(path);
+}
+
+// ---------------------------------------------------------------------
+// TraceStream
+// ---------------------------------------------------------------------
+
+TraceStream::TraceStream(TraceReaderPtr reader, bool cycle)
+    : reader_(std::move(reader)), cycle_(cycle)
+{
+    bsim_assert(reader_ != nullptr);
+}
+
+bool
+TraceStream::refill(std::size_t max_n)
+{
+    pending_ = reader_->nextSpan(max_n);
+    if (pending_.empty() && cycle_ && reader_->position() > 0) {
+        reader_->reset();
+        pending_ = reader_->nextSpan(max_n);
+    }
+    return !pending_.empty();
+}
+
+MemAccess
+TraceStream::next()
+{
+    if (pending_.empty() && !refill(kBufferRecords))
+        bsim_fatal("trace '", reader_->path(), "' (", reader_->format(),
+                   ") exhausted after ", reader_->position(), " records");
+    const MemAccess a = pending_.front();
+    pending_ = pending_.subspan(1);
+    return a;
+}
+
+void
+TraceStream::nextBatch(MemAccess *dst, std::size_t n)
+{
+    std::size_t filled = 0;
+    while (filled < n) {
+        if (pending_.empty() && !refill(n - filled))
+            bsim_fatal("trace '", reader_->path(), "' (",
+                       reader_->format(), ") exhausted after ",
+                       reader_->position(), " records (batch needs ",
+                       n - filled, " more)");
+        const std::size_t take =
+            std::min(pending_.size(), n - filled);
+        std::memcpy(dst + filled, pending_.data(),
+                    take * sizeof(MemAccess));
+        pending_ = pending_.subspan(take);
+        filled += take;
+    }
+}
+
+std::span<const MemAccess>
+TraceStream::nextSpan(std::size_t max_n)
+{
+    if (!pending_.empty()) {
+        const std::size_t take = std::min(pending_.size(), max_n);
+        std::span<const MemAccess> out = pending_.first(take);
+        pending_ = pending_.subspan(take);
+        return out;
+    }
+    if (!refill(max_n))
+        return {};
+    const std::size_t take = std::min(pending_.size(), max_n);
+    std::span<const MemAccess> out = pending_.first(take);
+    pending_ = pending_.subspan(take);
+    return out;
+}
+
+void
+TraceStream::reset()
+{
+    reader_->reset();
+    pending_ = {};
+}
+
+std::string
+TraceStream::name() const
+{
+    return "trace(" + reader_->path() + ")";
+}
+
+} // namespace bsim

@@ -97,7 +97,8 @@ TEST_F(TraceTest, BadMagicIsFatal)
     std::fwrite("NOPE", 1, 4, f);
     std::fclose(f);
     EXPECT_EXIT(readBinaryTrace(path("bad.bst")),
-                ::testing::ExitedWithCode(1), "not a BST1 trace");
+                ::testing::ExitedWithCode(1),
+                "not a BST1/BST2 binary trace");
 }
 
 TEST_F(TraceTest, MissingFileIsFatal)

@@ -1,0 +1,343 @@
+/**
+ * Unit tests for the streaming trace layer (workload/trace_reader and
+ * workload/trace_format): BST2/BST1/Dinero/gzip round trips through
+ * TraceReader spans at awkward chunk boundaries, shard windows, header
+ * probing, truncation diagnostics, case-insensitive dispatch, and the
+ * TraceStream adapter feeding the batched hot path.
+ */
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "workload/generators.hh"
+#include "workload/trace.hh"
+#include "workload/trace_format.hh"
+#include "workload/trace_reader.hh"
+
+namespace bsim {
+namespace {
+
+class TraceReaderTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        dir_ = std::filesystem::temp_directory_path() /
+               ("bsim_trace_reader_test_" + std::to_string(::getpid()));
+        std::filesystem::create_directories(dir_);
+    }
+    void TearDown() override { std::filesystem::remove_all(dir_); }
+
+    std::string path(const std::string &name) const
+    {
+        return (dir_ / name).string();
+    }
+
+    std::filesystem::path dir_;
+};
+
+/** Deterministic mixed-type trace of @p n records. */
+std::vector<MemAccess>
+sampleTrace(std::size_t n)
+{
+    std::vector<MemAccess> t;
+    t.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        const auto type = i % 7 == 3   ? AccessType::Write
+                          : i % 5 == 4 ? AccessType::Fetch
+                                       : AccessType::Read;
+        t.push_back({0x1000 + Addr(i) * 24, type});
+    }
+    return t;
+}
+
+/** Drain @p reader through nextSpan(max_n) into a vector. */
+std::vector<MemAccess>
+drain(TraceReader &reader, std::size_t max_n)
+{
+    std::vector<MemAccess> out;
+    for (;;) {
+        const std::span<const MemAccess> s = reader.nextSpan(max_n);
+        if (s.empty())
+            break;
+        out.insert(out.end(), s.begin(), s.end());
+    }
+    return out;
+}
+
+void
+expectSame(const std::vector<MemAccess> &got,
+           const std::vector<MemAccess> &want, std::size_t from = 0,
+           std::size_t count = ~std::size_t{0})
+{
+    if (count == ~std::size_t{0})
+        count = want.size() - from;
+    ASSERT_EQ(got.size(), count);
+    for (std::size_t i = 0; i < count; ++i) {
+        EXPECT_EQ(got[i].addr, want[from + i].addr) << "record " << i;
+        EXPECT_EQ(got[i].type, want[from + i].type) << "record " << i;
+    }
+}
+
+TEST_F(TraceReaderTest, Bst2RoundTripsAtAwkwardSizes)
+{
+    // Chunk length 8 so even tiny traces span several chunks; sizes
+    // straddle every boundary case (empty, one, chunk-1, chunk,
+    // chunk+1, several chunks + partial tail).
+    for (const std::size_t n : {0u, 1u, 7u, 8u, 9u, 100u}) {
+        const auto in = sampleTrace(n);
+        const std::string p = path("rt" + std::to_string(n) + ".bst");
+        writeBst2Trace(p, in, 8);
+        // Odd span clamps exercise spans that stop mid-chunk.
+        for (const std::size_t max_n : {1u, 3u, 8u, 64u}) {
+            auto reader = openTraceReader(p);
+            EXPECT_EQ(reader->size(), n);
+            EXPECT_TRUE(reader->format().starts_with("BST2"));
+            expectSame(drain(*reader, max_n), in);
+        }
+    }
+}
+
+TEST_F(TraceReaderTest, Bst2SpansNeverCrossChunks)
+{
+    const auto in = sampleTrace(20);
+    writeBst2Trace(path("c.bst"), in, 8);
+    auto reader = openTraceReader(path("c.bst"));
+    // Asking for more than a chunk still returns at most one chunk.
+    EXPECT_EQ(reader->nextSpan(1000).size(), 8u);
+    EXPECT_EQ(reader->nextSpan(1000).size(), 8u);
+    EXPECT_EQ(reader->nextSpan(1000).size(), 4u);
+    EXPECT_TRUE(reader->nextSpan(1000).empty());
+}
+
+TEST_F(TraceReaderTest, Bst2ResetRestartsTheWindow)
+{
+    const auto in = sampleTrace(30);
+    writeBst2Trace(path("r.bst"), in, 8);
+    auto reader = openTraceReader(path("r.bst"));
+    drain(*reader, 7);
+    reader->reset();
+    EXPECT_EQ(reader->position(), 0u);
+    expectSame(drain(*reader, 13), in);
+}
+
+TEST_F(TraceReaderTest, ShardWindowsMidFile)
+{
+    const auto in = sampleTrace(50);
+    writeBst2Trace(path("s.bst"), in, 8);
+    // Windows at chunk-aligned and deliberately unaligned starts.
+    for (const auto &[first, count] :
+         {std::pair<std::uint64_t, std::uint64_t>{0, 10},
+          {8, 16},
+          {5, 11},
+          {40, 10},
+          {48, 2}}) {
+        auto reader =
+            openTraceReader(path("s.bst"), TraceShard{first, count});
+        EXPECT_EQ(reader->size(), count);
+        expectSame(drain(*reader, 9), in, first, count);
+    }
+    // recordCount == kUnknownRecordCount runs through end of file.
+    auto tail = openTraceReader(path("s.bst"), TraceShard{45});
+    expectSame(drain(*tail, 64), in, 45, 5);
+}
+
+TEST_F(TraceReaderTest, ShardClampsAndRejects)
+{
+    const auto in = sampleTrace(10);
+    writeBst2Trace(path("cl.bst"), in, 8);
+    // A window reaching past EOF is clamped...
+    auto reader =
+        openTraceReader(path("cl.bst"), TraceShard{8, 1000});
+    expectSame(drain(*reader, 64), in, 8, 2);
+    // ...but a start beyond the file is a configuration error.
+    EXPECT_EXIT(openTraceReader(path("cl.bst"), TraceShard{11, 1}),
+                ::testing::ExitedWithCode(1), "shard start");
+}
+
+TEST_F(TraceReaderTest, Bst1RoundTripAndShards)
+{
+    const auto in = sampleTrace(40);
+    writeBinaryTrace(path("v1.bst"), in); // legacy flat BST1
+    auto reader = openTraceReader(path("v1.bst"));
+    EXPECT_TRUE(reader->format().starts_with("BST1"));
+    EXPECT_EQ(reader->size(), 40u);
+    expectSame(drain(*reader, 7), in);
+    auto window =
+        openTraceReader(path("v1.bst"), TraceShard{13, 9});
+    expectSame(drain(*window, 4), in, 13, 9);
+}
+
+TEST_F(TraceReaderTest, DineroRoundTripAndShards)
+{
+    const auto in = sampleTrace(25);
+    writeTextTrace(path("t.din"), in);
+    auto reader = openTraceReader(path("t.din"));
+    EXPECT_TRUE(reader->format().starts_with("dinero"));
+    EXPECT_EQ(reader->size(), kUnknownRecordCount);
+    expectSame(drain(*reader, 6), in);
+    // Sequential sources satisfy windows by decode-and-discard.
+    auto window = openTraceReader(path("t.din"), TraceShard{10, 5});
+    expectSame(drain(*window, 64), in, 10, 5);
+}
+
+TEST_F(TraceReaderTest, GzipRoundTripsWhenZlibPresent)
+{
+    if (!zlibAvailable())
+        GTEST_SKIP() << "built without zlib";
+    const auto in = sampleTrace(60);
+    writeBst2Trace(path("g.bst"), in, 16);
+    gzipFile(path("g.bst"), path("g2.bst.gz"));
+    auto reader = openTraceReader(path("g2.bst.gz"));
+    EXPECT_TRUE(reader->format().starts_with("BST2"));
+    EXPECT_EQ(reader->size(), 60u);
+    expectSame(drain(*reader, 11), in);
+    // Windowing works on the sequential inflate path too.
+    auto window =
+        openTraceReader(path("g2.bst.gz"), TraceShard{17, 20});
+    expectSame(drain(*window, 7), in, 17, 20);
+
+    writeTextTrace(path("g.din"), in);
+    gzipFile(path("g.din"), path("g3.din.gz"));
+    expectSame(drain(*openTraceReader(path("g3.din.gz")), 64), in);
+}
+
+TEST_F(TraceReaderTest, CaseInsensitiveExtensionDispatch)
+{
+    const auto in = sampleTrace(12);
+    writeBst2Trace(path("UPPER.BST"), in, 8);
+    EXPECT_TRUE(openTraceReader(path("UPPER.BST"))
+                    ->format()
+                    .starts_with("BST2"));
+    writeTextTrace(path("MiXeD.DiN"), in);
+    EXPECT_TRUE(openTraceReader(path("MiXeD.DiN"))
+                    ->format()
+                    .starts_with("dinero"));
+    expectSame(loadTrace(path("UPPER.BST")), in);
+    expectSame(loadTrace(path("MiXeD.DiN")), in);
+}
+
+TEST_F(TraceReaderTest, TruncatedBst2IsFatalNotGarbage)
+{
+    const auto in = sampleTrace(100);
+    writeBst2Trace(path("full.bst"), in, 16);
+    // Chop the file mid-payload: the mmap reader must refuse up front
+    // (header/file-size cross-check), naming format and path.
+    std::error_code ec;
+    const auto full = std::filesystem::file_size(path("full.bst"), ec);
+    std::filesystem::resize_file(path("full.bst"), full - 40, ec);
+    ASSERT_FALSE(ec);
+    EXPECT_EXIT(openTraceReader(path("full.bst")),
+                ::testing::ExitedWithCode(1), "truncated BST2 trace");
+}
+
+TEST_F(TraceReaderTest, TruncatedBst2HeaderIsFatal)
+{
+    std::FILE *f = std::fopen(path("hdr.bst").c_str(), "wb");
+    std::fwrite(kBst2Magic, 1, 4, f);
+    std::fclose(f);
+    EXPECT_EXIT(openTraceReader(path("hdr.bst")),
+                ::testing::ExitedWithCode(1), "truncated BST2 trace");
+}
+
+TEST_F(TraceReaderTest, TruncatedBst1IsFatalNotGarbage)
+{
+    const auto in = sampleTrace(50);
+    writeBinaryTrace(path("v1.bst"), in);
+    std::error_code ec;
+    const auto full = std::filesystem::file_size(path("v1.bst"), ec);
+    std::filesystem::resize_file(path("v1.bst"), full - 5, ec);
+    ASSERT_FALSE(ec);
+    EXPECT_EXIT(loadTrace(path("v1.bst")),
+                ::testing::ExitedWithCode(1), "truncated BST1 trace");
+}
+
+TEST_F(TraceReaderTest, CorruptBst2PayloadIsFatal)
+{
+    const auto in = sampleTrace(10);
+    writeBst2Trace(path("p.bst"), in, 8);
+    // Scribble a bad type byte into record 3's tail (offset 8 of the
+    // 16-byte record): validation must name the record.
+    std::FILE *f = std::fopen(path("p.bst").c_str(), "r+b");
+    const long off = long(kBst2HeaderBytes + kBst2ChunkHeaderBytes +
+                          3 * kBst2RecordBytes + 8);
+    std::fseek(f, off, SEEK_SET);
+    std::fputc(0x77, f);
+    std::fclose(f);
+    // Validation is per chunk on first use, so the death happens on
+    // the draining read, not at open.
+    EXPECT_EXIT(drain(*openTraceReader(path("p.bst")), 64),
+                ::testing::ExitedWithCode(1), "malformed BST2 trace");
+}
+
+TEST_F(TraceReaderTest, ProbeReportsHeaderFacts)
+{
+    const auto in = sampleTrace(33);
+    writeBst2Trace(path("i.bst"), in, 8);
+    const TraceInfo info = probeTrace(path("i.bst"));
+    EXPECT_EQ(info.format, "BST2");
+    EXPECT_EQ(info.recordCount, 33u);
+    EXPECT_EQ(info.chunkLen, 8u);
+    EXPECT_GT(info.addrBits, 0u);
+    EXPECT_FALSE(info.compressed);
+
+    writeTextTrace(path("i.din"), in);
+    const TraceInfo text = probeTrace(path("i.din"));
+    EXPECT_EQ(text.format, "dinero");
+    EXPECT_EQ(text.recordCount, kUnknownRecordCount);
+}
+
+TEST_F(TraceReaderTest, TraceStreamCyclesLikeVectorStream)
+{
+    const auto in = sampleTrace(10);
+    writeBst2Trace(path("cy.bst"), in, 4);
+    TraceStream stream(openTraceReader(path("cy.bst")));
+    ASSERT_TRUE(stream.hasSpanBatches());
+    for (int lap = 0; lap < 3; ++lap)
+        for (std::size_t i = 0; i < in.size(); ++i)
+            EXPECT_EQ(stream.next().addr, in[i].addr)
+                << "lap " << lap << " record " << i;
+}
+
+TEST_F(TraceReaderTest, NonCyclingTraceStreamExhausts)
+{
+    const auto in = sampleTrace(6);
+    writeBst2Trace(path("nc.bst"), in, 4);
+    TraceStream stream(openTraceReader(path("nc.bst")),
+                       /*cycle=*/false);
+    std::size_t seen = 0;
+    for (;;) {
+        const std::span<const MemAccess> s = stream.nextSpan(4);
+        if (s.empty())
+            break;
+        seen += s.size();
+    }
+    EXPECT_EQ(seen, in.size());
+    // Demanding more from an exhausted bounded stream is fatal (the
+    // runner would otherwise spin on a phantom workload).
+    EXPECT_EXIT(stream.next(), ::testing::ExitedWithCode(1),
+                "exhausted");
+}
+
+TEST(RecordingStreamLimit, CapsAndCountsOverflow)
+{
+    RecordingStream rec(
+        std::make_unique<SequentialStream>(0, 4096, 8));
+    rec.setRecordLimit(16);
+    for (int i = 0; i < 100; ++i)
+        rec.next(); // keeps flowing; only the recording is capped
+    EXPECT_EQ(rec.recorded().size(), 16u);   // the FIRST 16 accesses
+    EXPECT_EQ(rec.recorded()[15].addr, 120u);
+    EXPECT_EQ(rec.droppedCount(), 84u);
+    rec.clearRecorded();
+    EXPECT_EQ(rec.droppedCount(), 0u);
+    rec.next();
+    EXPECT_EQ(rec.recorded().size(), 1u);
+}
+
+} // namespace
+} // namespace bsim
