@@ -220,8 +220,10 @@ reportSweepPerf(const std::string &bench, const std::string &config,
                      "warning: %s not updated: %s\n",
                      benchJsonPath().c_str(), err.c_str());
     else
-        std::printf("[perf] %s/%s -> %s\n", bench.c_str(),
-                    config.c_str(), benchJsonPath().c_str());
+        // Diagnostics, not results: keep stdout clean for the table /
+        // JSON stream (e.g. `bsim --shards N --stats-json -`).
+        std::fprintf(stderr, "[perf] %s/%s -> %s\n", bench.c_str(),
+                     config.c_str(), benchJsonPath().c_str());
 }
 
 } // namespace bench

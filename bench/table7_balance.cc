@@ -5,9 +5,16 @@
  * frequent-hit sets (fhs) and their share of hits (ch), frequent-miss
  * sets (fms) and their share of misses (cm), less-accessed sets (las)
  * and their share of accesses (tca). All values are percentages.
+ *
+ * Counters come from the observe/ layer: each run rides a StatsObserver
+ * and the classification is computed from its per-set histogram. The
+ * observer counts line accesses exactly like the built-in usage tracker
+ * (tests/test_observe.cc pins the equivalence), so this port left the
+ * table byte-identical to the pre-observer version.
  */
 
 #include "bench/bench_util.hh"
+#include "common/logging.hh"
 #include "workload/spec2k.hh"
 
 using namespace bsim;
@@ -31,9 +38,15 @@ main()
         };
         const char *names[2] = {"dm", "bc"};
         for (int i = 0; i < 2; ++i) {
-            const MissRateResult r =
-                runMissRate(b, StreamSide::Data, cfgs[i], n);
-            const BalanceReport &br = r.balance;
+            ObserverConfig observe;
+            observe.enabled = true;
+            const MissRateResult r = runMissRate(
+                b, StreamSide::Data, cfgs[i], n, kDefaultSeed, observe);
+            bsim_assert(r.observer,
+                        "table7 needs the observer (built with "
+                        "-DBSIM_NO_OBSERVE?)");
+            const BalanceReport br = analyzeBalance(
+                std::span<const SetUsage>(r.observer->perSet));
             t.row()
                 .cell(i == 0 ? b : "")
                 .cell(names[i])

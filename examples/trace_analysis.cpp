@@ -102,5 +102,27 @@ main(int argc, char **argv)
                 "(lower ch/cm concentration) relative to the "
                 "direct-mapped baseline (miss %.3f%%).\n",
                 100.0 * base);
+
+    // The observe/ layer (docs/ARCHITECTURE.md, "Observability layer")
+    // quantifies the same imbalance as single numbers: ride a
+    // StatsObserver along a run and summarise its per-set histogram.
+    // `bsim --stats-json/--heatmap/--interval` exports the full report.
+    Table m({"organisation", "max/mean", "CoV", "Gini"});
+    for (const auto &cfg : {configs[0], configs[2]}) {
+        VectorStream replay(trace);
+        ObserverConfig oc;
+        oc.enabled = true;
+        const MissRateResult r =
+            runMissRateOn(replay, cfg, trace.size(), source, oc);
+        if (!r.observer) // built with -DBSIM_NO_OBSERVE
+            continue;
+        const BalanceMetrics bm = r.observer->balanceMetrics();
+        m.row()
+            .cell(cfg.label)
+            .cell(bm.maxOverMean, 2)
+            .cell(bm.cov, 3)
+            .cell(bm.gini, 3);
+    }
+    m.print("set-reference imbalance (1.00/0/0 = perfectly balanced)");
     return 0;
 }

@@ -15,8 +15,13 @@ BalanceReport::toString() const
 BalanceReport
 analyzeBalance(const SetUsageTracker &usage)
 {
+    return analyzeBalance(std::span<const SetUsage>(usage.usage()));
+}
+
+BalanceReport
+analyzeBalance(std::span<const SetUsage> u)
+{
     BalanceReport r;
-    const auto &u = usage.usage();
     const std::size_t n = u.size();
     if (n == 0)
         return r;

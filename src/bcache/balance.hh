@@ -11,6 +11,7 @@
 #ifndef BSIM_BCACHE_BALANCE_HH
 #define BSIM_BCACHE_BALANCE_HH
 
+#include <span>
 #include <string>
 
 #include "cache/cache_stats.hh"
@@ -30,7 +31,13 @@ struct BalanceReport
     std::string toString() const;
 };
 
-/** Compute the balance classification from per-line usage counters. */
+/**
+ * Compute the balance classification from per-line usage counters —
+ * either a cache's built-in SetUsageTracker or the per-set histogram an
+ * observe/ StatsObserver collected (both hold identical counters; the
+ * Table 7 harness is pinned byte-identical across the two sources).
+ */
+BalanceReport analyzeBalance(std::span<const SetUsage> usage);
 BalanceReport analyzeBalance(const SetUsageTracker &usage);
 
 } // namespace bsim

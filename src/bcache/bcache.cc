@@ -123,6 +123,13 @@ BCache::install(std::size_t frame, const Probe &pr, const MemAccess &req,
                 EngineMode)
 {
     Line &l = lines_[frame];
+    // Decoder churn telemetry: rewriting a *programmed* entry to a new
+    // pattern is a PD reprogram (the PD-hit-but-tag-miss path reuses the
+    // pattern unchanged and cold programming of an invalid entry is not
+    // churn, so neither fires the hook).
+    if (pdPatterns_[frame] != pr.pattern &&
+        pdPatterns_[frame] != kNoPattern)
+        observeDecoderReprogram(pr.group);
     l.valid = true;
     l.dirty = params_.writePolicy == WritePolicy::WriteBackAllocate &&
               req.type == AccessType::Write;
@@ -283,6 +290,16 @@ BCache::validLines() const
     for (const auto &l : lines_)
         n += l.valid ? 1 : 0;
     return n;
+}
+
+std::vector<std::uint32_t>
+BCache::groupOccupancy() const
+{
+    std::vector<std::uint32_t> occ(layout_.groups, 0);
+    for (std::size_t g = 0; g < layout_.groups; ++g)
+        for (std::size_t w = 0; w < layout_.bas; ++w)
+            occ[g] += lineAt(g, w).valid ? 1 : 0;
+    return occ;
 }
 
 std::unique_ptr<BCache>

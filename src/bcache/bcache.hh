@@ -81,6 +81,21 @@ struct PdStats
         return m ? double(pdMiss) / double(m) : 0.0;
     }
 
+    /**
+     * Field-wise merge; the single source of truth for summing shard
+     * counters (sim/trace_replay.cc), mirroring CacheStats::operator+=.
+     */
+    PdStats &
+    operator+=(const PdStats &other)
+    {
+        static_assert(sizeof(PdStats) == 2 * sizeof(std::uint64_t),
+                      "PdStats gained a field: add it to operator+= and "
+                      "to the merge round-trip test");
+        pdHitCacheMiss += other.pdHitCacheMiss;
+        pdMiss += other.pdMiss;
+        return *this;
+    }
+
     void reset() { *this = PdStats{}; }
 };
 
@@ -125,6 +140,14 @@ class BCache : public TagArrayEngine<BCache>
 
     /** Number of valid lines (for tests). */
     std::size_t validLines() const;
+
+    /**
+     * Valid lines per NPI group — the decoder's unique-decoding
+     * occupancy (each valid line holds one distinct PD pattern, so this
+     * is also the number of programmed decoder entries). Snapshot for
+     * the observe/ telemetry layer; side-effect free.
+     */
+    std::vector<std::uint32_t> groupOccupancy() const;
 
     /**
      * Fault injection for tests: overwrite the PD pattern of a line

@@ -9,23 +9,12 @@
 
 #include <string>
 
+#include "cache/cache_observer.hh"
 #include "cache/cache_stats.hh"
 #include "mem/geometry.hh"
 #include "mem/mem_level.hh"
 
 namespace bsim {
-
-/**
- * Observer of per-line access activity (e.g. the drowsy-leakage
- * estimator). Attached via BaseCache::setLineObserver; called once per
- * demand access with the physical line the access resolved to.
- */
-class LineAccessObserver
-{
-  public:
-    virtual ~LineAccessObserver() = default;
-    virtual void onLineAccess(std::size_t physical_line, bool hit) = 0;
-};
 
 /**
  * Base class for all cache organisations (set-associative, victim,
@@ -59,6 +48,27 @@ class BaseCache : public MemLevel
 
     /** Attach (or detach with nullptr) a per-line activity observer. */
     void setLineObserver(LineAccessObserver *obs) { observer_ = obs; }
+
+    /**
+     * Attach (or detach with nullptr) a full observer (hits + the
+     * engine's miss-path hook set; see cache/cache_observer.hh). The
+     * observer also takes the line-observer slot — hits reach it through
+     * the pointer the batched fast paths already hoist, so observation
+     * adds no per-hit work. A cache therefore carries either a stats
+     * observer or a plain line observer (drowsy estimation), not both.
+     * No-op when the hooks were compiled out (-DBSIM_NO_OBSERVE).
+     */
+    void
+    setCacheObserver(CacheObserver *obs)
+    {
+        if constexpr (!kObserversEnabled)
+            return;
+        cacheObs_ = obs;
+        observer_ = obs;
+    }
+
+    /** The attached full observer, or nullptr. */
+    CacheObserver *cacheObserver() const { return cacheObs_; }
 
     /** Miss rate over all access types. */
     double missRate() const { return stats_.missRate(); }
@@ -100,6 +110,28 @@ class BaseCache : public MemLevel
     LineAccessObserver *lineObserver() const { return observer_; }
 
     /**
+     * Miss-path observer notifications (cache/cache_observer.hh). All
+     * compile to nothing under -DBSIM_NO_OBSERVE; otherwise one
+     * predictable null check when no observer is attached. Kept out of
+     * the hit path entirely — hits report via recordLineOnly().
+     */
+    void
+    observeInstall(std::size_t physical_line)
+    {
+        if constexpr (kObserversEnabled)
+            if (cacheObs_)
+                cacheObs_->onInstall(physical_line);
+    }
+
+    void
+    observeDecoderReprogram(std::size_t group)
+    {
+        if constexpr (kObserversEnabled)
+            if (cacheObs_)
+                cacheObs_->onDecoderReprogram(group);
+    }
+
+    /**
      * Update aggregate counters only. For accesses that touch no physical
      * line (no-write-allocate misses that merely forward the store): they
      * must not be attributed to an arbitrary line, or the per-set usage
@@ -119,6 +151,7 @@ class BaseCache : public MemLevel
     Cycles hitLatency_;
     MemLevel *next_;
     LineAccessObserver *observer_ = nullptr;
+    CacheObserver *cacheObs_ = nullptr;
 };
 
 } // namespace bsim

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * The engine-level observability hook set (the contract is documented in
+ * docs/ARCHITECTURE.md, "Observability layer").
+ *
+ * A CacheObserver extends the per-line activity observer with the
+ * miss-path events the tag-array engine sequences for every variant:
+ * line installs (fills/evictions), writebacks to the next level, and
+ * decoder reprogramming (the B-Cache's PD churn). The hot (hit) path is
+ * untouched by design: hits report through the LineAccessObserver
+ * pointer the batched fast paths already hoist, so attaching an observer
+ * adds no new work per hit and the extended hooks only fire on the
+ * (orders-of-magnitude rarer) miss path.
+ *
+ * Compile-time kill switch: building with -DBSIM_NO_OBSERVE compiles the
+ * engine's notification sites out entirely (kObserversEnabled == false),
+ * for deployments that want provably zero overhead — including the null
+ * pointer checks. The default build keeps the hooks; with no observer
+ * attached the only residual cost is one predictable branch per
+ * miss-path event (tests/perf_batch_smoke.cc gates the hot loop).
+ */
+
+#ifndef BSIM_CACHE_CACHE_OBSERVER_HH
+#define BSIM_CACHE_CACHE_OBSERVER_HH
+
+#include <cstddef>
+
+namespace bsim {
+
+/** True unless the hooks were compiled out with -DBSIM_NO_OBSERVE. */
+#ifdef BSIM_NO_OBSERVE
+inline constexpr bool kObserversEnabled = false;
+#else
+inline constexpr bool kObserversEnabled = true;
+#endif
+
+/**
+ * Observer of per-line access activity (e.g. the drowsy-leakage
+ * estimator). Attached via BaseCache::setLineObserver; called once per
+ * demand access with the physical line the access resolved to.
+ */
+class LineAccessObserver
+{
+  public:
+    virtual ~LineAccessObserver() = default;
+    virtual void onLineAccess(std::size_t physical_line, bool hit) = 0;
+};
+
+/**
+ * Full observability hook set (observe/observer.hh implements the
+ * standard collector). Every hook defaults to a no-op so an observer
+ * implements only what it consumes. Semantics, in engine order within
+ * one miss: onWriteback (if the displaced line was dirty), then
+ * onDecoderReprogram (if the variant rewired its decoder), then
+ * onInstall, then onLineAccess for the access itself.
+ */
+class CacheObserver : public LineAccessObserver
+{
+  public:
+    /**
+     * A line was installed into @p physical_line (demand refill or a
+     * writeback-from-above allocation). Every install beyond a frame's
+     * first displaces the previous resident — the per-set eviction
+     * histogram is installs-after-the-first.
+     */
+    virtual void onInstall(std::size_t /* physical_line */) {}
+
+    /** A dirty victim was written back to the next level. */
+    virtual void onWriteback() {}
+
+    /**
+     * A programmable-decoder entry of @p group was rewritten to a new
+     * pattern over a previously valid one (B-Cache PD churn; cold
+     * programming of an invalid entry does not count).
+     */
+    virtual void onDecoderReprogram(std::size_t /* group */) {}
+};
+
+} // namespace bsim
+
+#endif // BSIM_CACHE_CACHE_OBSERVER_HH

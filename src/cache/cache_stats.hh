@@ -23,13 +23,6 @@ struct CacheStats
     std::uint64_t hits = 0;
     std::uint64_t misses = 0;
 
-    std::uint64_t readAccesses = 0;
-    std::uint64_t readMisses = 0;
-    std::uint64_t writeAccesses = 0;
-    std::uint64_t writeMisses = 0;
-    std::uint64_t fetchAccesses = 0;
-    std::uint64_t fetchMisses = 0;
-
     /** Dirty blocks written back to the next level. */
     std::uint64_t writebacks = 0;
     /** Stores forwarded to the next level (write-through mode). */
@@ -37,8 +30,30 @@ struct CacheStats
     /** Blocks refilled from the next level. */
     std::uint64_t refills = 0;
 
+    // Per-type breakdown, stored as AccessType-indexed arrays so the
+    // merge below and the batched accumulator can treat them uniformly.
+    std::uint64_t readAccesses() const { return typeAccess(AccessType::Read); }
+    std::uint64_t readMisses() const { return typeMiss(AccessType::Read); }
+    std::uint64_t writeAccesses() const { return typeAccess(AccessType::Write); }
+    std::uint64_t writeMisses() const { return typeMiss(AccessType::Write); }
+    std::uint64_t fetchAccesses() const { return typeAccess(AccessType::Fetch); }
+    std::uint64_t fetchMisses() const { return typeMiss(AccessType::Fetch); }
+
+    std::uint64_t typeAccess(AccessType t) const { return typeAccesses_[idx(t)]; }
+    std::uint64_t typeMiss(AccessType t) const { return typeMisses_[idx(t)]; }
+
     void recordAccess(AccessType type, bool hit);
     void reset();
+
+    /**
+     * Field-wise merge — THE single source of truth for combining two
+     * counter sets (sharded-replay totals in sim/trace_replay.cc, the
+     * batched accumulator flush below). Every counter lives here once;
+     * a sizeof static_assert in cache_stats.cc plus the round-trip test
+     * in tests/test_observe.cc make sure a newly added field cannot be
+     * silently dropped from merged totals.
+     */
+    CacheStats &operator+=(const CacheStats &other);
 
     double missRate() const { return safeRatio(double(misses),
                                                double(accesses)); }
@@ -46,6 +61,18 @@ struct CacheStats
                                               double(accesses)); }
 
     std::string toString() const;
+
+  private:
+    friend class BatchStatsAccumulator;
+
+    static constexpr std::size_t
+    idx(AccessType t)
+    {
+        return static_cast<std::size_t>(t);
+    }
+
+    std::uint64_t typeAccesses_[3] = {0, 0, 0};
+    std::uint64_t typeMisses_[3] = {0, 0, 0};
 };
 
 /**
@@ -69,19 +96,19 @@ class BatchStatsAccumulator
     void
     flushInto(CacheStats &s)
     {
-        const std::uint64_t acc =
+        // Materialize the delta as a CacheStats and merge through
+        // operator+= so this flush can never drift from the shard-merge
+        // path: both add every field, or neither compiles.
+        CacheStats d;
+        d.accesses =
             typeAccesses_[0] + typeAccesses_[1] + typeAccesses_[2];
-        const std::uint64_t miss =
-            typeMisses_[0] + typeMisses_[1] + typeMisses_[2];
-        s.accesses += acc;
-        s.hits += acc - miss;
-        s.misses += miss;
-        s.readAccesses += typeAccesses_[idx(AccessType::Read)];
-        s.readMisses += typeMisses_[idx(AccessType::Read)];
-        s.writeAccesses += typeAccesses_[idx(AccessType::Write)];
-        s.writeMisses += typeMisses_[idx(AccessType::Write)];
-        s.fetchAccesses += typeAccesses_[idx(AccessType::Fetch)];
-        s.fetchMisses += typeMisses_[idx(AccessType::Fetch)];
+        d.misses = typeMisses_[0] + typeMisses_[1] + typeMisses_[2];
+        d.hits = d.accesses - d.misses;
+        for (std::size_t t = 0; t < 3; ++t) {
+            d.typeAccesses_[t] = typeAccesses_[t];
+            d.typeMisses_[t] = typeMisses_[t];
+        }
+        s += d;
         *this = BatchStatsAccumulator{};
     }
 

@@ -48,6 +48,15 @@
  *   kCountWritebackRefills writeback() bumps stats_.refills when it
  *                          installs a line (the L2-style accounting of
  *                          SetAssocCache/BCache)
+ *
+ * Observability (cache/cache_observer.hh, docs/ARCHITECTURE.md): the
+ * engine is also the single notification point for an attached
+ * CacheObserver. Hits report through the LineAccessObserver pointer the
+ * batched fast paths already hoist (no new hit-path work); the engine's
+ * run() core fires the miss-path hook set — onWriteback (via
+ * writebackToNext), onDecoderReprogram (from a variant's install hook),
+ * onInstall — in program order for every variant. -DBSIM_NO_OBSERVE
+ * compiles every notification site out.
  */
 
 #ifndef BSIM_CACHE_TAG_ARRAY_ENGINE_HH
@@ -301,12 +310,18 @@ class TagArrayEngine : public BaseCache
         }
 
         // Miss: displace (victimFrame writes back every displaced dirty
-        // block), fetch on the demand path only, then install.
+        // block), fetch on the demand path only, then install. The
+        // observer hook set fires here in program order — onWriteback
+        // from inside victimFrame's writebackToNext, onDecoderReprogram
+        // from the variant's install, then onInstall — so an attached
+        // CacheObserver sees the same event sequence however the cache
+        // is driven (per-access, batched, or writeback-from-above).
         const std::size_t frame = self().victimFrame(pr, req, mode);
         Cycles extra = 0;
         if (mode == EngineMode::Demand)
             extra = refillFromNext(req);
         self().install(frame, pr, req, mode);
+        observeInstall(frame);
         return {false, frame, extra + pr.penalty};
     }
 };

@@ -7,8 +7,10 @@
 #include <string>
 #include <vector>
 
+#include "common/logging.hh"
 #include "common/strings.hh"
 #include "common/table.hh"
+#include "observe/export.hh"
 #include "power/cacti_lite.hh"
 #include "sim/experiment_file.hh"
 #include "sim/report.hh"
@@ -57,6 +59,21 @@ usage(const char *msg = nullptr)
                  "  [--timed]        OOO-core/Table-4 processor model "
                  "(workload-\n"
                  "                   driven only)\n"
+                 "  [--stats-json F] write a bsim-stats-v1 document "
+                 "(per-set\n"
+                 "                   histograms, balance metrics, decoder"
+                 " telemetry)\n"
+                 "                   to F ('-' = stdout, suppresses the "
+                 "report);\n"
+                 "                   enables the observer\n"
+                 "  [--heatmap F]    write the per-set access/miss/"
+                 "eviction\n"
+                 "                   histogram as CSV to F ('-' = stdout)"
+                 "\n"
+                 "  [--interval N]   windowed time-series every N "
+                 "accesses;\n"
+                 "                   embedded in --stats-json, or CSV to "
+                 "stdout\n"
                  "  [--json] [--config FILE]\n"
                  "A --config file (see sim/experiment_file.hh) sets the\n"
                  "defaults; explicit flags given AFTER it override.\n");
@@ -157,18 +174,88 @@ printBCacheCosts(const CacheConfig &cfg)
                 }());
 }
 
+/**
+ * The observer-driven export set shared by every driver path: the
+ * bsim-stats-v1 document, the per-set heatmap CSV, and — when no JSON
+ * document captures it — the interval series CSV on stdout.
+ */
+struct StatsExport
+{
+    std::string statsJsonPath; ///< empty = off; "-" = stdout
+    std::string heatmapPath;   ///< empty = off; "-" = stdout
+    std::uint64_t interval = 0;
+
+    bool
+    wantsObserver() const
+    {
+        return !statsJsonPath.empty() || !heatmapPath.empty() ||
+               interval > 0;
+    }
+
+    ObserverConfig
+    observerConfig() const
+    {
+        ObserverConfig c;
+        c.enabled = wantsObserver();
+        c.intervalLen = interval;
+        return c;
+    }
+
+    /**
+     * A "-" export owns stdout: the human-readable report is
+     * suppressed so the emitted document stays machine-parseable.
+     */
+    bool
+    claimsStdout() const
+    {
+        return statsJsonPath == "-" || heatmapPath == "-";
+    }
+};
+
+/** Write @p text to @p path, with "-" meaning stdout. */
+void
+writeTextOutput(const std::string &path, const std::string &text)
+{
+    if (path == "-") {
+        std::fputs(text.c_str(), stdout);
+        return;
+    }
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f)
+        bsim_fatal("cannot write '", path, "'");
+    std::fputs(text.c_str(), f);
+    std::fclose(f);
+}
+
+/** Emit the heatmap/interval CSV exports for one observed run. */
+void
+writeObserverExports(const StatsExport &ex, const ObserverReport &rep)
+{
+    if (!ex.heatmapPath.empty())
+        writeTextOutput(ex.heatmapPath, heatmapCsv(rep));
+    // The interval series rides inside --stats-json when one is being
+    // written; --interval alone dumps it as CSV on stdout.
+    if (ex.interval > 0 && ex.statsJsonPath.empty())
+        std::fputs(intervalCsv(rep).c_str(), stdout);
+}
+
 /** --shards: parallel replay, per-shard table + merged totals. */
 int
 runSharded(const std::string &trace_path, const CacheConfig &cfg,
-           unsigned shards, unsigned jobs, bool json,
-           const BsimHooks &hooks)
+           unsigned shards, unsigned jobs, std::size_t batch, bool json,
+           const StatsExport &ex, const BsimHooks &hooks)
 {
     SweepOptions opts;
     opts.jobs = jobs;
+    TraceReplayOptions replay;
+    replay.batchLen = batch;
+    replay.observe = ex.observerConfig();
     const TraceSweepResult res =
-        runTraceSharded(trace_path, cfg, shards, opts);
+        runTraceSharded(trace_path, cfg, shards, opts, replay);
 
-    if (json) {
+    if (ex.claimsStdout()) {
+        // A "-" export owns stdout; skip the report entirely.
+    } else if (json) {
         // A JSON array of per-shard MissRateResult records; merged
         // totals are the field-wise sums (trace-sampling semantics).
         std::printf("[");
@@ -204,6 +291,13 @@ runSharded(const std::string &trace_path, const CacheConfig &cfg,
                         static_cast<unsigned long long>(res.pd->pdMiss));
         printSweepSummary(res.summary);
     }
+    if (!ex.statsJsonPath.empty())
+        writeTextOutput(ex.statsJsonPath,
+                        toStatsJson(res, "trace:" + trace_path,
+                                    cfg.label) +
+                            "\n");
+    if (res.observer)
+        writeObserverExports(ex, *res.observer);
     if (hooks.onSweepDone)
         hooks.onSweepDone(cfg.label, res.summary);
     return 0;
@@ -232,6 +326,7 @@ bsimMain(int argc, char **argv, const BsimHooks &hooks)
     std::size_t batch = 0;
     bool json = false;
     bool timed = false;
+    StatsExport ex;
     bool haveFileConfig = false;
     CacheConfig cfgFromFile;
 
@@ -292,6 +387,12 @@ bsimMain(int argc, char **argv, const BsimHooks &hooks)
         }
         else if (!std::strcmp(argv[i], "--seed"))
             seed = parseU64(need("--seed"));
+        else if (!std::strcmp(argv[i], "--stats-json"))
+            ex.statsJsonPath = need("--stats-json");
+        else if (!std::strcmp(argv[i], "--heatmap"))
+            ex.heatmapPath = need("--heatmap");
+        else if (!std::strcmp(argv[i], "--interval"))
+            ex.interval = parseU64(need("--interval"));
         else if (!std::strcmp(argv[i], "--json"))
             json = true;
         else if (!std::strcmp(argv[i], "--timed"))
@@ -333,9 +434,15 @@ bsimMain(int argc, char **argv, const BsimHooks &hooks)
     else if (wp != "wb")
         usage("--write-policy must be wb or wt");
 
+    if (json && ex.claimsStdout())
+        usage("--json and a '-' export both claim stdout");
+
     if (timed) {
         if (!trace_path.empty())
             usage("--timed drives workloads, not traces");
+        if (ex.wantsObserver())
+            usage("--stats-json/--heatmap/--interval observe the "
+                  "standalone miss-rate drivers, not --timed");
         if (!isSpec2kName(workload))
             usage("unknown --workload");
         const TimedResult tr = runTimed(workload, cfg, accesses, seed);
@@ -365,7 +472,8 @@ bsimMain(int argc, char **argv, const BsimHooks &hooks)
     if (shards > 0) {
         if (trace_path.empty())
             usage("--shards needs --trace");
-        return runSharded(trace_path, cfg, shards, jobs, json, hooks);
+        return runSharded(trace_path, cfg, shards, jobs, batch, json,
+                          ex, hooks);
     }
 
     MissRateResult r;
@@ -375,14 +483,26 @@ bsimMain(int argc, char **argv, const BsimHooks &hooks)
         TraceReplayOptions opts;
         opts.maxAccesses = accesses_set ? accesses : 0;
         opts.batchLen = batch;
+        opts.observe = ex.observerConfig();
         r = runTraceReplay(trace_path, cfg, TraceShard{}, opts);
     } else {
         if (!isSpec2kName(workload))
             usage("unknown --workload");
         r = runMissRate(workload, side == "inst" ? StreamSide::Inst
                                                  : StreamSide::Data,
-                        cfg, accesses, seed);
+                        cfg, accesses, seed, ex.observerConfig());
     }
+
+    if (!ex.statsJsonPath.empty())
+        writeTextOutput(ex.statsJsonPath,
+                        toStatsJson(r, trace_path.empty() ? "workload"
+                                                          : "trace") +
+                            "\n");
+    if (r.observer)
+        writeObserverExports(ex, *r.observer);
+
+    if (ex.claimsStdout())
+        return 0; // a "-" export owns stdout; no human report
 
     if (json) {
         std::printf("%s\n", toJson(r).c_str());

@@ -11,6 +11,7 @@
 
 #include "common/json.hh"
 #include "sim/runner.hh"
+#include "sim/trace_replay.hh"
 
 namespace bsim {
 
@@ -28,6 +29,25 @@ std::string toJson(const MissRateResult &r);
 
 /** Serialize one timed (OOO core) run. */
 std::string toJson(const TimedResult &r);
+
+/**
+ * Serialize one run as a "bsim-stats-v1" document — the shape behind
+ * `bsim --stats-json`, linted by bench/stats_json_lint.cc and
+ * scripts/check_stats_json.sh (change them together). @p driver is
+ * "workload" or "trace" depending on what produced @p r.
+ */
+std::string toStatsJson(const MissRateResult &r,
+                        const std::string &driver);
+
+/**
+ * The "bsim-stats-v1" document for a sharded replay: driver "sharded",
+ * merged totals at top level (balance recomputed from the merged
+ * observer histogram when the replay was observed) plus a "shards"
+ * array of per-shard run objects in shard order.
+ */
+std::string toStatsJson(const TraceSweepResult &r,
+                        const std::string &workload,
+                        const std::string &config);
 
 } // namespace bsim
 

@@ -58,11 +58,35 @@ defaultUops(std::uint64_t fallback)
     return envCount("BSIM_UOPS", fallback);
 }
 
+std::unique_ptr<StatsObserver>
+attachObserver(BaseCache &cache, const ObserverConfig &observe)
+{
+    if (!observe.enabled || !kObserversEnabled)
+        return nullptr;
+    auto obs = std::make_unique<StatsObserver>(
+        cache.setUsage().usage().size(), observe);
+    cache.setCacheObserver(obs.get());
+    return obs;
+}
+
+std::optional<ObserverReport>
+harvestObserver(const StatsObserver *obs, BaseCache &cache)
+{
+    if (!obs)
+        return std::nullopt;
+    ObserverReport rep = obs->report();
+    if (auto *bc = dynamic_cast<BCache *>(&cache))
+        rep.pdOccupancy = bc->groupOccupancy();
+    return rep;
+}
+
 MissRateResult
 runMissRateOn(AccessStream &stream, const CacheConfig &config,
-              std::uint64_t accesses, const std::string &workload_label)
+              std::uint64_t accesses, const std::string &workload_label,
+              const ObserverConfig &observe)
 {
     auto cache = config.build(config.label, 1, nullptr);
+    auto obs = attachObserver(*cache, observe);
     const std::size_t batch_len = defaultBatchLen();
     if (batch_len <= 1) {
         for (std::uint64_t i = 0; i < accesses; ++i)
@@ -110,18 +134,20 @@ runMissRateOn(AccessStream &stream, const CacheConfig &config,
         r.pd = bc->pdStats();
     if (auto *vc = dynamic_cast<VictimCache *>(cache.get()))
         r.victimHits = vc->victimHits();
+    r.observer = harvestObserver(obs.get(), *cache);
     return r;
 }
 
 MissRateResult
 runMissRate(const std::string &workload_name, StreamSide side,
             const CacheConfig &config, std::uint64_t accesses,
-            std::uint64_t seed)
+            std::uint64_t seed, const ObserverConfig &observe)
 {
     SpecWorkload wl = makeSpecWorkload(workload_name, seed);
     AccessStream &stream =
         side == StreamSide::Inst ? *wl.inst : *wl.data;
-    return runMissRateOn(stream, config, accesses, workload_name);
+    return runMissRateOn(stream, config, accesses, workload_name,
+                         observe);
 }
 
 TimedResult

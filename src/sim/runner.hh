@@ -14,6 +14,7 @@
 #include "bcache/balance.hh"
 #include "bcache/bcache.hh"
 #include "cpu/ooo_core.hh"
+#include "observe/observer.hh"
 #include "power/energy_model.hh"
 #include "sim/config.hh"
 #include "workload/spec2k.hh"
@@ -35,24 +36,30 @@ struct MissRateResult
     std::optional<PdStats> pd;       ///< B-Cache runs only
     std::uint64_t victimHits = 0;    ///< victim runs only
     BalanceReport balance;           ///< Table 7 classification
+    /** Collected when the run was observed (ObserverConfig::enabled). */
+    std::optional<ObserverReport> observer;
 
     double missRate() const { return stats.missRate(); }
 };
 
 /**
  * Run @p accesses of one side of a workload through a standalone cache
- * (misses are counted but not forwarded).
+ * (misses are counted but not forwarded). When @p observe is enabled a
+ * StatsObserver rides along and its report (with the B-Cache decoder
+ * occupancy snapshot, if applicable) lands in MissRateResult::observer.
  */
 MissRateResult runMissRate(const std::string &workload_name,
                            StreamSide side, const CacheConfig &config,
                            std::uint64_t accesses,
-                           std::uint64_t seed = kDefaultSeed);
+                           std::uint64_t seed = kDefaultSeed,
+                           const ObserverConfig &observe = {});
 
 /** As above but over an explicit stream (trace replay etc.). */
 MissRateResult runMissRateOn(AccessStream &stream,
                              const CacheConfig &config,
                              std::uint64_t accesses,
-                             const std::string &workload_label);
+                             const std::string &workload_label,
+                             const ObserverConfig &observe = {});
 
 /** Result of a timed run. */
 struct TimedResult
@@ -83,6 +90,21 @@ EnergyRates energyRatesFor(const CacheConfig &config,
 /** Environment-tunable run lengths (BSIM_ACCESSES / BSIM_UOPS). */
 std::uint64_t defaultAccesses(std::uint64_t fallback = 2'000'000);
 std::uint64_t defaultUops(std::uint64_t fallback = 1'000'000);
+
+/**
+ * Attach a StatsObserver to @p cache for the duration of a run. Returns
+ * null (and attaches nothing) when @p observe is disabled or the hooks
+ * were compiled out. Shared by runMissRateOn() and runTraceReplay().
+ */
+std::unique_ptr<StatsObserver> attachObserver(
+    BaseCache &cache, const ObserverConfig &observe);
+
+/**
+ * Harvest the attached observer's report at end of run, folding in the
+ * B-Cache decoder occupancy snapshot; nullopt when @p obs is null.
+ */
+std::optional<ObserverReport> harvestObserver(const StatsObserver *obs,
+                                              BaseCache &cache);
 
 /** Batch length runMissRateOn() feeds through MemLevel::accessBatch. */
 inline constexpr std::size_t kDefaultBatchLen = 1024;

@@ -77,6 +77,8 @@ runOne(const SweepJob &job, std::size_t index, std::uint64_t base_seed)
           case SweepJob::Kind::Trace: {
             TraceReplayOptions opts;
             opts.maxAccesses = job.length;
+            opts.batchLen = job.traceBatchLen;
+            opts.observe = job.observe;
             out.miss = runTraceReplay(job.tracePath, job.config,
                                       job.shard, opts);
             break;
@@ -138,7 +140,8 @@ SweepJob::customJob(std::string label,
 
 SweepJob
 SweepJob::traceReplay(std::string path, TraceShard shard,
-                      CacheConfig config, std::uint64_t max_accesses)
+                      CacheConfig config, std::uint64_t max_accesses,
+                      std::size_t batch_len, ObserverConfig observe)
 {
     SweepJob j;
     j.kind = Kind::Trace;
@@ -147,6 +150,8 @@ SweepJob::traceReplay(std::string path, TraceShard shard,
     j.length = max_accesses;
     j.tracePath = std::move(path);
     j.shard = shard;
+    j.traceBatchLen = batch_len;
+    j.observe = observe;
     return j;
 }
 

@@ -61,6 +61,10 @@ struct SweepJob
     /** Trace jobs only: file to replay and the record window owned. */
     std::string tracePath;
     TraceShard shard;
+    /** Trace jobs only: batch length (0 = defaultBatchLen()). */
+    std::size_t traceBatchLen = 0;
+    /** Trace jobs only: ride a StatsObserver along with the replay. */
+    ObserverConfig observe;
 
     static SweepJob missRate(std::string workload, StreamSide side,
                              CacheConfig config, std::uint64_t accesses,
@@ -79,11 +83,15 @@ struct SweepJob
      * @p max_accesses 0 replays the whole window. The trace is the
      * workload, so the derived seed is unused — the job is a pure
      * function of (path, shard, config), which is what makes sharded
-     * replay bit-identical at any thread count.
+     * replay bit-identical at any thread count. @p batch_len and
+     * @p observe mirror TraceReplayOptions (held as scalar fields here
+     * so sweep.hh does not need trace_replay.hh, which includes it).
      */
     static SweepJob traceReplay(std::string path, TraceShard shard,
                                 CacheConfig config,
-                                std::uint64_t max_accesses = 0);
+                                std::uint64_t max_accesses = 0,
+                                std::size_t batch_len = 0,
+                                ObserverConfig observe = {});
 };
 
 /** Result of one job, delivered in submission order. */

@@ -33,6 +33,7 @@ runTraceReplay(const std::string &path, const CacheConfig &config,
 {
     TraceReaderPtr reader = openTraceReader(path, shard);
     auto cache = config.build(config.label, 1, nullptr);
+    auto obs = attachObserver(*cache, options.observe);
     const std::size_t batch_len =
         options.batchLen ? options.batchLen : defaultBatchLen();
     std::uint64_t left =
@@ -42,9 +43,15 @@ runTraceReplay(const std::string &path, const CacheConfig &config,
         // Per-access path (BSIM_BATCH=0/1): still streamed one chunk at
         // a time, just replayed record by record.
         while (left > 0) {
-            const std::span<const MemAccess> s =
-                reader->nextSpan(static_cast<std::size_t>(
-                    std::min<std::uint64_t>(left, 65536)));
+            const std::size_t want = static_cast<std::size_t>(
+                std::min<std::uint64_t>(left, 65536));
+            // Re-clamp what actually came back: nextSpan() promises at
+            // most `want` records, but `left -= size` is an unsigned
+            // subtraction that would wrap past options.maxAccesses if a
+            // reader ever over-delivered, so don't let a buggy reader
+            // turn a bounded replay into a (near-)unbounded one.
+            std::span<const MemAccess> s = reader->nextSpan(want);
+            s = s.first(std::min(s.size(), want));
             if (s.empty())
                 break;
             for (const MemAccess &a : s)
@@ -57,9 +64,12 @@ runTraceReplay(const std::string &path, const CacheConfig &config,
         // copied per record on the way into accessBatch.
         std::vector<AccessOutcome> outs(batch_len);
         while (left > 0) {
-            const std::span<const MemAccess> s =
-                reader->nextSpan(static_cast<std::size_t>(
-                    std::min<std::uint64_t>(left, batch_len)));
+            const std::size_t want = static_cast<std::size_t>(
+                std::min<std::uint64_t>(left, batch_len));
+            // Same defensive clamp as above; it also keeps an
+            // over-delivering reader from overrunning `outs`.
+            std::span<const MemAccess> s = reader->nextSpan(want);
+            s = s.first(std::min(s.size(), want));
             if (s.empty())
                 break;
             cache->accessBatch(s, outs.data());
@@ -76,6 +86,7 @@ runTraceReplay(const std::string &path, const CacheConfig &config,
         r.pd = bc->pdStats();
     if (auto *vc = dynamic_cast<VictimCache *>(cache.get()))
         r.victimHits = vc->victimHits();
+    r.observer = harvestObserver(obs.get(), *cache);
     return r;
 }
 
@@ -127,33 +138,44 @@ shardTrace(const std::string &path, unsigned shards)
 CacheStats
 mergeShardStats(const std::vector<MissRateResult> &shards)
 {
+    // One merge path for the aggregate counters: CacheStats::operator+=
+    // (cache/cache_stats.hh) is the single source of truth, so a field
+    // added there is summed here with no hand-copied list to update.
     CacheStats total;
-    for (const MissRateResult &s : shards) {
-        total.accesses += s.stats.accesses;
-        total.hits += s.stats.hits;
-        total.misses += s.stats.misses;
-        total.readAccesses += s.stats.readAccesses;
-        total.readMisses += s.stats.readMisses;
-        total.writeAccesses += s.stats.writeAccesses;
-        total.writeMisses += s.stats.writeMisses;
-        total.fetchAccesses += s.stats.fetchAccesses;
-        total.fetchMisses += s.stats.fetchMisses;
-        total.writebacks += s.stats.writebacks;
-        total.writethroughs += s.stats.writethroughs;
-        total.refills += s.stats.refills;
-    }
+    for (const MissRateResult &s : shards)
+        total += s.stats;
     return total;
+}
+
+void
+mergeSideCounters(TraceSweepResult &total, const MissRateResult &shard)
+{
+    total.victimHits += shard.victimHits;
+    if (shard.pd) {
+        if (!total.pd)
+            total.pd = PdStats{};
+        *total.pd += *shard.pd;
+    }
+    if (shard.observer) {
+        if (!total.observer)
+            total.observer = ObserverReport{};
+        *total.observer += *shard.observer;
+    }
 }
 
 TraceSweepResult
 runTraceSharded(const std::string &path, const CacheConfig &config,
-                unsigned shards, const SweepOptions &options)
+                unsigned shards, const SweepOptions &options,
+                const TraceReplayOptions &replay)
 {
     const std::vector<TraceShard> windows = shardTrace(path, shards);
     std::vector<SweepJob> jobs;
     jobs.reserve(windows.size());
     for (const TraceShard &w : windows)
-        jobs.push_back(SweepJob::traceReplay(path, w, config));
+        jobs.push_back(SweepJob::traceReplay(path, w, config,
+                                             replay.maxAccesses,
+                                             replay.batchLen,
+                                             replay.observe));
     const SweepRun run = runSweep(jobs, options);
 
     TraceSweepResult result;
@@ -161,15 +183,8 @@ runTraceSharded(const std::string &path, const CacheConfig &config,
     for (const SweepOutcome &out : run.outcomes)
         result.shards.push_back(missResult(out));
     result.total = mergeShardStats(result.shards);
-    for (const MissRateResult &s : result.shards) {
-        result.victimHits += s.victimHits;
-        if (s.pd) {
-            if (!result.pd)
-                result.pd = PdStats{};
-            result.pd->pdHitCacheMiss += s.pd->pdHitCacheMiss;
-            result.pd->pdMiss += s.pd->pdMiss;
-        }
-    }
+    for (const MissRateResult &s : result.shards)
+        mergeSideCounters(result, s);
     result.summary = run.summary;
     return result;
 }

@@ -32,6 +32,8 @@ struct TraceReplayOptions
     std::uint64_t maxAccesses = 0;
     /** Span clamp fed to accessBatch; 0 = defaultBatchLen(). */
     std::size_t batchLen = 0;
+    /** Ride a StatsObserver along (observe/observer.hh). */
+    ObserverConfig observe;
 };
 
 /**
@@ -68,18 +70,32 @@ struct TraceSweepResult
     CacheStats total;
     std::uint64_t victimHits = 0; ///< summed; victim configs only
     std::optional<PdStats> pd;    ///< summed; B-Cache configs only
+    /** Merged observer state; present when the replay was observed. */
+    std::optional<ObserverReport> observer;
     SweepSummary summary;
 };
 
 /**
+ * Fold one shard's side counters — victimHits, PdStats and the observer
+ * report — into the running totals. The single merge path for
+ * everything next to CacheStats: runTraceSharded() folds shard results
+ * through it, and the golden test replays shard windows serially and
+ * folds them through the same helper to pin the equality.
+ */
+void mergeSideCounters(TraceSweepResult &total,
+                       const MissRateResult &shard);
+
+/**
  * Replay @p path across shardTrace(path, shards) jobs on the sweep
  * engine's worker pool. Per-shard results and the merged totals are
- * bit-identical at any SweepOptions::jobs value.
+ * bit-identical at any SweepOptions::jobs value. @p replay applies to
+ * every shard (maxAccesses caps each shard's window, not the total).
  */
 TraceSweepResult runTraceSharded(const std::string &path,
                                  const CacheConfig &config,
                                  unsigned shards,
-                                 const SweepOptions &options = {});
+                                 const SweepOptions &options = {},
+                                 const TraceReplayOptions &replay = {});
 
 } // namespace bsim
 

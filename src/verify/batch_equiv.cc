@@ -33,12 +33,12 @@ equivCompareStats(BatchEquivResult &res, const CacheStats &pa,
         {"accesses", pa.accesses, ba.accesses},
         {"hits", pa.hits, ba.hits},
         {"misses", pa.misses, ba.misses},
-        {"readAccesses", pa.readAccesses, ba.readAccesses},
-        {"readMisses", pa.readMisses, ba.readMisses},
-        {"writeAccesses", pa.writeAccesses, ba.writeAccesses},
-        {"writeMisses", pa.writeMisses, ba.writeMisses},
-        {"fetchAccesses", pa.fetchAccesses, ba.fetchAccesses},
-        {"fetchMisses", pa.fetchMisses, ba.fetchMisses},
+        {"readAccesses", pa.readAccesses(), ba.readAccesses()},
+        {"readMisses", pa.readMisses(), ba.readMisses()},
+        {"writeAccesses", pa.writeAccesses(), ba.writeAccesses()},
+        {"writeMisses", pa.writeMisses(), ba.writeMisses()},
+        {"fetchAccesses", pa.fetchAccesses(), ba.fetchAccesses()},
+        {"fetchMisses", pa.fetchMisses(), ba.fetchMisses()},
         {"writebacks", pa.writebacks, ba.writebacks},
         {"writethroughs", pa.writethroughs, ba.writethroughs},
         {"refills", pa.refills, ba.refills},

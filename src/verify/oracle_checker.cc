@@ -433,12 +433,12 @@ OracleChecker::compareCounters()
     check("accesses", s.accesses, expStats_.accesses);
     check("hits", s.hits, expStats_.hits);
     check("misses", s.misses, expStats_.misses);
-    check("readAccesses", s.readAccesses, expStats_.readAccesses);
-    check("readMisses", s.readMisses, expStats_.readMisses);
-    check("writeAccesses", s.writeAccesses, expStats_.writeAccesses);
-    check("writeMisses", s.writeMisses, expStats_.writeMisses);
-    check("fetchAccesses", s.fetchAccesses, expStats_.fetchAccesses);
-    check("fetchMisses", s.fetchMisses, expStats_.fetchMisses);
+    check("readAccesses", s.readAccesses(), expStats_.readAccesses());
+    check("readMisses", s.readMisses(), expStats_.readMisses());
+    check("writeAccesses", s.writeAccesses(), expStats_.writeAccesses());
+    check("writeMisses", s.writeMisses(), expStats_.writeMisses());
+    check("fetchAccesses", s.fetchAccesses(), expStats_.fetchAccesses());
+    check("fetchMisses", s.fetchMisses(), expStats_.fetchMisses());
     check("writebacks", s.writebacks, expWritebacks_);
     check("writethroughs", s.writethroughs, expWritethroughs_);
     check("refills", s.refills, expRefills_);

@@ -60,12 +60,12 @@ expectStatsEqual(const CacheStats &a, const CacheStats &b)
     EXPECT_EQ(a.accesses, b.accesses);
     EXPECT_EQ(a.hits, b.hits);
     EXPECT_EQ(a.misses, b.misses);
-    EXPECT_EQ(a.readAccesses, b.readAccesses);
-    EXPECT_EQ(a.readMisses, b.readMisses);
-    EXPECT_EQ(a.writeAccesses, b.writeAccesses);
-    EXPECT_EQ(a.writeMisses, b.writeMisses);
-    EXPECT_EQ(a.fetchAccesses, b.fetchAccesses);
-    EXPECT_EQ(a.fetchMisses, b.fetchMisses);
+    EXPECT_EQ(a.readAccesses(), b.readAccesses());
+    EXPECT_EQ(a.readMisses(), b.readMisses());
+    EXPECT_EQ(a.writeAccesses(), b.writeAccesses());
+    EXPECT_EQ(a.writeMisses(), b.writeMisses());
+    EXPECT_EQ(a.fetchAccesses(), b.fetchAccesses());
+    EXPECT_EQ(a.fetchMisses(), b.fetchMisses());
     EXPECT_EQ(a.writebacks, b.writebacks);
     EXPECT_EQ(a.writethroughs, b.writethroughs);
     EXPECT_EQ(a.refills, b.refills);

@@ -67,8 +67,8 @@ TEST(Runner, InstSideUsesInstructionStream)
     const MissRateResult r =
         runMissRate("gcc", StreamSide::Inst,
                     CacheConfig::directMapped(16 * 1024), 50000);
-    EXPECT_EQ(r.stats.fetchAccesses, 50000u);
-    EXPECT_EQ(r.stats.readAccesses, 0u);
+    EXPECT_EQ(r.stats.fetchAccesses(), 50000u);
+    EXPECT_EQ(r.stats.readAccesses(), 0u);
 }
 
 TEST(Runner, TimedRunProducesActivity)

@@ -118,12 +118,12 @@ TEST(SetAssoc, StatsByAccessType)
     c.access({0, AccessType::Fetch});
     c.access({0, AccessType::Read});
     c.access({0, AccessType::Write});
-    EXPECT_EQ(c.stats().fetchAccesses, 1u);
-    EXPECT_EQ(c.stats().fetchMisses, 1u);
-    EXPECT_EQ(c.stats().readAccesses, 1u);
-    EXPECT_EQ(c.stats().readMisses, 0u);
-    EXPECT_EQ(c.stats().writeAccesses, 1u);
-    EXPECT_EQ(c.stats().writeMisses, 0u);
+    EXPECT_EQ(c.stats().fetchAccesses(), 1u);
+    EXPECT_EQ(c.stats().fetchMisses(), 1u);
+    EXPECT_EQ(c.stats().readAccesses(), 1u);
+    EXPECT_EQ(c.stats().readMisses(), 0u);
+    EXPECT_EQ(c.stats().writeAccesses(), 1u);
+    EXPECT_EQ(c.stats().writeMisses(), 0u);
 }
 
 TEST(SetAssoc, ResetClearsContentsAndStats)

@@ -64,12 +64,12 @@ expectStatsEqual(const CacheStats &a, const CacheStats &b)
     EXPECT_EQ(a.accesses, b.accesses);
     EXPECT_EQ(a.hits, b.hits);
     EXPECT_EQ(a.misses, b.misses);
-    EXPECT_EQ(a.readAccesses, b.readAccesses);
-    EXPECT_EQ(a.readMisses, b.readMisses);
-    EXPECT_EQ(a.writeAccesses, b.writeAccesses);
-    EXPECT_EQ(a.writeMisses, b.writeMisses);
-    EXPECT_EQ(a.fetchAccesses, b.fetchAccesses);
-    EXPECT_EQ(a.fetchMisses, b.fetchMisses);
+    EXPECT_EQ(a.readAccesses(), b.readAccesses());
+    EXPECT_EQ(a.readMisses(), b.readMisses());
+    EXPECT_EQ(a.writeAccesses(), b.writeAccesses());
+    EXPECT_EQ(a.writeMisses(), b.writeMisses());
+    EXPECT_EQ(a.fetchAccesses(), b.fetchAccesses());
+    EXPECT_EQ(a.fetchMisses(), b.fetchMisses());
     EXPECT_EQ(a.writebacks, b.writebacks);
     EXPECT_EQ(a.writethroughs, b.writethroughs);
     EXPECT_EQ(a.refills, b.refills);
@@ -222,6 +222,104 @@ TEST_F(TraceReplayTest, BatchEquivHoldsOnTraces)
     EXPECT_EQ(res.steps, captured.size());
 }
 
+/**
+ * Regression for the replay-clamp bug class: when maxAccesses is not a
+ * multiple of the batch length or the file's chunk length, the final
+ * partial request must still land exactly on maxAccesses (an
+ * over-delivering reader would otherwise underflow the unsigned `left`
+ * countdown into a near-infinite loop). Covers the per-access path
+ * (batchLen 1) and the batched path, against a directly-driven prefix.
+ */
+TEST_F(TraceReplayTest, MaxAccessesOffBatchAndChunkBoundaries)
+{
+    const auto captured = capturedStream(2000);
+    writeBst2Trace(path("c.bst"), captured, 128); // chunkLen 128
+    const CacheConfig cfg = CacheConfig::bcache(16 * 1024, 8, 8);
+
+    for (const std::uint64_t max : {1u, 127u, 129u, 1001u, 1999u}) {
+        // None of these divide the chunk length; 127/129/1999 don't
+        // divide any batch length below either.
+        VectorStream direct(std::vector<MemAccess>(
+            captured.begin(), captured.begin() + max));
+        const MissRateResult want =
+            runMissRateOn(direct, cfg, max, "prefix");
+        for (const std::size_t len : {1u, 100u, 4096u}) {
+            TraceReplayOptions o;
+            o.maxAccesses = max;
+            o.batchLen = len;
+            const MissRateResult r =
+                runTraceReplay(path("c.bst"), cfg, {}, o);
+            EXPECT_EQ(r.stats.accesses, max)
+                << "batchLen " << len << " max " << max;
+            expectStatsEqual(r.stats, want.stats);
+        }
+    }
+}
+
+/**
+ * The sharded-replay golden equality (the shard-merge bugfix's pin):
+ * runTraceSharded(path, k) totals — CacheStats, PdStats, victimHits and
+ * the merged observer report — equal a serial fold of runTraceReplay
+ * over the shardTrace(path, k) windows through the same
+ * mergeShardStats/mergeSideCounters helpers, for odd shard counts and
+ * independent of the worker count.
+ */
+TEST_F(TraceReplayTest, ShardedTotalsEqualSerialFoldOverShardWindows)
+{
+    const auto captured = capturedStream(4100); // not a chunk multiple
+    writeBst2Trace(path("f.bst"), captured, 256);
+    const CacheConfig cfg = CacheConfig::bcache(16 * 1024, 8, 8);
+
+    TraceReplayOptions replay;
+    replay.observe.enabled = true;
+    replay.observe.intervalLen = 512;
+
+    for (const unsigned k : {3u, 5u}) {
+        // Reference: replay each window serially, fold with the shared
+        // merge helpers.
+        TraceSweepResult ref;
+        for (const TraceShard &w : shardTrace(path("f.bst"), k)) {
+            ref.shards.push_back(
+                runTraceReplay(path("f.bst"), cfg, w, replay));
+            ASSERT_TRUE(ref.shards.back().pd);
+            ASSERT_TRUE(ref.shards.back().observer);
+            mergeSideCounters(ref, ref.shards.back());
+        }
+        ref.total = mergeShardStats(ref.shards);
+
+        for (const unsigned jobs : {1u, 4u}) {
+            SweepOptions sweep;
+            sweep.jobs = jobs;
+            const TraceSweepResult got =
+                runTraceSharded(path("f.bst"), cfg, k, sweep, replay);
+            ASSERT_EQ(got.shards.size(), ref.shards.size());
+            expectStatsEqual(got.total, ref.total);
+            EXPECT_EQ(got.victimHits, ref.victimHits);
+            ASSERT_TRUE(got.pd && ref.pd);
+            EXPECT_EQ(got.pd->pdHitCacheMiss, ref.pd->pdHitCacheMiss);
+            EXPECT_EQ(got.pd->pdMiss, ref.pd->pdMiss);
+
+            ASSERT_TRUE(got.observer && ref.observer);
+            const ObserverReport &g = *got.observer;
+            const ObserverReport &r = *ref.observer;
+            ASSERT_EQ(g.perSet.size(), r.perSet.size());
+            for (std::size_t i = 0; i < g.perSet.size(); ++i) {
+                EXPECT_EQ(g.perSet[i].accesses, r.perSet[i].accesses);
+                EXPECT_EQ(g.perSet[i].hits, r.perSet[i].hits);
+                EXPECT_EQ(g.perSet[i].misses, r.perSet[i].misses);
+            }
+            EXPECT_EQ(g.installs, r.installs);
+            EXPECT_EQ(g.writebacks, r.writebacks);
+            EXPECT_EQ(g.pdReprograms, r.pdReprograms);
+            EXPECT_EQ(g.pdReprogramsPerGroup, r.pdReprogramsPerGroup);
+            EXPECT_EQ(g.pdOccupancy, r.pdOccupancy);
+            ASSERT_EQ(g.intervals.size(), r.intervals.size());
+            for (std::size_t i = 0; i < g.intervals.size(); ++i)
+                EXPECT_TRUE(g.intervals[i] == r.intervals[i]) << i;
+        }
+    }
+}
+
 #ifdef BSIM_TRACES_DIR
 TEST(SampleTraces, ConflictTraceGoldenCounters)
 {
@@ -247,8 +345,8 @@ TEST(SampleTraces, MixedDineroTraceLoads)
     const MissRateResult r =
         runTraceReplay(p, CacheConfig::directMapped(16 * 1024));
     EXPECT_EQ(r.stats.accesses, 134u);
-    EXPECT_GT(r.stats.fetchAccesses, 0u);
-    EXPECT_GT(r.stats.writeAccesses, 0u);
+    EXPECT_GT(r.stats.fetchAccesses(), 0u);
+    EXPECT_GT(r.stats.writeAccesses(), 0u);
 }
 #endif
 
