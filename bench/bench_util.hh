@@ -63,7 +63,8 @@ inline RowSweep
 runRows(const std::vector<std::string> &benchmarks, StreamSide side,
         const std::vector<CacheConfig> &configs,
         std::uint64_t size_bytes, std::uint64_t accesses,
-        const SweepOptions &options = {})
+        const SweepOptions &options = {},
+        const std::optional<SamplePlan> &sample = {})
 {
     std::vector<SweepJob> jobs;
     jobs.reserve(benchmarks.size() * (configs.size() + 1));
@@ -77,6 +78,12 @@ runRows(const std::vector<std::string> &benchmarks, StreamSide side,
                 SweepJob::missRate(b, side, cfg, accesses,
                                    kDefaultSeed));
     }
+    // --sample / BSIM_SAMPLE: every cell runs sampled (sim/sampling.hh)
+    // over the same population, so a figure's full grid can be
+    // estimated in one pass at a fraction of the simulated accesses.
+    if (sample)
+        for (SweepJob &j : jobs)
+            j.sample = sample;
     const SweepRun run = runSweep(jobs, options);
 
     RowSweep rs;

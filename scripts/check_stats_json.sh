@@ -33,11 +33,17 @@ if [ "$#" -gt 0 ]; then
 fi
 
 # No arguments: run the acceptance pipeline — sample trace through the
-# driver, document through the lint.
+# driver, document through the lint; once fully replayed and observed,
+# once through the sampled estimator (--sample U:P:W emits a "sample"
+# object in place of "balance").
 [ -x "$bsim" ] || build_tool bsim
 doc=$(mktemp)
-trap 'rm -f "$doc"' EXIT
+sampled_doc=$(mktemp)
+trap 'rm -f "$doc" "$sampled_doc"' EXIT
 "$bsim" --kind bcache \
     --trace "$repo_root/examples/traces/conflict_dm.bst" \
     --interval 64 --stats-json "$doc" >/dev/null
-exec "$lint" "$doc"
+"$bsim" --kind bcache \
+    --trace "$repo_root/examples/traces/conflict_dm.bst" \
+    --sample 50:200:50 --stats-json "$sampled_doc" >/dev/null
+exec "$lint" "$doc" "$sampled_doc"

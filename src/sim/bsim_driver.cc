@@ -54,6 +54,14 @@ usage(const char *msg = nullptr)
                  "  [--accesses N]   synthetic run length, or a cap on "
                  "trace replay\n"
                  "                   (traces default to the whole file)\n"
+                 "  [--sample U:P:W] sampled run: measure U accesses "
+                 "every P, after\n"
+                 "                   W of functional warmup; reports a "
+                 "miss-ratio\n"
+                 "                   estimate with stderr and 95%% CI "
+                 "(EXPERIMENTS.md\n"
+                 "                   cookbook; not with --timed/"
+                 "--heatmap/--interval)\n"
                  "  [--trace-info FILE]  print a trace's header/format "
                  "and exit\n"
                  "  [--timed]        OOO-core/Table-4 processor model "
@@ -122,6 +130,25 @@ printTraceInfo(const std::string &path)
     return 0;
 }
 
+/** The human-readable estimate lines shared by all sampled drivers. */
+void
+printSampled(const SampledStats &s)
+{
+    const SampleEstimate e = s.estimate();
+    std::printf("sample   : U=%llu P=%llu W=%llu over %llu records "
+                "(%llu units, %.4f%% measured)\n",
+                static_cast<unsigned long long>(s.plan.unitLen),
+                static_cast<unsigned long long>(s.plan.period),
+                static_cast<unsigned long long>(s.plan.warmup),
+                static_cast<unsigned long long>(s.records),
+                static_cast<unsigned long long>(e.units),
+                100.0 * e.sampledFraction);
+    std::printf("estimate : miss ratio %.6f (stderr %.6f, 95%% CI "
+                "[%.6f, %.6f], MPKI %.2f)\n",
+                e.value, e.stderrValue, e.ciLo, e.ciHi,
+                1000.0 * e.value);
+}
+
 void
 printMissRate(const MissRateResult &r, const CacheConfig &cfg,
               const std::string &driver_desc)
@@ -150,6 +177,10 @@ printMissRate(const MissRateResult &r, const CacheConfig &cfg,
     if (r.victimHits)
         std::printf("victim   : %llu buffer hits\n",
                     static_cast<unsigned long long>(r.victimHits));
+    if (r.sampled) {
+        printSampled(*r.sampled);
+        return; // no balance: per-unit caches have no aggregate usage
+    }
     std::printf("balance  : %s\n", r.balance.toString().c_str());
 }
 
@@ -242,16 +273,27 @@ writeObserverExports(const StatsExport &ex, const ObserverReport &rep)
 /** --shards: parallel replay, per-shard table + merged totals. */
 int
 runSharded(const std::string &trace_path, const CacheConfig &cfg,
-           unsigned shards, unsigned jobs, std::size_t batch, bool json,
+           unsigned shards, unsigned jobs, std::size_t batch,
+           std::uint64_t max_accesses,
+           const std::optional<SamplePlan> &sample, bool json,
            const StatsExport &ex, const BsimHooks &hooks)
 {
     SweepOptions opts;
     opts.jobs = jobs;
     TraceReplayOptions replay;
     replay.batchLen = batch;
-    replay.observe = ex.observerConfig();
+    // Sampled jobs run per-unit caches and cannot be observed; the
+    // flag combinations that would need an observer are rejected in
+    // bsimMain before we get here. maxAccesses caps the sampled
+    // *population*; full sharded replay keeps its per-window semantics.
+    if (sample)
+        replay.maxAccesses = max_accesses;
+    else
+        replay.observe = ex.observerConfig();
     const TraceSweepResult res =
-        runTraceSharded(trace_path, cfg, shards, opts, replay);
+        sample ? runTraceSampledSharded(trace_path, cfg, *sample,
+                                        shards, opts, replay)
+               : runTraceSharded(trace_path, cfg, shards, opts, replay);
 
     if (ex.claimsStdout()) {
         // A "-" export owns stdout; skip the report entirely.
@@ -268,18 +310,28 @@ runSharded(const std::string &trace_path, const CacheConfig &cfg,
         for (std::size_t i = 0; i < res.shards.size(); ++i) {
             const MissRateResult &s = res.shards[i];
             const std::size_t win = s.workload.find('[');
+            std::string window = win == std::string::npos
+                                     ? std::string("[whole file)")
+                                     : s.workload.substr(win);
+            // Sampled jobs own unit ranges, not record windows.
+            if (s.sampled && !s.sampled->units.empty())
+                window = "units[" +
+                         std::to_string(s.sampled->units.front().unit) +
+                         "+" + std::to_string(s.sampled->units.size()) +
+                         ")";
             t.row()
                 .cell(std::uint64_t(i))
-                .cell(win == std::string::npos
-                          ? std::string("[whole file)")
-                          : s.workload.substr(win))
+                .cell(window)
                 .cell(s.stats.accesses)
                 .cell(s.stats.misses)
                 .cell(100.0 * s.missRate(), 4);
         }
-        t.print("sharded replay of " + trace_path + " on " +
-                cfg.label);
+        t.print((sample ? "sharded sampled replay of "
+                        : "sharded replay of ") +
+                trace_path + " on " + cfg.label);
         std::printf("merged   : %s\n", res.total.toString().c_str());
+        if (res.sampled)
+            printSampled(*res.sampled);
         if (res.victimHits)
             std::printf("victim   : %llu buffer hits\n",
                         static_cast<unsigned long long>(res.victimHits));
@@ -324,6 +376,7 @@ bsimMain(int argc, char **argv, const BsimHooks &hooks)
     unsigned shards = 0;
     unsigned jobs = 0;
     std::size_t batch = 0;
+    std::optional<SamplePlan> sample;
     bool json = false;
     bool timed = false;
     StatsExport ex;
@@ -385,6 +438,8 @@ bsimMain(int argc, char **argv, const BsimHooks &hooks)
             accesses = parseU64(need("--accesses"));
             accesses_set = true;
         }
+        else if (!std::strcmp(argv[i], "--sample"))
+            sample = parseSamplePlan(need("--sample"));
         else if (!std::strcmp(argv[i], "--seed"))
             seed = parseU64(need("--seed"));
         else if (!std::strcmp(argv[i], "--stats-json"))
@@ -437,6 +492,15 @@ bsimMain(int argc, char **argv, const BsimHooks &hooks)
     if (json && ex.claimsStdout())
         usage("--json and a '-' export both claim stdout");
 
+    if (sample) {
+        if (timed)
+            usage("--sample estimates miss ratios, not --timed runs");
+        if (!ex.heatmapPath.empty() || ex.interval > 0)
+            usage("--sample runs a fresh cache per unit, so there is "
+                  "no aggregate state for --heatmap/--interval "
+                  "(--stats-json still works: it carries the estimate)");
+    }
+
     if (timed) {
         if (!trace_path.empty())
             usage("--timed drives workloads, not traces");
@@ -472,7 +536,8 @@ bsimMain(int argc, char **argv, const BsimHooks &hooks)
     if (shards > 0) {
         if (trace_path.empty())
             usage("--shards needs --trace");
-        return runSharded(trace_path, cfg, shards, jobs, batch, json,
+        return runSharded(trace_path, cfg, shards, jobs, batch,
+                          accesses_set ? accesses : 0, sample, json,
                           ex, hooks);
     }
 
@@ -483,14 +548,23 @@ bsimMain(int argc, char **argv, const BsimHooks &hooks)
         TraceReplayOptions opts;
         opts.maxAccesses = accesses_set ? accesses : 0;
         opts.batchLen = batch;
-        opts.observe = ex.observerConfig();
-        r = runTraceReplay(trace_path, cfg, TraceShard{}, opts);
+        if (sample) {
+            r = runTraceSampled(trace_path, cfg, *sample, opts);
+        } else {
+            opts.observe = ex.observerConfig();
+            r = runTraceReplay(trace_path, cfg, TraceShard{}, opts);
+        }
     } else {
         if (!isSpec2kName(workload))
             usage("unknown --workload");
-        r = runMissRate(workload, side == "inst" ? StreamSide::Inst
-                                                 : StreamSide::Data,
-                        cfg, accesses, seed, ex.observerConfig());
+        const StreamSide s = side == "inst" ? StreamSide::Inst
+                                            : StreamSide::Data;
+        if (sample)
+            r = runMissRateSampled(workload, s, cfg, accesses, *sample,
+                                   seed);
+        else
+            r = runMissRate(workload, s, cfg, accesses, seed,
+                            ex.observerConfig());
     }
 
     if (!ex.statsJsonPath.empty())

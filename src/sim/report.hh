@@ -24,6 +24,14 @@ void writeJson(JsonWriter &j, const PdStats &s);
 /** Append a BalanceReport. */
 void writeJson(JsonWriter &j, const BalanceReport &b);
 
+/**
+ * Append a SampledStats evidence block: the plan (unitLen/period/
+ * warmup), population, unit count, sampled fraction, and the estimate
+ * with stderr and 95% CI. Replaces "balance" in sampled run bodies
+ * (per-unit caches have no aggregate set usage to classify).
+ */
+void writeJson(JsonWriter &j, const SampledStats &s);
+
 /** Serialize one standalone miss-rate run. */
 std::string toJson(const MissRateResult &r);
 

@@ -139,6 +139,94 @@ runMissRateOn(AccessStream &stream, const CacheConfig &config,
 }
 
 MissRateResult
+runMissRateSampledOn(AccessStream &stream, const CacheConfig &config,
+                     std::uint64_t accesses, const SamplePlan &plan,
+                     const std::string &workload_label)
+{
+    if (accesses == 0)
+        bsim_fatal("sampled run needs a nonzero population (accesses)");
+    const std::uint64_t n_units = plan.unitsFor(accesses);
+    const std::size_t batch_len =
+        std::max<std::size_t>(defaultBatchLen(), 1);
+    std::vector<MemAccess> reqs(batch_len);
+    std::vector<AccessOutcome> outs(batch_len);
+
+    SampledStats sampled;
+    sampled.plan = plan;
+    sampled.records = accesses;
+    sampled.units.reserve(static_cast<std::size_t>(n_units));
+    CacheStats total;
+
+    // One forward pass: streams cannot seek, so records between units
+    // are pulled and discarded (generation cost only); warmup and
+    // measured records are fed through the batched hot path.
+    std::uint64_t pos = 0;
+    auto pump = [&](std::uint64_t n, BaseCache *cache) {
+        while (n > 0) {
+            const std::size_t want = static_cast<std::size_t>(
+                std::min<std::uint64_t>(n, batch_len));
+            std::size_t got = want;
+            if (stream.hasSpanBatches()) {
+                std::span<const MemAccess> s = stream.nextSpan(want);
+                s = s.first(std::min(s.size(), want));
+                if (s.empty())
+                    bsim_fatal("stream '", workload_label,
+                               "' exhausted at record ", pos,
+                               " of a declared ", accesses,
+                               "-record population");
+                if (cache)
+                    cache->accessBatch(s, outs.data());
+                got = s.size();
+            } else {
+                stream.nextBatch(reqs.data(), want);
+                if (cache)
+                    cache->accessBatch({reqs.data(), want}, outs.data());
+            }
+            pos += got;
+            n -= got;
+        }
+    };
+
+    for (std::uint64_t k = 0; k < n_units; ++k) {
+        const std::uint64_t s0 = k * plan.period;
+        const std::uint64_t e =
+            std::min(s0 + plan.unitLen, accesses);
+        // Clamp the warmup window so it never reaches back into records
+        // already consumed (the previous unit, or the stream start).
+        const std::uint64_t w0 =
+            std::max(s0 >= plan.warmup ? s0 - plan.warmup : 0, pos);
+        pump(w0 - pos, nullptr);
+        auto cache = config.build(config.label, 1, nullptr);
+        pump(s0 - pos, cache.get());
+        const CacheStats after_warmup = cache->stats();
+        pump(e - pos, cache.get());
+        CacheStats delta = cache->stats();
+        delta -= after_warmup;
+        total += delta;
+        sampled.units.push_back({k, delta.accesses, delta.misses});
+    }
+
+    MissRateResult r;
+    r.workload = workload_label;
+    r.config = config.label;
+    r.stats = total;
+    r.sampled = std::move(sampled);
+    return r;
+}
+
+MissRateResult
+runMissRateSampled(const std::string &workload_name, StreamSide side,
+                   const CacheConfig &config, std::uint64_t accesses,
+                   const SamplePlan &plan, std::uint64_t seed)
+{
+    SpecWorkload wl = makeSpecWorkload(workload_name, seed);
+    AccessStream &stream =
+        side == StreamSide::Inst ? *wl.inst : *wl.data;
+    return runMissRateSampledOn(stream, config, accesses, plan,
+                                workload_name);
+}
+
+MissRateResult
 runMissRate(const std::string &workload_name, StreamSide side,
             const CacheConfig &config, std::uint64_t accesses,
             std::uint64_t seed, const ObserverConfig &observe)

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Sampled-simulation support: systematic interval sampling over a trace
+ * or synthetic stream (SMARTS-style). A SamplePlan selects measured
+ * units of U records every P records, each preceded by a W-record
+ * functional-warmup window that primes tag state without being counted.
+ * Per-unit integer sums feed common/stats' StratifiedEstimator, which
+ * turns them into a miss-ratio point estimate with a standard error and
+ * a 95% confidence interval across units.
+ *
+ * Determinism: every sampling unit is simulated independently from a
+ * cold cache (warmup included), so a unit's sums depend only on (trace,
+ * config, plan, unit index) — never on which shard or thread ran it.
+ * Sharded sampled replay partitions *units* (not records) across jobs
+ * and concatenates the per-unit sums in unit order, making the merged
+ * result bit-identical at any --jobs value or shard count.
+ */
+
+#ifndef BSIM_SIM_SAMPLING_HH
+#define BSIM_SIM_SAMPLING_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace bsim {
+
+/** One systematic sampling schedule: U records every P, W of warmup. */
+struct SamplePlan
+{
+    /** Measured records per sampling unit (U >= 1). */
+    std::uint64_t unitLen = 0;
+    /** Records between unit starts (P >= U); unit k starts at k*P. */
+    std::uint64_t period = 0;
+    /** Functional-warmup records replayed (unmeasured) before a unit. */
+    std::uint64_t warmup = 0;
+
+    /** Units the plan yields over a population of @p records. */
+    std::uint64_t unitsFor(std::uint64_t records) const;
+
+    /** "U:P:W" — the --sample spelling, for labels and reports. */
+    std::string toString() const;
+};
+
+/**
+ * Parse a "U:P[:W]" spec (the --sample argument). Fatal on malformed
+ * input, U == 0, or P < U (overlapping units would double-count).
+ */
+SamplePlan parseSamplePlan(const std::string &spec);
+
+/**
+ * Strip `--sample U:P[:W]` (or `--sample=U:P[:W]`) out of argv, exactly
+ * like consumeJobsFlag does for --jobs, so every fig/table harness gets
+ * sampling for free. With no flag present, a non-empty BSIM_SAMPLE
+ * environment variable is parsed instead; nullopt means "run full".
+ */
+std::optional<SamplePlan> consumeSampleFlag(int &argc, char **argv);
+
+/** One measured unit's integer sums — the estimator's raw material. */
+struct SampleUnitSums
+{
+    std::uint64_t unit = 0; ///< unit index on the plan's grid
+    std::uint64_t accesses = 0;
+    std::uint64_t misses = 0;
+};
+
+/**
+ * A sampled run's full evidence: the plan, the population size, and the
+ * per-unit sums in ascending unit order. Shard results concatenate via
+ * operator+= (shards own contiguous unit ranges, so shard order is unit
+ * order); estimate() re-derives the estimate from the integer sums, so
+ * merged and single-job runs agree bit for bit.
+ */
+struct SampledStats
+{
+    SamplePlan plan;
+    /** Records in the full population the units were drawn from. */
+    std::uint64_t records = 0;
+    std::vector<SampleUnitSums> units;
+
+    /** Measured records across all units. */
+    std::uint64_t sampledRecords() const;
+
+    /** Ratio estimate with stderr/CI, via common/stats. */
+    SampleEstimate estimate() const;
+
+    /** Concatenate another shard's units (ascending-unit invariant). */
+    SampledStats &operator+=(const SampledStats &other);
+};
+
+} // namespace bsim
+
+#endif // BSIM_SIM_SAMPLING_HH

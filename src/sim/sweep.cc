@@ -60,8 +60,13 @@ runOne(const SweepJob &job, std::size_t index, std::uint64_t base_seed)
         }
         switch (job.kind) {
           case SweepJob::Kind::MissRate:
-            out.miss = runMissRate(job.workload, job.side, job.config,
-                                   job.length, out.seed);
+            if (job.sample)
+                out.miss = runMissRateSampled(job.workload, job.side,
+                                              job.config, job.length,
+                                              *job.sample, out.seed);
+            else
+                out.miss = runMissRate(job.workload, job.side,
+                                       job.config, job.length, out.seed);
             break;
           case SweepJob::Kind::Timed:
             out.timed = runTimed(job.workload, job.config, job.length,
@@ -79,8 +84,14 @@ runOne(const SweepJob &job, std::size_t index, std::uint64_t base_seed)
             opts.maxAccesses = job.length;
             opts.batchLen = job.traceBatchLen;
             opts.observe = job.observe;
-            out.miss = runTraceReplay(job.tracePath, job.config,
-                                      job.shard, opts);
+            if (job.sample)
+                out.miss = runTraceSampled(job.tracePath, job.config,
+                                           *job.sample, opts,
+                                           job.sampleFirstUnit,
+                                           job.sampleUnitCount);
+            else
+                out.miss = runTraceReplay(job.tracePath, job.config,
+                                          job.shard, opts);
             break;
           }
         }
@@ -152,6 +163,25 @@ SweepJob::traceReplay(std::string path, TraceShard shard,
     j.shard = shard;
     j.traceBatchLen = batch_len;
     j.observe = observe;
+    return j;
+}
+
+SweepJob
+SweepJob::traceSampled(std::string path, CacheConfig config,
+                       SamplePlan plan, std::uint64_t first_unit,
+                       std::uint64_t unit_count,
+                       std::uint64_t max_accesses, std::size_t batch_len)
+{
+    SweepJob j;
+    j.kind = Kind::Trace;
+    j.workload = "trace:" + path + "#sample" + plan.toString();
+    j.config = std::move(config);
+    j.length = max_accesses;
+    j.tracePath = std::move(path);
+    j.traceBatchLen = batch_len;
+    j.sample = plan;
+    j.sampleFirstUnit = first_unit;
+    j.sampleUnitCount = unit_count;
     return j;
 }
 

@@ -65,6 +65,18 @@ struct SweepJob
     std::size_t traceBatchLen = 0;
     /** Trace jobs only: ride a StatsObserver along with the replay. */
     ObserverConfig observe;
+    /**
+     * When set, the job runs sampled (sim/sampling.hh): MissRate jobs
+     * go through runMissRateSampled(), Trace jobs through
+     * runTraceSampled() on the unit range below. Sampled jobs ignore
+     * `shard` (warmup windows may precede a record boundary; units are
+     * partitioned instead) and must not set `observe`.
+     */
+    std::optional<SamplePlan> sample;
+    /** Sampled Trace jobs: first unit index this job owns. */
+    std::uint64_t sampleFirstUnit = 0;
+    /** Sampled Trace jobs: units owned (0 = through the last unit). */
+    std::uint64_t sampleUnitCount = 0;
 
     static SweepJob missRate(std::string workload, StreamSide side,
                              CacheConfig config, std::uint64_t accesses,
@@ -92,6 +104,19 @@ struct SweepJob
                                 std::uint64_t max_accesses = 0,
                                 std::size_t batch_len = 0,
                                 ObserverConfig observe = {});
+    /**
+     * Sampled replay of units [first_unit, first_unit + unit_count) of
+     * @p plan's grid over @p path (sim/trace_replay.hh). Like
+     * traceReplay, a pure function of its arguments — the derived seed
+     * is unused. @p max_accesses caps the *population* the unit grid is
+     * laid over, not a replay length.
+     */
+    static SweepJob traceSampled(std::string path, CacheConfig config,
+                                 SamplePlan plan,
+                                 std::uint64_t first_unit,
+                                 std::uint64_t unit_count,
+                                 std::uint64_t max_accesses = 0,
+                                 std::size_t batch_len = 0);
 };
 
 /** Result of one job, delivered in submission order. */

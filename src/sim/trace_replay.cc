@@ -161,6 +161,143 @@ mergeSideCounters(TraceSweepResult &total, const MissRateResult &shard)
             total.observer = ObserverReport{};
         *total.observer += *shard.observer;
     }
+    if (shard.sampled) {
+        if (!total.sampled)
+            total.sampled = SampledStats{};
+        *total.sampled += *shard.sampled;
+    }
+}
+
+namespace {
+
+/** Sampled population: trace records, optionally capped by the caller. */
+std::uint64_t
+sampledPopulation(const std::string &path,
+                  const TraceReplayOptions &options)
+{
+    const TraceInfo info = probeTrace(path);
+    if (info.recordCount == kUnknownRecordCount)
+        bsim_fatal("cannot sample text trace '", path,
+                   "': the record count is unknown without a full "
+                   "scan; convert it to .bst first (docs/TRACES.md)");
+    std::uint64_t records = info.recordCount;
+    if (options.maxAccesses)
+        records = std::min(records, options.maxAccesses);
+    return records;
+}
+
+} // namespace
+
+MissRateResult
+runTraceSampled(const std::string &path, const CacheConfig &config,
+                const SamplePlan &plan,
+                const TraceReplayOptions &options,
+                std::uint64_t first_unit, std::uint64_t unit_count)
+{
+    if (options.observe.enabled)
+        bsim_fatal("sampled replay cannot ride an observer: each unit "
+                   "runs its own short-lived cache, so there is no "
+                   "aggregate per-set state to observe");
+    const std::uint64_t records = sampledPopulation(path, options);
+    const std::uint64_t n_units = plan.unitsFor(records);
+    const std::uint64_t u0 = std::min(first_unit, n_units);
+    const std::uint64_t u1 = unit_count == 0
+                                 ? n_units
+                                 : std::min(u0 + unit_count, n_units);
+
+    TraceReaderPtr reader = openTraceReader(path);
+    const std::size_t batch_len = std::max<std::size_t>(
+        options.batchLen ? options.batchLen : defaultBatchLen(), 1);
+    std::vector<AccessOutcome> outs(batch_len);
+
+    SampledStats sampled;
+    sampled.plan = plan;
+    sampled.records = records;
+    sampled.units.reserve(static_cast<std::size_t>(u1 - u0));
+    CacheStats total;
+
+    auto pump = [&](BaseCache &cache, std::uint64_t n) {
+        while (n > 0) {
+            const std::size_t want = static_cast<std::size_t>(
+                std::min<std::uint64_t>(n, batch_len));
+            // Same defensive clamp as runTraceReplay.
+            std::span<const MemAccess> s = reader->nextSpan(want);
+            s = s.first(std::min(s.size(), want));
+            if (s.empty())
+                bsim_fatal("trace '", path, "' ended at record ",
+                           reader->position(),
+                           " inside a sampling unit");
+            cache.accessBatch(s, outs.data());
+            n -= s.size();
+        }
+    };
+
+    for (std::uint64_t k = u0; k < u1; ++k) {
+        // Unit k measures [k*P, min(k*P + U, records)), warmed up from
+        // a cold cache over the W records before it. Simulating every
+        // unit independently is what makes a unit's sums a pure
+        // function of (trace, config, plan, k) — the bit-identity
+        // contract sharding relies on.
+        const std::uint64_t start = k * plan.period;
+        const std::uint64_t end =
+            std::min(start + plan.unitLen, records);
+        const std::uint64_t warm_start =
+            start >= plan.warmup ? start - plan.warmup : 0;
+        reader->skipTo(warm_start);
+        auto cache = config.build(config.label, 1, nullptr);
+        pump(*cache, start - warm_start);
+        const CacheStats after_warmup = cache->stats();
+        pump(*cache, end - start);
+        CacheStats delta = cache->stats();
+        delta -= after_warmup;
+        total += delta;
+        sampled.units.push_back({k, delta.accesses, delta.misses});
+    }
+
+    MissRateResult r;
+    r.workload = replayLabel(path, TraceShard{});
+    r.config = config.label;
+    r.stats = total;
+    r.sampled = std::move(sampled);
+    return r;
+}
+
+TraceSweepResult
+runTraceSampledSharded(const std::string &path, const CacheConfig &config,
+                       const SamplePlan &plan, unsigned shards,
+                       const SweepOptions &options,
+                       const TraceReplayOptions &replay)
+{
+    const std::uint64_t records = sampledPopulation(path, replay);
+    const std::uint64_t n_units = plan.unitsFor(records);
+    // Partition unit indices, never records: shard g owns units
+    // [g*K/S, (g+1)*K/S), so the concatenation of per-unit sums in
+    // shard order is exactly the single-job unit list.
+    const std::uint64_t groups = std::max<std::uint64_t>(
+        std::min<std::uint64_t>(std::max(shards, 1u), n_units), 1);
+    std::vector<SweepJob> jobs;
+    jobs.reserve(static_cast<std::size_t>(groups));
+    for (std::uint64_t g = 0; g < groups; ++g) {
+        const std::uint64_t g0 = g * n_units / groups;
+        const std::uint64_t g1 = (g + 1) * n_units / groups;
+        if (g0 == g1 && n_units > 0)
+            continue;
+        jobs.push_back(SweepJob::traceSampled(path, config, plan, g0,
+                                              g1 - g0,
+                                              replay.maxAccesses,
+                                              replay.batchLen));
+    }
+    const SweepRun run = runSweep(jobs, options);
+
+    TraceSweepResult result;
+    result.shards.reserve(run.outcomes.size());
+    for (const SweepOutcome &out : run.outcomes)
+        result.shards.push_back(missResult(out));
+    result.total = mergeShardStats(result.shards);
+    for (const MissRateResult &s : result.shards)
+        mergeSideCounters(result, s);
+    result.summary = run.summary;
+    return result;
 }
 
 TraceSweepResult

@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "common/random.hh"
 #include "workload/generators.hh"
 #include "workload/trace.hh"
 #include "workload/trace_format.hh"
@@ -321,6 +322,145 @@ TEST_F(TraceReaderTest, NonCyclingTraceStreamExhausts)
     // runner would otherwise spin on a phantom workload).
     EXPECT_EXIT(stream.next(), ::testing::ExitedWithCode(1),
                 "exhausted");
+}
+
+TEST_F(TraceReaderTest, Bst2FuzzRoundTripsRandomShapes)
+{
+    // Property fuzz over the writer/reader pair: random payload sizes x
+    // random chunk capacities x random span clamps must all round-trip
+    // bit-exactly and agree with the header probe.
+    Rng rng(0x5eedf00d);
+    for (int iter = 0; iter < 40; ++iter) {
+        const auto n = static_cast<std::size_t>(rng.nextBounded(400));
+        const auto chunk =
+            static_cast<std::uint32_t>(1 + rng.nextBounded(96));
+        const std::string p = path("fz" + std::to_string(iter) + ".bst");
+        const auto in = sampleTrace(n);
+        writeBst2Trace(p, in, chunk);
+
+        const TraceInfo info = probeTrace(p);
+        ASSERT_EQ(info.recordCount, n) << "iter " << iter;
+        ASSERT_EQ(info.chunkLen, chunk) << "iter " << iter;
+
+        const auto max_n =
+            static_cast<std::size_t>(1 + rng.nextBounded(2 * chunk));
+        auto reader = openTraceReader(p);
+        expectSame(drain(*reader, max_n), in);
+    }
+}
+
+TEST_F(TraceReaderTest, SkipToMatchesSequentialOnBst2)
+{
+    // skipTo is the sampled replay's inter-unit fast-forward: landing
+    // there must be indistinguishable from reading every record up to
+    // the target. Random forward AND backward hops on the mmap reader.
+    const auto in = sampleTrace(200);
+    writeBst2Trace(path("sk.bst"), in, 16);
+    auto reader = openTraceReader(path("sk.bst"));
+    Rng rng(42);
+    for (int hop = 0; hop < 50; ++hop) {
+        const std::uint64_t target = rng.nextBounded(in.size());
+        reader->skipTo(target);
+        EXPECT_EQ(reader->position(), target) << "hop " << hop;
+        const auto s = reader->nextSpan(1);
+        ASSERT_EQ(s.size(), 1u) << "hop " << hop;
+        EXPECT_EQ(s[0].addr, in[target].addr) << "hop " << hop;
+        EXPECT_EQ(s[0].type, in[target].type) << "hop " << hop;
+    }
+    // Landing exactly on end-of-window is a legal no-op position...
+    reader->skipTo(in.size());
+    EXPECT_TRUE(reader->nextSpan(8).empty());
+    // ...one past it is a configuration error.
+    EXPECT_EXIT(reader->skipTo(in.size() + 1),
+                ::testing::ExitedWithCode(1), "skip to record");
+}
+
+TEST_F(TraceReaderTest, SkipToMatchesSequentialOnSequentialSources)
+{
+    // The base-class fallback (reset + decode-and-discard) must land in
+    // the same place on readers with no random access: text traces and,
+    // when available, gzip streams.
+    const auto in = sampleTrace(120);
+    writeTextTrace(path("sq.din"), in);
+    std::vector<std::string> paths{path("sq.din")};
+    if (zlibAvailable()) {
+        writeBst2Trace(path("sq.bst"), in, 16);
+        gzipFile(path("sq.bst"), path("sq.bst.gz"));
+        paths.push_back(path("sq.bst.gz"));
+    }
+    for (const std::string &p : paths) {
+        auto reader = openTraceReader(p);
+        Rng rng(7);
+        for (int hop = 0; hop < 20; ++hop) {
+            const std::uint64_t target = rng.nextBounded(in.size());
+            reader->skipTo(target); // backward hops force a reset
+            EXPECT_EQ(reader->position(), target) << p;
+            const auto s = reader->nextSpan(1);
+            ASSERT_EQ(s.size(), 1u) << p;
+            EXPECT_EQ(s[0].addr, in[target].addr) << p << " hop " << hop;
+        }
+        EXPECT_EXIT(reader->skipTo(in.size() + 40),
+                    ::testing::ExitedWithCode(1), "skip to record");
+    }
+}
+
+TEST_F(TraceReaderTest, SkipToWithinShardWindow)
+{
+    // Windowed readers address records relative to the window start:
+    // skipTo(k) inside a shard must land on absolute record first + k.
+    const auto in = sampleTrace(100);
+    writeBst2Trace(path("sw.bst"), in, 8);
+    auto reader = openTraceReader(path("sw.bst"), TraceShard{30, 40});
+    reader->skipTo(10);
+    const auto s = reader->nextSpan(1);
+    ASSERT_EQ(s.size(), 1u);
+    EXPECT_EQ(s[0].addr, in[40].addr);
+}
+
+TEST_F(TraceReaderTest, TruncatedTailChunkIsFatal)
+{
+    // Chop exactly one record off the final (partial) chunk: the
+    // header/file-size cross-check must refuse the whole file.
+    const auto in = sampleTrace(20); // chunkLen 8 -> 4-record tail
+    writeBst2Trace(path("tail.bst"), in, 8);
+    std::error_code ec;
+    const auto full = std::filesystem::file_size(path("tail.bst"), ec);
+    std::filesystem::resize_file(path("tail.bst"),
+                                 full - kBst2RecordBytes, ec);
+    ASSERT_FALSE(ec);
+    EXPECT_EXIT(openTraceReader(path("tail.bst")),
+                ::testing::ExitedWithCode(1), "truncated BST2 trace");
+}
+
+TEST_F(TraceReaderTest, CorruptChunkFrameHeaderIsFatal)
+{
+    const auto in = sampleTrace(30); // chunkLen 8 -> 4 chunks
+    writeBst2Trace(path("cf.bst"), in, 8);
+    // Scribble over chunk 2's frame marker ("CHNK"): validation names
+    // the malformed chunk instead of mis-framing the rest of the file.
+    std::FILE *f = std::fopen(path("cf.bst").c_str(), "r+b");
+    const long off =
+        long(kBst2HeaderBytes +
+             2 * (kBst2ChunkHeaderBytes + 8 * kBst2RecordBytes));
+    std::fseek(f, off, SEEK_SET);
+    std::fputc(0x00, f);
+    std::fclose(f);
+    EXPECT_EXIT(drain(*openTraceReader(path("cf.bst")), 64),
+                ::testing::ExitedWithCode(1), "malformed BST2 trace");
+}
+
+TEST_F(TraceReaderTest, CorruptChunkRecordCountIsFatal)
+{
+    const auto in = sampleTrace(30);
+    writeBst2Trace(path("cc.bst"), in, 8);
+    // Inflate chunk 0's in-chunk record count (u32 at frame offset 4):
+    // it now disagrees with the file header's chunk geometry.
+    std::FILE *f = std::fopen(path("cc.bst").c_str(), "r+b");
+    std::fseek(f, long(kBst2HeaderBytes + 4), SEEK_SET);
+    std::fputc(0xff, f);
+    std::fclose(f);
+    EXPECT_EXIT(drain(*openTraceReader(path("cc.bst")), 64),
+                ::testing::ExitedWithCode(1), "malformed BST2 trace");
 }
 
 TEST(RecordingStreamLimit, CapsAndCountsOverflow)
