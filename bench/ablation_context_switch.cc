@@ -39,10 +39,10 @@ main()
     const std::uint64_t n = defaultAccesses(400'000);
 
     const std::vector<CacheConfig> configs = {
-        CacheConfig::directMapped(16 * 1024),
-        CacheConfig::setAssoc(16 * 1024, 8),
-        CacheConfig::bcache(16 * 1024, 8, 8),
-        CacheConfig::victim(16 * 1024, 16),
+        parseCacheSpec("dm:16kB"),
+        parseCacheSpec("sa:16kB,8w"),
+        parseCacheSpec("bcache:16kB,mf=8,bas=8"),
+        parseCacheSpec("dm:16kB+victim:16"),
     };
 
     Table t({"quantum", "dm miss%", "8way miss%", "MF8-BAS8 miss%",

@@ -43,9 +43,9 @@ main()
     RunningStat a_dmd, a_dml, a_bcd, a_bcl;
     for (const auto &b : spec2kNames()) {
         const DrowsyReport dm =
-            runDrowsy(b, CacheConfig::directMapped(16 * 1024), n);
+            runDrowsy(b, parseCacheSpec("dm:16kB"), n);
         const DrowsyReport bc =
-            runDrowsy(b, CacheConfig::bcache(16 * 1024, 8, 8), n);
+            runDrowsy(b, parseCacheSpec("bcache:16kB,mf=8,bas=8"), n);
         t.row()
             .cell(b)
             .cell(100.0 * dm.drowsyFraction, 1)

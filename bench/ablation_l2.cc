@@ -40,19 +40,19 @@ main()
         RunningStat g8, gbc, gv;
         for (const char *b : sample) {
             const double base =
-                runTimed(b, CacheConfig::directMapped(16 * 1024), uops,
+                runTimed(b, parseCacheSpec("dm:16kB"), uops,
                          0xb5eedULL, hp)
                     .ipc();
             const double w8 =
-                runTimed(b, CacheConfig::setAssoc(16 * 1024, 8), uops,
+                runTimed(b, parseCacheSpec("sa:16kB,8w"), uops,
                          0xb5eedULL, hp)
                     .ipc();
             const double bc =
-                runTimed(b, CacheConfig::bcache(16 * 1024, 8, 8), uops,
+                runTimed(b, parseCacheSpec("bcache:16kB,mf=8,bas=8"), uops,
                          0xb5eedULL, hp)
                     .ipc();
             const double vc =
-                runTimed(b, CacheConfig::victim(16 * 1024, 16), uops,
+                runTimed(b, parseCacheSpec("dm:16kB+victim:16"), uops,
                          0xb5eedULL, hp)
                     .ipc();
             g8.add(100.0 * (w8 - base) / base);

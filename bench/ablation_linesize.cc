@@ -27,32 +27,31 @@ main()
         for (const auto &b : spec2kNames()) {
             const double base =
                 runMissRate(b, StreamSide::Data,
-                            CacheConfig::directMapped(16 * 1024, line),
+                            parseCacheSpec(
+                                strprintf("dm:16kB,line=%u", line)),
                             n)
                     .missRate();
             dm.add(100.0 * base);
             r8.add(reductionPct(
                 base, runMissRate(b, StreamSide::Data,
-                                  CacheConfig::setAssoc(16 * 1024, 8,
-                                                        ReplPolicyKind::
-                                                            LRU,
-                                                        line),
+                                  parseCacheSpec(strprintf(
+                                      "sa:16kB,8w,line=%u", line)),
                                   n)
                           .missRate()));
             rb8.add(reductionPct(
                 base,
                 runMissRate(b, StreamSide::Data,
-                            CacheConfig::bcache(16 * 1024, 8, 8,
-                                                ReplPolicyKind::LRU,
-                                                line),
+                            parseCacheSpec(strprintf(
+                                "bcache:16kB,mf=8,bas=8,line=%u",
+                                line)),
                             n)
                     .missRate()));
             rb16.add(reductionPct(
                 base,
                 runMissRate(b, StreamSide::Data,
-                            CacheConfig::bcache(16 * 1024, 16, 8,
-                                                ReplPolicyKind::LRU,
-                                                line),
+                            parseCacheSpec(strprintf(
+                                "bcache:16kB,mf=16,bas=8,line=%u",
+                                line)),
                             n)
                     .missRate()));
         }

@@ -32,15 +32,18 @@ main()
         for (const auto &b : spec2kNames()) {
             const double dm =
                 runMissRate(b, StreamSide::Data,
-                            CacheConfig::directMapped(16 * 1024), n)
+                            parseCacheSpec("dm:16kB"), n)
                     .missRate();
             const double bc =
                 runMissRate(b, StreamSide::Data,
-                            CacheConfig::bcache(16 * 1024, 8, bas), n)
+                            parseCacheSpec(strprintf(
+                                "bcache:16kB,mf=8,bas=%u", bas)),
+                            n)
                     .missRate();
             rd.add(reductionPct(dm, bc));
         }
-        const CacheConfig cfg = CacheConfig::bcache(16 * 1024, 8, bas);
+        const CacheConfig cfg = parseCacheSpec(
+            strprintf("bcache:16kB,mf=8,bas=%u", bas));
         const BCacheParams p = cfg.bcacheParams();
         t.row()
             .cell(bas)
@@ -59,7 +62,9 @@ main()
         for (const auto &b : spec2kNames()) {
             const auto r = runMissRate(
                 b, StreamSide::Data,
-                CacheConfig::bcache(16 * 1024, mf, 8), n);
+                parseCacheSpec(
+                    strprintf("bcache:16kB,mf=%u,bas=8", mf)),
+                n);
             ph.add(100.0 * r.pd->pdHitRateOnMiss());
         }
         f.row()

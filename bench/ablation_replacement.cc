@@ -7,6 +7,7 @@
  */
 
 #include "bench/bench_util.hh"
+#include "common/strings.hh"
 #include "workload/spec2k.hh"
 
 using namespace bsim;
@@ -31,22 +32,28 @@ main()
         for (const auto &b : spec2kNames()) {
             const double dm =
                 runMissRate(b, StreamSide::Data,
-                            CacheConfig::directMapped(16 * 1024), n)
+                            parseCacheSpec("dm:16kB"), n)
                     .missRate();
             const double bc =
                 runMissRate(b, StreamSide::Data,
-                            CacheConfig::bcache(16 * 1024, 8, 8, k), n)
+                            parseCacheSpec(strprintf(
+                                "bcache:16kB,mf=8,bas=8,repl=%s",
+                                replPolicyName(k))),
+                            n)
                     .missRate();
             rd.add(reductionPct(dm, bc));
         }
         for (const auto &b : spec2kIcacheReportedNames()) {
             const double dm =
                 runMissRate(b, StreamSide::Inst,
-                            CacheConfig::directMapped(16 * 1024), n)
+                            parseCacheSpec("dm:16kB"), n)
                     .missRate();
             const double bc =
                 runMissRate(b, StreamSide::Inst,
-                            CacheConfig::bcache(16 * 1024, 8, 8, k), n)
+                            parseCacheSpec(strprintf(
+                                "bcache:16kB,mf=8,bas=8,repl=%s",
+                                replPolicyName(k))),
+                            n)
                     .missRate();
             ri.add(reductionPct(dm, bc));
         }

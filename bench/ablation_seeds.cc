@@ -31,10 +31,10 @@ main(int argc, char **argv)
     options.jobs = consumeJobsFlag(argc, argv);
 
     const std::vector<CacheConfig> configs = {
-        CacheConfig::directMapped(16 * 1024),
-        CacheConfig::setAssoc(16 * 1024, 8),
-        CacheConfig::bcache(16 * 1024, 8, 8),
-        CacheConfig::victim(16 * 1024, 16),
+        parseCacheSpec("dm:16kB"),
+        parseCacheSpec("sa:16kB,8w"),
+        parseCacheSpec("bcache:16kB,mf=8,bas=8"),
+        parseCacheSpec("dm:16kB+victim:16"),
     };
     std::vector<SweepJob> jobs;
     for (const std::uint64_t seed : seeds)

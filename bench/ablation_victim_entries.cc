@@ -30,11 +30,13 @@ main()
         for (const auto &b : spec2kNames()) {
             const double dm =
                 runMissRate(b, StreamSide::Data,
-                            CacheConfig::directMapped(16 * 1024), n)
+                            parseCacheSpec("dm:16kB"), n)
                     .missRate();
             const double v =
                 runMissRate(b, StreamSide::Data,
-                            CacheConfig::victim(16 * 1024, entries), n)
+                            parseCacheSpec(strprintf(
+                                "dm:16kB+victim:%zu", entries)),
+                            n)
                     .missRate();
             const double r = reductionPct(dm, v);
             red.add(r);
@@ -52,11 +54,11 @@ main()
     for (const auto &b : spec2kNames()) {
         const double dm =
             runMissRate(b, StreamSide::Data,
-                        CacheConfig::directMapped(16 * 1024), n)
+                        parseCacheSpec("dm:16kB"), n)
                 .missRate();
         bc.add(reductionPct(
             dm, runMissRate(b, StreamSide::Data,
-                            CacheConfig::bcache(16 * 1024, 8, 8), n)
+                            parseCacheSpec("bcache:16kB,mf=8,bas=8"), n)
                     .missRate()));
     }
     t.row().cell("B-Cache").cell(bc.mean(), 1).cell("").cell("");

@@ -30,7 +30,7 @@ run(const std::string &bench, CacheConfig cfg, WritePolicy wp,
     cfg.writePolicy = wp;
     CacheHierarchy h;
     h.setL1D(cfg.build("L1D"));
-    h.setL1I(CacheConfig::directMapped(16 * 1024).build("L1I"));
+    h.setL1I(parseCacheSpec("dm:16kB").build("L1I"));
     SpecWorkload w = makeSpecWorkload(bench);
     for (std::uint64_t i = 0; i < n; ++i) {
         const MemAccess a = w.data->next();
@@ -60,8 +60,8 @@ main()
 
     Table t({"config", "policy", "D$-miss%", "L2-traffic/1k-acc"});
     RunningStat wb_traffic, wt_traffic;
-    for (const auto &cfg : {CacheConfig::directMapped(16 * 1024),
-                            CacheConfig::bcache(16 * 1024, 8, 8)}) {
+    for (const auto &cfg : {parseCacheSpec("dm:16kB"),
+                            parseCacheSpec("bcache:16kB,mf=8,bas=8")}) {
         RunningStat m_wb, m_wt, t_wb, t_wt;
         for (const auto &b : spec2kNames()) {
             const Traffic wb =

@@ -25,12 +25,12 @@ main()
     const std::uint64_t n = defaultAccesses(300'000);
 
     const std::vector<CacheConfig> configs = {
-        CacheConfig::directMapped(16 * 1024),
-        CacheConfig::setAssoc(16 * 1024, 2),
-        CacheConfig::setAssoc(16 * 1024, 4),
-        CacheConfig::setAssoc(16 * 1024, 8),
-        CacheConfig::victim(16 * 1024, 16),
-        CacheConfig::bcache(16 * 1024, 8, 8),
+        parseCacheSpec("dm:16kB"),
+        parseCacheSpec("sa:16kB,2w"),
+        parseCacheSpec("sa:16kB,4w"),
+        parseCacheSpec("sa:16kB,8w"),
+        parseCacheSpec("dm:16kB+victim:16"),
+        parseCacheSpec("bcache:16kB,mf=8,bas=8"),
     };
 
     // Suite-average D$ miss rate and slow-hit fraction per config.

@@ -38,7 +38,8 @@ runRow(const std::string &workload, StreamSide side,
     MissRow row;
     row.emplace("baseline",
                 runMissRate(workload, side,
-                            CacheConfig::directMapped(size_bytes),
+                            parseCacheSpec(
+                                "dm:" + std::to_string(size_bytes)),
                             accesses));
     for (const auto &cfg : configs)
         row.emplace(cfg.label,
@@ -70,9 +71,10 @@ runRows(const std::vector<std::string> &benchmarks, StreamSide side,
     jobs.reserve(benchmarks.size() * (configs.size() + 1));
     for (const auto &b : benchmarks) {
         jobs.push_back(
-            SweepJob::missRate(b, side,
-                               CacheConfig::directMapped(size_bytes),
-                               accesses, kDefaultSeed));
+            SweepJob::missRate(
+                b, side,
+                parseCacheSpec("dm:" + std::to_string(size_bytes)),
+                accesses, kDefaultSeed));
         for (const auto &cfg : configs)
             jobs.push_back(
                 SweepJob::missRate(b, side, cfg, accesses,

@@ -41,9 +41,9 @@ main()
             return runMissRateOn(replay, cfg, trace.size(), b)
                 .missRate();
         };
-        const double dm = run(CacheConfig::directMapped(16 * 1024));
-        const double lru = run(CacheConfig::setAssoc(16 * 1024, 8));
-        const double bc = run(CacheConfig::bcache(16 * 1024, 16, 8));
+        const double dm = run(parseCacheSpec("dm:16kB"));
+        const double lru = run(parseCacheSpec("sa:16kB,8w"));
+        const double bc = run(parseCacheSpec("bcache:16kB,mf=16,bas=8"));
         const OptResult opt8 =
             optSimulate(trace, CacheGeometry(16 * 1024, 32, 8));
         const OptResult optf =

@@ -9,7 +9,7 @@
  */
 
 #include "bench/bench_util.hh"
-#include "bcache/bcache.hh"
+#include "common/strings.hh"
 #include "cache/hierarchy.hh"
 #include "cpu/ooo_core.hh"
 #include "workload/spec2k.hh"
@@ -30,30 +30,30 @@ struct Result
 Result
 run(const std::string &bench, L2Kind kind, std::uint64_t uops)
 {
-    HierarchyParams hp; // paper Table 4 defaults
+    const HierarchyParams &hp = kTable4Hierarchy;
     CacheHierarchy h(hp);
+    const auto setL2 = [&](const std::string &spec) {
+        h.setL2(parseCacheSpec(spec + strprintf(
+                    ",line=%u", hp.l2LineBytes))
+                    .build("L2", hp.l2HitLatency, &h.memory()));
+    };
+    const std::string l2Size = strprintf(
+        "%llu", static_cast<unsigned long long>(hp.l2SizeBytes));
     switch (kind) {
       case L2Kind::DirectMapped:
-        h.setL2(std::make_unique<SetAssocCache>(
-            "L2", CacheGeometry(hp.l2SizeBytes, hp.l2LineBytes, 1),
-            hp.l2HitLatency, &h.memory()));
+        setL2("dm:" + l2Size);
         break;
       case L2Kind::FourWay:
         break; // the default
       case L2Kind::BCacheL2:
-      case L2Kind::BCacheL2HighMf: {
-        BCacheParams p;
-        p.sizeBytes = hp.l2SizeBytes;
-        p.lineBytes = hp.l2LineBytes;
-        p.mf = kind == L2Kind::BCacheL2 ? 8 : 64;
-        p.bas = 8;
-        h.setL2(std::make_unique<BCache>("L2", p, hp.l2HitLatency,
-                                         &h.memory()));
+        setL2("bcache:" + l2Size + ",mf=8,bas=8");
         break;
-      }
+      case L2Kind::BCacheL2HighMf:
+        setL2("bcache:" + l2Size + ",mf=64,bas=8");
+        break;
     }
-    h.setL1I(CacheConfig::directMapped(16 * 1024).build("L1I"));
-    h.setL1D(CacheConfig::directMapped(16 * 1024).build("L1D"));
+    h.setL1I(parseCacheSpec("dm:16kB").build("L1I"));
+    h.setL1D(parseCacheSpec("dm:16kB").build("L1D"));
 
     SyntheticProgram prog(makeSpecWorkload(bench), 0xc0ffee);
     OooCore core(CoreParams{}, h);

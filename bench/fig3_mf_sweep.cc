@@ -30,7 +30,8 @@ main(int argc, char **argv)
     std::vector<CacheConfig> configs;
     std::vector<SweepJob> jobs;
     for (std::uint32_t mf = 2; mf <= 512; mf *= 2) {
-        configs.push_back(CacheConfig::bcache(16 * 1024, mf, 8));
+        configs.push_back(parseCacheSpec(
+            strprintf("bcache:16kB,mf=%u,bas=8", mf)));
         jobs.push_back(SweepJob::missRate("wupwise", StreamSide::Data,
                                           configs.back(), n,
                                           kDefaultSeed));

@@ -19,11 +19,11 @@ main()
     const std::uint64_t uops = defaultUops(400'000);
 
     const std::vector<CacheConfig> configs = {
-        CacheConfig::setAssoc(16 * 1024, 2),
-        CacheConfig::setAssoc(16 * 1024, 4),
-        CacheConfig::setAssoc(16 * 1024, 8),
-        CacheConfig::bcache(16 * 1024, 8, 8),
-        CacheConfig::victim(16 * 1024, 16),
+        parseCacheSpec("sa:16kB,2w"),
+        parseCacheSpec("sa:16kB,4w"),
+        parseCacheSpec("sa:16kB,8w"),
+        parseCacheSpec("bcache:16kB,mf=8,bas=8"),
+        parseCacheSpec("dm:16kB+victim:16"),
     };
 
     std::vector<std::string> headers{"benchmark", "base-IPC"};
@@ -34,7 +34,7 @@ main()
 
     for (const auto &b : spec2kNames()) {
         const double base =
-            runTimed(b, CacheConfig::directMapped(16 * 1024), uops)
+            runTimed(b, parseCacheSpec("dm:16kB"), uops)
                 .ipc();
         t.row().cell(b).cell(base, 3);
         for (std::size_t i = 0; i < configs.size(); ++i) {

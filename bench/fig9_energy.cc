@@ -33,11 +33,11 @@ main()
     const std::uint64_t uops = defaultUops(400'000);
 
     const std::vector<CacheConfig> configs = {
-        CacheConfig::setAssoc(16 * 1024, 2),
-        CacheConfig::setAssoc(16 * 1024, 4),
-        CacheConfig::setAssoc(16 * 1024, 8),
-        CacheConfig::bcache(16 * 1024, 8, 8),
-        CacheConfig::victim(16 * 1024, 16),
+        parseCacheSpec("sa:16kB,2w"),
+        parseCacheSpec("sa:16kB,4w"),
+        parseCacheSpec("sa:16kB,8w"),
+        parseCacheSpec("bcache:16kB,mf=8,bas=8"),
+        parseCacheSpec("dm:16kB+victim:16"),
     };
 
     std::vector<std::string> headers{"benchmark"};
@@ -48,7 +48,7 @@ main()
 
     for (const auto &b : spec2kNames()) {
         const CacheConfig base_cfg =
-            CacheConfig::directMapped(16 * 1024);
+            parseCacheSpec("dm:16kB");
         const TimedResult base_run = runTimed(b, base_cfg, uops);
         // Calibrate static power on this benchmark's baseline run.
         const double base_dyn =

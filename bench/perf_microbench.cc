@@ -24,12 +24,8 @@
 #include <memory>
 #include <vector>
 
-#include "alt/column_assoc_cache.hh"
-#include "alt/skewed_assoc_cache.hh"
-#include "bcache/bcache.hh"
 #include "bench/bench_json.hh"
-#include "cache/set_assoc_cache.hh"
-#include "cache/victim_cache.hh"
+#include "cache/cache_spec.hh"
 #include "workload/spec2k.hh"
 
 namespace bsim {
@@ -116,85 +112,75 @@ runCacheBatched(benchmark::State &state, BaseCache &cache)
 void
 BM_DirectMapped(benchmark::State &state)
 {
-    SetAssocCache c("dm", CacheGeometry(16 * 1024, 32, 1), 1, nullptr);
-    runCache(state, c);
+    auto c = parseCacheSpec("dm:16kB").build("dm", 1, nullptr);
+    runCache(state, *c);
 }
 BENCHMARK(BM_DirectMapped);
 
 void
 BM_DirectMappedBatched(benchmark::State &state)
 {
-    SetAssocCache c("dm", CacheGeometry(16 * 1024, 32, 1), 1, nullptr);
-    runCacheBatched(state, c);
+    auto c = parseCacheSpec("dm:16kB").build("dm", 1, nullptr);
+    runCacheBatched(state, *c);
 }
 BENCHMARK(BM_DirectMappedBatched);
 
 void
 BM_EightWayLru(benchmark::State &state)
 {
-    SetAssocCache c("8w", CacheGeometry(16 * 1024, 32, 8), 1, nullptr);
-    runCache(state, c);
+    auto c = parseCacheSpec("sa:16kB,8w").build("8w", 1, nullptr);
+    runCache(state, *c);
 }
 BENCHMARK(BM_EightWayLru);
 
 void
 BM_EightWayLruBatched(benchmark::State &state)
 {
-    SetAssocCache c("8w", CacheGeometry(16 * 1024, 32, 8), 1, nullptr);
-    runCacheBatched(state, c);
+    auto c = parseCacheSpec("sa:16kB,8w").build("8w", 1, nullptr);
+    runCacheBatched(state, *c);
 }
 BENCHMARK(BM_EightWayLruBatched);
-
-BCacheParams
-benchBCacheParams()
-{
-    BCacheParams p;
-    p.sizeBytes = 16 * 1024;
-    p.lineBytes = 32;
-    p.mf = 8;
-    p.bas = 8;
-    return p;
-}
 
 void
 BM_BCache(benchmark::State &state)
 {
-    BCache c("bc", benchBCacheParams());
-    runCache(state, c);
+    auto c = parseCacheSpec("bcache:16kB,mf=8,bas=8")
+                 .build("bc", 1, nullptr);
+    runCache(state, *c);
 }
 BENCHMARK(BM_BCache);
 
 void
 BM_BCacheBatched(benchmark::State &state)
 {
-    BCache c("bc", benchBCacheParams());
-    runCacheBatched(state, c);
+    auto c = parseCacheSpec("bcache:16kB,mf=8,bas=8")
+                 .build("bc", 1, nullptr);
+    runCacheBatched(state, *c);
 }
 BENCHMARK(BM_BCacheBatched);
 
 void
 BM_VictimCache(benchmark::State &state)
 {
-    VictimCache c("vc", CacheGeometry(16 * 1024, 32, 1), 1, nullptr, 16);
-    runCache(state, c);
+    auto c = parseCacheSpec("dm:16kB+victim:16").build("vc", 1,
+                                                       nullptr);
+    runCache(state, *c);
 }
 BENCHMARK(BM_VictimCache);
 
 void
 BM_ColumnAssoc(benchmark::State &state)
 {
-    ColumnAssocCache c("col", CacheGeometry(16 * 1024, 32, 1), 1,
-                       nullptr);
-    runCache(state, c);
+    auto c = parseCacheSpec("column:16kB").build("col", 1, nullptr);
+    runCache(state, *c);
 }
 BENCHMARK(BM_ColumnAssoc);
 
 void
 BM_SkewedAssoc(benchmark::State &state)
 {
-    SkewedAssocCache c("sk", CacheGeometry(16 * 1024, 32, 2), 1,
-                       nullptr);
-    runCache(state, c);
+    auto c = parseCacheSpec("skew:16kB").build("sk", 1, nullptr);
+    runCache(state, *c);
 }
 BENCHMARK(BM_SkewedAssoc);
 

@@ -33,16 +33,16 @@ main(int argc, char **argv)
     // full 26-bit CAM tag, trading a few points of reduction for less
     // than half the CAM width (area, search energy and match delay).
     const std::vector<CacheConfig> configs = {
-        CacheConfig::victim(16 * 1024, 16),
-        CacheConfig::columnAssoc(16 * 1024),
-        CacheConfig::xorDm(16 * 1024),
-        CacheConfig::skewed(16 * 1024),
-        CacheConfig::hac(16 * 1024, 1024),
-        CacheConfig::partialMatch(16 * 1024, 2, 5),
-        CacheConfig::setAssoc(16 * 1024, 4),
-        CacheConfig::setAssoc(16 * 1024, 8),
-        CacheConfig::bcache(16 * 1024, 8, 8),
-        CacheConfig::bcache(16 * 1024, 64, 32),
+        parseCacheSpec("dm:16kB+victim:16"),
+        parseCacheSpec("column:16kB"),
+        parseCacheSpec("xor:16kB"),
+        parseCacheSpec("skew:16kB"),
+        parseCacheSpec("hac:16kB"),
+        parseCacheSpec("pad:16kB,2w,bits=5"),
+        parseCacheSpec("sa:16kB,4w"),
+        parseCacheSpec("sa:16kB,8w"),
+        parseCacheSpec("bcache:16kB,mf=8,bas=8"),
+        parseCacheSpec("bcache:16kB,mf=64,bas=32"),
     };
     const char *latency_note[] = {
         "+1 cycle on buffer hits",

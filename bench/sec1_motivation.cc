@@ -36,7 +36,11 @@ suiteMissRate(std::uint64_t size, std::uint32_t ways, StreamSide side,
                             : spec2kNames();
     for (const auto &b : names)
         s.add(runMissRate(b, side,
-                          CacheConfig::setAssoc(size, ways), n)
+                          parseCacheSpec(strprintf(
+                              "sa:%llu,%uw",
+                              static_cast<unsigned long long>(size),
+                              ways)),
+                          n)
                   .missRate());
     return s.mean();
 }

@@ -26,11 +26,8 @@ main()
     banner("sec68_addressing",
            "Section 6.8 (virtual/physical tags and the PD)");
 
-    BCacheParams p;
-    p.sizeBytes = 16 * 1024;
-    p.lineBytes = 32;
-    p.mf = 8;
-    p.bas = 8;
+    const BCacheParams p =
+        parseCacheSpec("bcache:16kB,mf=8,bas=8").bcacheParams();
 
     Table t({"scheme", "page", "decoder-top-bit", "translated-bits",
              "decode-before-TLB", "workaround"});

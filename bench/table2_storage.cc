@@ -20,11 +20,8 @@ main()
     bench::banner("table2_storage", "Table 2 (storage cost analysis)");
 
     const StorageCost base = conventionalStorage(16 * 1024, 32, 1);
-    BCacheParams p;
-    p.sizeBytes = 16 * 1024;
-    p.lineBytes = 32;
-    p.mf = 8;
-    p.bas = 8;
+    const BCacheParams p =
+        parseCacheSpec("bcache:16kB,mf=8,bas=8").bcacheParams();
     const StorageCost bc = bcacheStorage(p);
 
     Table t({"organisation", "tag-bits", "data-bits", "CAM-bits",

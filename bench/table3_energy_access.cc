@@ -25,11 +25,8 @@ main()
     org.sizeBytes = 16 * 1024;
     org.lineBytes = 32;
 
-    BCacheParams p;
-    p.sizeBytes = 16 * 1024;
-    p.lineBytes = 32;
-    p.mf = 8;
-    p.bas = 8;
+    const BCacheParams p =
+        parseCacheSpec("bcache:16kB,mf=8,bas=8").bcacheParams();
 
     Table t({"organisation", "T-SA", "T-Dec", "T-BL-WL", "D-SA", "D-Dec",
              "D-BL-WL", "D-oth", "CAM", "total", "vs-base%"});

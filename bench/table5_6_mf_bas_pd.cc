@@ -40,13 +40,15 @@ main(int argc, char **argv)
     for (const auto &b : spec2kNames()) {
         jobs.push_back(
             SweepJob::missRate(b, StreamSide::Data,
-                               CacheConfig::directMapped(16 * 1024), n,
+                               parseCacheSpec("dm:16kB"), n,
                                kDefaultSeed));
         for (auto bas : bases)
             for (auto mf : mfs)
                 jobs.push_back(SweepJob::missRate(
                     b, StreamSide::Data,
-                    CacheConfig::bcache(16 * 1024, mf, bas), n,
+                    parseCacheSpec(strprintf(
+                        "bcache:16kB,mf=%u,bas=%u", mf, bas)),
+                    n,
                     kDefaultSeed));
     }
     const SweepRun run = runSweep(jobs, options);

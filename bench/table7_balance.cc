@@ -33,8 +33,8 @@ main()
 
     for (const auto &b : spec2kNames()) {
         const CacheConfig cfgs[2] = {
-            CacheConfig::directMapped(16 * 1024),
-            CacheConfig::bcache(16 * 1024, 8, 8),
+            parseCacheSpec("dm:16kB"),
+            parseCacheSpec("bcache:16kB,mf=8,bas=8"),
         };
         const char *names[2] = {"dm", "bc"};
         for (int i = 0; i < 2; ++i) {

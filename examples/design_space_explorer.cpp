@@ -48,11 +48,12 @@ main(int argc, char **argv)
     std::vector<CacheConfig> grid;
     std::vector<SweepJob> jobs;
     jobs.push_back(SweepJob::missRate(bench, side,
-                                      CacheConfig::directMapped(16 * 1024),
+                                      parseCacheSpec("dm:16kB"),
                                       n, kDefaultSeed));
     for (std::uint32_t bas : {2u, 4u, 8u, 16u})
         for (std::uint32_t mf : {2u, 4u, 8u, 16u, 32u}) {
-            grid.push_back(CacheConfig::bcache(16 * 1024, mf, bas));
+            grid.push_back(parseCacheSpec(
+                strprintf("bcache:16kB,mf=%u,bas=%u", mf, bas)));
             jobs.push_back(SweepJob::missRate(bench, side, grid.back(),
                                               n, kDefaultSeed));
         }

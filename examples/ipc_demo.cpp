@@ -35,11 +35,11 @@ main(int argc, char **argv)
                  : defaultUops(500'000);
 
     const CacheConfig configs[] = {
-        CacheConfig::directMapped(16 * 1024),
-        CacheConfig::setAssoc(16 * 1024, 2),
-        CacheConfig::setAssoc(16 * 1024, 8),
-        CacheConfig::victim(16 * 1024, 16),
-        CacheConfig::bcache(16 * 1024, 8, 8),
+        parseCacheSpec("dm:16kB"),
+        parseCacheSpec("sa:16kB,2w"),
+        parseCacheSpec("sa:16kB,8w"),
+        parseCacheSpec("dm:16kB+victim:16"),
+        parseCacheSpec("bcache:16kB,mf=8,bas=8"),
     };
 
     Table t({"L1 organisation", "IPC", "IPC-gain%", "I$-miss%",

@@ -10,7 +10,6 @@
 #include <cstdio>
 #include <string>
 
-#include "bcache/bcache.hh"
 #include "common/stats.hh"
 #include "common/strings.hh"
 #include "common/table.hh"
@@ -28,27 +27,23 @@ figure1Demo()
     std::printf("-- Figure 1 demo: address sequence 0,1,8,9 repeated --\n");
 
     // (a) direct-mapped: every access misses.
-    SetAssocCache dm("dm", CacheGeometry(64, 8, 1), 1, nullptr);
+    auto dm = parseCacheSpec("dm:64,line=8").build("dm", 1, nullptr);
     // (c) B-Cache with a 2-bit programmable index (MF = 2, BAS = 2).
-    BCacheParams p;
-    p.sizeBytes = 64;
-    p.lineBytes = 8;
-    p.mf = 2;
-    p.bas = 2;
-    BCache bc("bcache", p);
+    auto bc = parseCacheSpec("bcache:64,mf=2,bas=2,line=8")
+                  .build("bcache", 1, nullptr);
 
     for (int round = 0; round < 4; ++round)
         for (Addr a : {0, 1, 8, 9}) {
-            dm.access({a * 8, AccessType::Read});
-            bc.access({a * 8, AccessType::Read});
+            dm->access({a * 8, AccessType::Read});
+            bc->access({a * 8, AccessType::Read});
         }
     std::printf("direct-mapped: %llu/%llu hits (thrash)\n",
-                (unsigned long long)dm.stats().hits,
-                (unsigned long long)dm.stats().accesses);
+                (unsigned long long)dm->stats().hits,
+                (unsigned long long)dm->stats().accesses);
     std::printf("B-Cache      : %llu/%llu hits (PD reprogrammed once, "
                 "then one-cycle hits)\n\n",
-                (unsigned long long)bc.stats().hits,
-                (unsigned long long)bc.stats().accesses);
+                (unsigned long long)bc->stats().hits,
+                (unsigned long long)bc->stats().accesses);
 }
 
 } // namespace
@@ -69,10 +64,10 @@ main(int argc, char **argv)
                 bench.c_str());
     const std::uint64_t n = defaultAccesses(1'000'000);
     const CacheConfig configs[] = {
-        CacheConfig::directMapped(16 * 1024),
-        CacheConfig::setAssoc(16 * 1024, 8),
-        CacheConfig::victim(16 * 1024, 16),
-        CacheConfig::bcache(16 * 1024, 8, 8),
+        parseCacheSpec("dm:16kB"),
+        parseCacheSpec("sa:16kB,8w"),
+        parseCacheSpec("dm:16kB+victim:16"),
+        parseCacheSpec("bcache:16kB,mf=8,bas=8"),
     };
     const double base = runMissRate(bench, StreamSide::Data, configs[0],
                                     n)

@@ -74,9 +74,9 @@ main(int argc, char **argv)
     Table t({"organisation", "accesses", "miss%", "fhs%", "ch%", "fms%",
              "cm%", "las%"});
     const CacheConfig configs[] = {
-        CacheConfig::directMapped(16 * 1024),
-        CacheConfig::setAssoc(16 * 1024, 8),
-        CacheConfig::bcache(16 * 1024, 8, 8),
+        parseCacheSpec("dm:16kB"),
+        parseCacheSpec("sa:16kB,8w"),
+        parseCacheSpec("bcache:16kB,mf=8,bas=8"),
     };
     double base = 0;
     for (const auto &cfg : configs) {

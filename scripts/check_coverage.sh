@@ -112,6 +112,19 @@ fi
 
 echo "check_coverage: src/cache + src/sim line coverage ${coverage}%" \
      "of ${total} lines (floor ${floor}%)"
+
+# The declarative DUT layer must be exercised, not just present: the
+# spec grammar and the session runner are the entry points every
+# harness now funnels through, so a report that never ran them means
+# the gate is measuring the wrong binaries.
+for required in cache_spec.cc session.cc; do
+    if ! grep -A1 "File .*/$required" "$report" |
+            grep -q "^Lines executed:[1-9]"; then
+        echo "check_coverage: FAIL: no coverage recorded for" \
+             "$required (spec/session layer must be exercised)" >&2
+        exit 1
+    fi
+done
 awk -v c="$coverage" -v f="$floor" 'BEGIN { exit !(f == 0 || c >= f) }' || {
     echo "check_coverage: FAIL: ${coverage}% < floor ${floor}%" >&2
     exit 1

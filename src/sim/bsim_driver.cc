@@ -30,7 +30,14 @@ usage(const char *msg = nullptr)
     if (msg)
         std::fprintf(stderr, "error: %s\n", msg);
     std::fprintf(stderr,
-                 "usage: bsim [--kind dm|setassoc|victim|bcache|"
+                 "usage: bsim [--cache SPEC] [--list-caches]\n"
+                 "  --cache SPEC     declarative cache spec, e.g. "
+                 "bcache:16kB,mf=8,bas=8,\n"
+                 "                   sa:16kB,8w, dm:16kB+victim:16 "
+                 "(--list-caches for the\n"
+                 "                   registered grammar; overrides the "
+                 "--kind family)\n"
+                 "  [--kind dm|setassoc|victim|bcache|"
                  "column|skewed|hac|xor]\n"
                  "  [--size B] [--line B] [--ways N] [--mf N] [--bas N]"
                  "\n"
@@ -205,70 +212,8 @@ printBCacheCosts(const CacheConfig &cfg)
                 }());
 }
 
-/**
- * The observer-driven export set shared by every driver path: the
- * bsim-stats-v1 document, the per-set heatmap CSV, and — when no JSON
- * document captures it — the interval series CSV on stdout.
- */
-struct StatsExport
-{
-    std::string statsJsonPath; ///< empty = off; "-" = stdout
-    std::string heatmapPath;   ///< empty = off; "-" = stdout
-    std::uint64_t interval = 0;
-
-    bool
-    wantsObserver() const
-    {
-        return !statsJsonPath.empty() || !heatmapPath.empty() ||
-               interval > 0;
-    }
-
-    ObserverConfig
-    observerConfig() const
-    {
-        ObserverConfig c;
-        c.enabled = wantsObserver();
-        c.intervalLen = interval;
-        return c;
-    }
-
-    /**
-     * A "-" export owns stdout: the human-readable report is
-     * suppressed so the emitted document stays machine-parseable.
-     */
-    bool
-    claimsStdout() const
-    {
-        return statsJsonPath == "-" || heatmapPath == "-";
-    }
-};
-
-/** Write @p text to @p path, with "-" meaning stdout. */
-void
-writeTextOutput(const std::string &path, const std::string &text)
-{
-    if (path == "-") {
-        std::fputs(text.c_str(), stdout);
-        return;
-    }
-    std::FILE *f = std::fopen(path.c_str(), "w");
-    if (!f)
-        bsim_fatal("cannot write '", path, "'");
-    std::fputs(text.c_str(), f);
-    std::fclose(f);
-}
-
-/** Emit the heatmap/interval CSV exports for one observed run. */
-void
-writeObserverExports(const StatsExport &ex, const ObserverReport &rep)
-{
-    if (!ex.heatmapPath.empty())
-        writeTextOutput(ex.heatmapPath, heatmapCsv(rep));
-    // The interval series rides inside --stats-json when one is being
-    // written; --interval alone dumps it as CSV on stdout.
-    if (ex.interval > 0 && ex.statsJsonPath.empty())
-        std::fputs(intervalCsv(rep).c_str(), stdout);
-}
+// StatsExport, writeTextOutput and writeObserverExports moved to
+// sim/session.hh — the sink layer is shared with every harness now.
 
 /** --shards: parallel replay, per-shard table + merged totals. */
 int
@@ -382,6 +327,7 @@ bsimMain(int argc, char **argv, const BsimHooks &hooks)
     StatsExport ex;
     bool haveFileConfig = false;
     CacheConfig cfgFromFile;
+    std::string cacheSpec;
 
     for (int i = 1; i < argc; ++i) {
         auto need = [&](const char *flag) -> const char * {
@@ -400,9 +346,15 @@ bsimMain(int argc, char **argv, const BsimHooks &hooks)
             accesses = spec.accesses;
             accesses_set = true;
             seed = spec.seed;
+        } else if (!std::strcmp(argv[i], "--cache")) {
+            cacheSpec = need("--cache");
+        } else if (!std::strcmp(argv[i], "--list-caches")) {
+            std::fputs(listCacheSpecs().c_str(), stdout);
+            return 0;
         } else if (!std::strcmp(argv[i], "--kind")) {
             kind = need("--kind");
             haveFileConfig = false; // explicit kind rebuilds the config
+            cacheSpec.clear();      // ... and so does an explicit spec
         }
         else if (!std::strcmp(argv[i], "--size"))
             size = parseU64(need("--size"));
@@ -460,7 +412,17 @@ bsimMain(int argc, char **argv, const BsimHooks &hooks)
     }
 
     CacheConfig cfg;
-    if (haveFileConfig)
+    if (!cacheSpec.empty()) {
+        // The declarative path: any registered spec, one parser. The
+        // spec governs every cache parameter (so --repl/--write-policy
+        // style overrides below are skipped); a malformed spec surfaces
+        // its actionable message as usage text.
+        try {
+            cfg = parseCacheSpec(cacheSpec);
+        } catch (const CacheSpecError &e) {
+            usage(e.what());
+        }
+    } else if (haveFileConfig)
         cfg = cfgFromFile;
     else if (kind == "dm")
         cfg = CacheConfig::directMapped(size, line);
@@ -482,11 +444,11 @@ bsimMain(int argc, char **argv, const BsimHooks &hooks)
         cfg = CacheConfig::xorDm(size, line);
     else
         usage("unknown --kind");
-    if (!haveFileConfig)
+    if (!haveFileConfig && cacheSpec.empty())
         cfg.repl = replPolicyFromName(repl);
-    if (wp == "wt")
+    if (wp == "wt" && cacheSpec.empty())
         cfg.writePolicy = WritePolicy::WriteThroughNoAllocate;
-    else if (wp != "wb")
+    else if (wp != "wb" && wp != "wt")
         usage("--write-policy must be wb or wt");
 
     if (json && ex.claimsStdout())

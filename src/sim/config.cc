@@ -16,6 +16,13 @@
 
 namespace bsim {
 
+// CacheConfig itself (and its factory helpers) lives in
+// cache/cache_spec.cc; build()/bcacheParams() are defined here because
+// instantiation needs every concrete variant, and this is the unit that
+// links the bcache and alt libraries. The direct constructor references
+// below also keep those objects linked into every binary, so the spec
+// registry is never silently missing a variant to dead-stripping.
+
 BCacheParams
 CacheConfig::bcacheParams() const
 {
@@ -68,122 +75,6 @@ CacheConfig::build(const std::string &name, Cycles hit_latency,
             next, partialBits, repl);
     }
     bsim_panic("bad cache kind");
-}
-
-CacheConfig
-CacheConfig::directMapped(std::uint64_t size, std::uint32_t line)
-{
-    CacheConfig c;
-    c.kind = CacheKind::SetAssoc;
-    c.sizeBytes = size;
-    c.lineBytes = line;
-    c.ways = 1;
-    c.label = sizeString(size) + "-dm";
-    return c;
-}
-
-CacheConfig
-CacheConfig::setAssoc(std::uint64_t size, std::uint32_t ways,
-                      ReplPolicyKind repl, std::uint32_t line)
-{
-    CacheConfig c;
-    c.kind = CacheKind::SetAssoc;
-    c.sizeBytes = size;
-    c.lineBytes = line;
-    c.ways = ways;
-    c.repl = repl;
-    c.label = strprintf("%uway", ways);
-    return c;
-}
-
-CacheConfig
-CacheConfig::victim(std::uint64_t size, std::size_t entries,
-                    std::uint32_t line)
-{
-    CacheConfig c;
-    c.kind = CacheKind::Victim;
-    c.sizeBytes = size;
-    c.lineBytes = line;
-    c.victimEntries = entries;
-    c.label = strprintf("victim%zu", entries);
-    return c;
-}
-
-CacheConfig
-CacheConfig::bcache(std::uint64_t size, std::uint32_t mf,
-                    std::uint32_t bas, ReplPolicyKind repl,
-                    std::uint32_t line)
-{
-    CacheConfig c;
-    c.kind = CacheKind::BCache;
-    c.sizeBytes = size;
-    c.lineBytes = line;
-    c.mf = mf;
-    c.bas = bas;
-    c.repl = repl;
-    c.label = strprintf("MF%u-BAS%u", mf, bas);
-    return c;
-}
-
-CacheConfig
-CacheConfig::columnAssoc(std::uint64_t size, std::uint32_t line)
-{
-    CacheConfig c;
-    c.kind = CacheKind::ColumnAssoc;
-    c.sizeBytes = size;
-    c.lineBytes = line;
-    c.label = "column";
-    return c;
-}
-
-CacheConfig
-CacheConfig::skewed(std::uint64_t size, std::uint32_t line)
-{
-    CacheConfig c;
-    c.kind = CacheKind::Skewed;
-    c.sizeBytes = size;
-    c.lineBytes = line;
-    c.ways = 2;
-    c.label = "skewed2";
-    return c;
-}
-
-CacheConfig
-CacheConfig::hac(std::uint64_t size, std::uint64_t subarray,
-                 std::uint32_t line)
-{
-    CacheConfig c;
-    c.kind = CacheKind::Hac;
-    c.sizeBytes = size;
-    c.lineBytes = line;
-    c.hacSubarrayBytes = subarray;
-    c.label = "hac32";
-    return c;
-}
-
-CacheConfig
-CacheConfig::xorDm(std::uint64_t size, std::uint32_t line)
-{
-    CacheConfig c;
-    c.kind = CacheKind::XorDm;
-    c.sizeBytes = size;
-    c.lineBytes = line;
-    c.label = "xor-dm";
-    return c;
-}
-
-CacheConfig
-CacheConfig::partialMatch(std::uint64_t size, std::uint32_t ways,
-                          unsigned partial_bits, std::uint32_t line)
-{
-    CacheConfig c;
-    c.kind = CacheKind::PartialMatch;
-    c.sizeBytes = size;
-    c.lineBytes = line;
-    c.ways = ways;
-    c.partialBits = partial_bits;
-    c.label = strprintf("pad%u-%uway", partial_bits, ways);
-    return c;
 }
 
 std::vector<CacheConfig>

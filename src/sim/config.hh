@@ -1,83 +1,37 @@
 /**
  * @file
- * Named L1 cache configurations: the declarative descriptions the
- * benchmark harnesses sweep over, with a factory that instantiates the
- * matching cache model.
+ * Simulation-level configuration: the named L1 configuration sets the
+ * figure harnesses sweep over, the shared hierarchy defaults, and the
+ * `--jobs` plumbing.
+ *
+ * The declarative cache description itself (CacheKind, CacheConfig, the
+ * spec grammar and registry) lives in cache/cache_spec.hh; this header
+ * re-exports it so existing `#include "sim/config.hh"` consumers keep
+ * compiling unchanged. CacheConfig::build()/bcacheParams() are *defined*
+ * here in sim/config.cc — the translation unit that links every variant
+ * library — keeping the cache/ layer free of bcache/ and alt/
+ * dependencies.
  */
 
 #ifndef BSIM_SIM_CONFIG_HH
 #define BSIM_SIM_CONFIG_HH
 
-#include <memory>
-#include <string>
 #include <vector>
 
 #include "bcache/bcache_params.hh"
-#include "cache/base_cache.hh"
+#include "cache/cache_spec.hh"
+#include "cache/hierarchy.hh"
 
 namespace bsim {
 
-/** Which organisation a CacheConfig describes. */
-enum class CacheKind : std::uint8_t {
-    SetAssoc,     ///< includes the direct-mapped baseline (ways = 1)
-    Victim,       ///< direct-mapped + victim buffer
-    BCache,       ///< the paper's contribution
-    ColumnAssoc,  ///< related work (Section 7.1)
-    Skewed,       ///< related work (Section 7.1)
-    Hac,          ///< highly associative CAM-tag cache (Section 6.7)
-    XorDm,        ///< XOR-mapped direct-mapped (indexing optimisation)
-    PartialMatch, ///< way-predicting SA cache (Section 7.2)
-};
-
-struct CacheConfig
-{
-    CacheKind kind = CacheKind::SetAssoc;
-    std::string label;
-    std::uint64_t sizeBytes = 16 * 1024;
-    std::uint32_t lineBytes = 32;
-    std::uint32_t ways = 1;
-    ReplPolicyKind repl = ReplPolicyKind::LRU;
-    /** Honoured by SetAssoc and BCache kinds; others are write-back. */
-    WritePolicy writePolicy = WritePolicy::WriteBackAllocate;
-    std::size_t victimEntries = 16;
-    std::uint32_t mf = 8;   ///< B-Cache only
-    std::uint32_t bas = 8;  ///< B-Cache only
-    std::uint64_t hacSubarrayBytes = 1024;
-    unsigned partialBits = 5; ///< PartialMatch only
-
-    /** Instantiate the described cache. */
-    std::unique_ptr<BaseCache> build(const std::string &name,
-                                     Cycles hit_latency = 1,
-                                     MemLevel *next = nullptr) const;
-
-    /** B-Cache parameter block (kind must be BCache). */
-    BCacheParams bcacheParams() const;
-
-    // ---- factory helpers ----
-    static CacheConfig directMapped(std::uint64_t size,
-                                    std::uint32_t line = 32);
-    static CacheConfig setAssoc(std::uint64_t size, std::uint32_t ways,
-                                ReplPolicyKind repl = ReplPolicyKind::LRU,
-                                std::uint32_t line = 32);
-    static CacheConfig victim(std::uint64_t size,
-                              std::size_t entries = 16,
-                              std::uint32_t line = 32);
-    static CacheConfig bcache(std::uint64_t size, std::uint32_t mf,
-                              std::uint32_t bas,
-                              ReplPolicyKind repl = ReplPolicyKind::LRU,
-                              std::uint32_t line = 32);
-    static CacheConfig columnAssoc(std::uint64_t size,
-                                   std::uint32_t line = 32);
-    static CacheConfig skewed(std::uint64_t size, std::uint32_t line = 32);
-    static CacheConfig hac(std::uint64_t size,
-                           std::uint64_t subarray = 1024,
-                           std::uint32_t line = 32);
-    static CacheConfig xorDm(std::uint64_t size, std::uint32_t line = 32);
-    static CacheConfig partialMatch(std::uint64_t size,
-                                    std::uint32_t ways = 2,
-                                    unsigned partial_bits = 5,
-                                    std::uint32_t line = 32);
-};
+/**
+ * The shared outer-hierarchy defaults of the paper's Table 4 — a 256 kB
+ * 4-way L2 with 128 B lines behind a 100-cycle main memory. Every
+ * harness and runner that composes "L1 under the standard L2" derives
+ * from this one constant (HierarchyParams' own member initializers are
+ * the single source of the numbers).
+ */
+inline constexpr HierarchyParams kTable4Hierarchy{};
 
 /**
  * The nine configurations of Figures 4/5: 2/4/8/32-way, victim16, and the

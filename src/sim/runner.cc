@@ -1,12 +1,11 @@
 #include "sim/runner.hh"
 
-#include <algorithm>
 #include <cstdlib>
-#include <vector>
 
 #include "cache/victim_cache.hh"
 #include "common/logging.hh"
 #include "power/cacti_lite.hh"
+#include "sim/session.hh"
 
 namespace bsim {
 
@@ -85,57 +84,8 @@ runMissRateOn(AccessStream &stream, const CacheConfig &config,
               std::uint64_t accesses, const std::string &workload_label,
               const ObserverConfig &observe)
 {
-    auto cache = config.build(config.label, 1, nullptr);
-    auto obs = attachObserver(*cache, observe);
-    const std::size_t batch_len = defaultBatchLen();
-    if (batch_len <= 1) {
-        for (std::uint64_t i = 0; i < accesses; ++i)
-            cache->access(stream.next());
-    } else if (stream.hasSpanBatches()) {
-        // Zero-copy hot loop for trace-backed streams: the stream hands
-        // out views of its own chunk buffer (the mmap itself for
-        // uncompressed BST2), which go straight into accessBatch with no
-        // per-record copy. Batch boundaries differ from the copying path
-        // (spans stop at chunk edges) but results are bit-identical —
-        // the accessBatch contract (verify/batch_equiv) is boundary-
-        // independent. An empty span means the bounded, non-cycling
-        // trace ran out before @p accesses; the run ends there.
-        std::vector<AccessOutcome> outs(batch_len);
-        for (std::uint64_t left = accesses; left > 0;) {
-            const std::span<const MemAccess> s = stream.nextSpan(
-                static_cast<std::size_t>(
-                    std::min<std::uint64_t>(batch_len, left)));
-            if (s.empty())
-                break;
-            cache->accessBatch(s, outs.data());
-            left -= s.size();
-        }
-    } else {
-        // Hot loop of every miss-rate experiment: stream and cache both
-        // work in fixed-size batches (bit-identical to the per-access
-        // path — see MemLevel::accessBatch).
-        std::vector<MemAccess> reqs(batch_len);
-        std::vector<AccessOutcome> outs(batch_len);
-        for (std::uint64_t left = accesses; left > 0;) {
-            const std::size_t n = static_cast<std::size_t>(
-                std::min<std::uint64_t>(batch_len, left));
-            stream.nextBatch(reqs.data(), n);
-            cache->accessBatch({reqs.data(), n}, outs.data());
-            left -= n;
-        }
-    }
-
-    MissRateResult r;
-    r.workload = workload_label;
-    r.config = config.label;
-    r.stats = cache->stats();
-    r.balance = analyzeBalance(cache->setUsage());
-    if (auto *bc = dynamic_cast<BCache *>(cache.get()))
-        r.pd = bc->pdStats();
-    if (auto *vc = dynamic_cast<VictimCache *>(cache.get()))
-        r.victimHits = vc->victimHits();
-    r.observer = harvestObserver(obs.get(), *cache);
-    return r;
+    return Session(stream, config, accesses, workload_label, observe)
+        .run();
 }
 
 MissRateResult
@@ -143,75 +93,8 @@ runMissRateSampledOn(AccessStream &stream, const CacheConfig &config,
                      std::uint64_t accesses, const SamplePlan &plan,
                      const std::string &workload_label)
 {
-    if (accesses == 0)
-        bsim_fatal("sampled run needs a nonzero population (accesses)");
-    const std::uint64_t n_units = plan.unitsFor(accesses);
-    const std::size_t batch_len =
-        std::max<std::size_t>(defaultBatchLen(), 1);
-    std::vector<MemAccess> reqs(batch_len);
-    std::vector<AccessOutcome> outs(batch_len);
-
-    SampledStats sampled;
-    sampled.plan = plan;
-    sampled.records = accesses;
-    sampled.units.reserve(static_cast<std::size_t>(n_units));
-    CacheStats total;
-
-    // One forward pass: streams cannot seek, so records between units
-    // are pulled and discarded (generation cost only); warmup and
-    // measured records are fed through the batched hot path.
-    std::uint64_t pos = 0;
-    auto pump = [&](std::uint64_t n, BaseCache *cache) {
-        while (n > 0) {
-            const std::size_t want = static_cast<std::size_t>(
-                std::min<std::uint64_t>(n, batch_len));
-            std::size_t got = want;
-            if (stream.hasSpanBatches()) {
-                std::span<const MemAccess> s = stream.nextSpan(want);
-                s = s.first(std::min(s.size(), want));
-                if (s.empty())
-                    bsim_fatal("stream '", workload_label,
-                               "' exhausted at record ", pos,
-                               " of a declared ", accesses,
-                               "-record population");
-                if (cache)
-                    cache->accessBatch(s, outs.data());
-                got = s.size();
-            } else {
-                stream.nextBatch(reqs.data(), want);
-                if (cache)
-                    cache->accessBatch({reqs.data(), want}, outs.data());
-            }
-            pos += got;
-            n -= got;
-        }
-    };
-
-    for (std::uint64_t k = 0; k < n_units; ++k) {
-        const std::uint64_t s0 = k * plan.period;
-        const std::uint64_t e =
-            std::min(s0 + plan.unitLen, accesses);
-        // Clamp the warmup window so it never reaches back into records
-        // already consumed (the previous unit, or the stream start).
-        const std::uint64_t w0 =
-            std::max(s0 >= plan.warmup ? s0 - plan.warmup : 0, pos);
-        pump(w0 - pos, nullptr);
-        auto cache = config.build(config.label, 1, nullptr);
-        pump(s0 - pos, cache.get());
-        const CacheStats after_warmup = cache->stats();
-        pump(e - pos, cache.get());
-        CacheStats delta = cache->stats();
-        delta -= after_warmup;
-        total += delta;
-        sampled.units.push_back({k, delta.accesses, delta.misses});
-    }
-
-    MissRateResult r;
-    r.workload = workload_label;
-    r.config = config.label;
-    r.stats = total;
-    r.sampled = std::move(sampled);
-    return r;
+    return Session(stream, config, accesses, workload_label)
+        .runSampled(plan);
 }
 
 MissRateResult
@@ -342,9 +225,9 @@ energyRatesFor(const CacheConfig &config, PicoJoules static_per_cycle)
     }
 
     CacheOrg l2_org;
-    l2_org.sizeBytes = 256 * 1024;
-    l2_org.lineBytes = 128;
-    l2_org.ways = 4;
+    l2_org.sizeBytes = kTable4Hierarchy.l2SizeBytes;
+    l2_org.lineBytes = kTable4Hierarchy.l2LineBytes;
+    l2_org.ways = kTable4Hierarchy.l2Ways;
     l2_org.dataSubarrays = 16;
     l2_org.tagSubarrays = 16;
     r.l2Access = CactiLite::conventional(l2_org).total();

@@ -3,91 +3,16 @@
 #include <algorithm>
 #include <vector>
 
-#include "cache/victim_cache.hh"
 #include "common/logging.hh"
 
 namespace bsim {
-
-namespace {
-
-std::string
-replayLabel(const std::string &path, const TraceShard &shard)
-{
-    if (shard.firstRecord == 0 &&
-        shard.recordCount == kUnknownRecordCount)
-        return "trace:" + path;
-    const std::string count =
-        shard.recordCount == kUnknownRecordCount
-            ? std::string("rest")
-            : std::to_string(shard.recordCount);
-    return "trace:" + path + "[" + std::to_string(shard.firstRecord) +
-           "+" + count + ")";
-}
-
-} // namespace
 
 MissRateResult
 runTraceReplay(const std::string &path, const CacheConfig &config,
                const TraceShard &shard,
                const TraceReplayOptions &options)
 {
-    TraceReaderPtr reader = openTraceReader(path, shard);
-    auto cache = config.build(config.label, 1, nullptr);
-    auto obs = attachObserver(*cache, options.observe);
-    const std::size_t batch_len =
-        options.batchLen ? options.batchLen : defaultBatchLen();
-    std::uint64_t left =
-        options.maxAccesses ? options.maxAccesses : ~std::uint64_t{0};
-
-    if (batch_len <= 1) {
-        // Per-access path (BSIM_BATCH=0/1): still streamed one chunk at
-        // a time, just replayed record by record.
-        while (left > 0) {
-            const std::size_t want = static_cast<std::size_t>(
-                std::min<std::uint64_t>(left, 65536));
-            // Re-clamp what actually came back: nextSpan() promises at
-            // most `want` records, but `left -= size` is an unsigned
-            // subtraction that would wrap past options.maxAccesses if a
-            // reader ever over-delivered, so don't let a buggy reader
-            // turn a bounded replay into a (near-)unbounded one.
-            std::span<const MemAccess> s = reader->nextSpan(want);
-            s = s.first(std::min(s.size(), want));
-            if (s.empty())
-                break;
-            for (const MemAccess &a : s)
-                cache->access(a);
-            left -= s.size();
-        }
-    } else {
-        // Batched hot loop: spans come straight from the reader's chunk
-        // buffer (the mmap itself for uncompressed BST2), so nothing is
-        // copied per record on the way into accessBatch.
-        std::vector<AccessOutcome> outs(batch_len);
-        while (left > 0) {
-            const std::size_t want = static_cast<std::size_t>(
-                std::min<std::uint64_t>(left, batch_len));
-            // Same defensive clamp as above; it also keeps an
-            // over-delivering reader from overrunning `outs`.
-            std::span<const MemAccess> s = reader->nextSpan(want);
-            s = s.first(std::min(s.size(), want));
-            if (s.empty())
-                break;
-            cache->accessBatch(s, outs.data());
-            left -= s.size();
-        }
-    }
-
-    MissRateResult r;
-    r.workload = replayLabel(path, shard);
-    r.config = config.label;
-    r.stats = cache->stats();
-    r.balance = analyzeBalance(cache->setUsage());
-    if (auto *bc = dynamic_cast<BCache *>(cache.get()))
-        r.pd = bc->pdStats();
-    if (auto *vc = dynamic_cast<VictimCache *>(cache.get()))
-        r.victimHits = vc->victimHits();
-    r.observer = harvestObserver(obs.get(), *cache);
-    return r;
+    return Session(path, config, shard, options).run();
 }
 
 std::vector<TraceShard>
@@ -194,72 +119,8 @@ runTraceSampled(const std::string &path, const CacheConfig &config,
                 const TraceReplayOptions &options,
                 std::uint64_t first_unit, std::uint64_t unit_count)
 {
-    if (options.observe.enabled)
-        bsim_fatal("sampled replay cannot ride an observer: each unit "
-                   "runs its own short-lived cache, so there is no "
-                   "aggregate per-set state to observe");
-    const std::uint64_t records = sampledPopulation(path, options);
-    const std::uint64_t n_units = plan.unitsFor(records);
-    const std::uint64_t u0 = std::min(first_unit, n_units);
-    const std::uint64_t u1 = unit_count == 0
-                                 ? n_units
-                                 : std::min(u0 + unit_count, n_units);
-
-    TraceReaderPtr reader = openTraceReader(path);
-    const std::size_t batch_len = std::max<std::size_t>(
-        options.batchLen ? options.batchLen : defaultBatchLen(), 1);
-    std::vector<AccessOutcome> outs(batch_len);
-
-    SampledStats sampled;
-    sampled.plan = plan;
-    sampled.records = records;
-    sampled.units.reserve(static_cast<std::size_t>(u1 - u0));
-    CacheStats total;
-
-    auto pump = [&](BaseCache &cache, std::uint64_t n) {
-        while (n > 0) {
-            const std::size_t want = static_cast<std::size_t>(
-                std::min<std::uint64_t>(n, batch_len));
-            // Same defensive clamp as runTraceReplay.
-            std::span<const MemAccess> s = reader->nextSpan(want);
-            s = s.first(std::min(s.size(), want));
-            if (s.empty())
-                bsim_fatal("trace '", path, "' ended at record ",
-                           reader->position(),
-                           " inside a sampling unit");
-            cache.accessBatch(s, outs.data());
-            n -= s.size();
-        }
-    };
-
-    for (std::uint64_t k = u0; k < u1; ++k) {
-        // Unit k measures [k*P, min(k*P + U, records)), warmed up from
-        // a cold cache over the W records before it. Simulating every
-        // unit independently is what makes a unit's sums a pure
-        // function of (trace, config, plan, k) — the bit-identity
-        // contract sharding relies on.
-        const std::uint64_t start = k * plan.period;
-        const std::uint64_t end =
-            std::min(start + plan.unitLen, records);
-        const std::uint64_t warm_start =
-            start >= plan.warmup ? start - plan.warmup : 0;
-        reader->skipTo(warm_start);
-        auto cache = config.build(config.label, 1, nullptr);
-        pump(*cache, start - warm_start);
-        const CacheStats after_warmup = cache->stats();
-        pump(*cache, end - start);
-        CacheStats delta = cache->stats();
-        delta -= after_warmup;
-        total += delta;
-        sampled.units.push_back({k, delta.accesses, delta.misses});
-    }
-
-    MissRateResult r;
-    r.workload = replayLabel(path, TraceShard{});
-    r.config = config.label;
-    r.stats = total;
-    r.sampled = std::move(sampled);
-    return r;
+    return Session(path, config, TraceShard{}, options)
+        .runSampled(plan, first_unit, unit_count);
 }
 
 TraceSweepResult

@@ -20,21 +20,11 @@
 
 #include <vector>
 
+#include "sim/session.hh" // TraceReplayOptions + the Session these wrap
 #include "sim/sweep.hh"
 #include "workload/trace_reader.hh"
 
 namespace bsim {
-
-/** Knobs for one runTraceReplay() call. */
-struct TraceReplayOptions
-{
-    /** Stop after this many accesses (0 = the whole window). */
-    std::uint64_t maxAccesses = 0;
-    /** Span clamp fed to accessBatch; 0 = defaultBatchLen(). */
-    std::size_t batchLen = 0;
-    /** Ride a StatsObserver along (observe/observer.hh). */
-    ObserverConfig observe;
-};
 
 /**
  * Replay one window of a trace file through a standalone cache built

@@ -8,8 +8,10 @@
 #include "alt/skewed_assoc_cache.hh"
 #include "alt/way_halting_cache.hh"
 #include "alt/xor_index_cache.hh"
+#include "cache/cache_spec.hh"
 #include "cache/set_assoc_cache.hh"
 #include "cache/victim_cache.hh"
+#include "common/logging.hh"
 #include "common/random.hh"
 #include "common/strings.hh"
 #include "verify/residency_model.hh"
@@ -121,6 +123,39 @@ AltFuzzSpec::toString() const
     return s;
 }
 
+std::string
+AltFuzzSpec::cacheSpec() const
+{
+    CacheConfig c;
+    switch (kind) {
+      case AltKind::Victim:
+        c = CacheConfig::victim(sizeBytes, victimEntries, lineBytes);
+        break;
+      case AltKind::XorDm:
+        c = CacheConfig::xorDm(sizeBytes, lineBytes);
+        break;
+      case AltKind::ColumnAssoc:
+        c = CacheConfig::columnAssoc(sizeBytes, lineBytes);
+        break;
+      case AltKind::Skewed:
+        c = CacheConfig::skewed(sizeBytes, lineBytes);
+        break;
+      case AltKind::WayHalting:
+        return {}; // no registered spec kind
+      case AltKind::PartialMatch:
+        c = CacheConfig::partialMatch(sizeBytes,
+                                      static_cast<std::uint32_t>(ways),
+                                      partialBits, lineBytes);
+        c.repl = repl;
+        break;
+      case AltKind::Hac:
+        c = CacheConfig::hac(sizeBytes, subarrayBytes, lineBytes);
+        c.repl = repl;
+        break;
+    }
+    return printCacheSpec(c);
+}
+
 AltFuzzSpec
 randomAltFuzzSpec(std::uint64_t seed)
 {
@@ -214,6 +249,12 @@ runAltFuzzCase(const AltFuzzSpec &spec, std::uint64_t accesses,
                std::size_t batch_len)
 {
     BatchEquivResult res;
+
+    // Registered variants double as parser fuzzing: the printable spec
+    // must be a fixed point of print(parse(s)).
+    if (const std::string grammar = spec.cacheSpec(); !grammar.empty())
+        bsim_assert(printCacheSpec(parseCacheSpec(grammar)) == grammar,
+                    "alt cache-spec grammar round-trip failed");
 
     TrackingMemory mem_a, mem_b;
     const std::unique_ptr<BaseCache> per_access =

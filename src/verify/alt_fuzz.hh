@@ -63,6 +63,15 @@ struct AltFuzzSpec
     std::uint64_t seed = 0;
 
     std::string toString() const;
+
+    /**
+     * The sampled DUT in the cache-spec grammar (cache/cache_spec.hh),
+     * or "" for WayHalting, which has no registered spec kind.
+     * runAltFuzzCase() asserts print -> parse -> print is a fixed
+     * point, so alt campaigns double as parser coverage for the
+     * victim/xor/column/skew/pad/hac grammar entries.
+     */
+    std::string cacheSpec() const;
 };
 
 /**

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <memory>
 
+#include "cache/cache_spec.hh"
 #include "common/bits.hh"
+#include "common/logging.hh"
 #include "common/random.hh"
 #include "common/strings.hh"
 #include "workload/generators.hh"
@@ -100,6 +102,16 @@ FuzzResult::toString() const
     return s;
 }
 
+std::string
+FuzzSpec::cacheSpec() const
+{
+    CacheConfig c = CacheConfig::bcache(params.sizeBytes, params.mf,
+                                        params.bas, params.repl,
+                                        params.lineBytes);
+    c.writePolicy = params.writePolicy;
+    return printCacheSpec(c);
+}
+
 FuzzSpec
 randomFuzzSpec(std::uint64_t seed)
 {
@@ -169,6 +181,12 @@ FuzzResult
 runFuzzCase(const FuzzSpec &spec, std::uint64_t accesses,
             bool drive_batched)
 {
+    // Campaigns double as parser fuzzing: the sampled configuration's
+    // printable spec must be a fixed point of print(parse(s)).
+    const std::string grammar = spec.cacheSpec();
+    bsim_assert(printCacheSpec(parseCacheSpec(grammar)) == grammar,
+                "cache-spec grammar round-trip failed");
+
     TrackingMemory mem;
     BCache dut("fuzz-dut", spec.params, /*hit_latency=*/1, &mem);
 

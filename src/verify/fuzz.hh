@@ -31,6 +31,16 @@ struct FuzzSpec
     std::uint64_t seed = 0;
 
     std::string toString() const;
+
+    /**
+     * The sampled DUT in the cache-spec grammar (cache/cache_spec.hh),
+     * e.g. "bcache:16kB,mf=8,bas=8,repl=fifo". replSeed, addrBits and
+     * the workload knobs are harness state, not part of the grammar;
+     * every mapping-relevant field round-trips. runFuzzCase() asserts
+     * print -> parse -> print is a fixed point, so fuzz campaigns
+     * double as parser coverage.
+     */
+    std::string cacheSpec() const;
 };
 
 /**
