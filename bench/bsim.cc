@@ -1,14 +1,17 @@
 /**
  * @file
- * The bsim driver binary with perf telemetry wired in: identical to
- * examples/bsim_cli except that sweep-backed runs (--shards) append a
- * record to BENCH_perf.json via bench::reportSweepPerf, so sharded
- * trace replays show up in the repo's perf trajectory alongside the
- * figure/table harnesses. See sim/bsim_driver.hh for the flag set and
- * docs/TRACES.md for the trace workflow.
+ * The bsim driver binary with perf telemetry and the serving layer
+ * wired in: identical to examples/bsim_cli except that sweep-backed
+ * runs (--shards) append a record to BENCH_perf.json via
+ * bench::reportSweepPerf, and `bsim --serve` / `bsim --connect`
+ * delegate to src/serve (bsimd and its client). See sim/bsim_driver.hh
+ * for the flag set, docs/TRACES.md for the trace workflow and
+ * docs/SERVE.md for the wire protocol.
  */
 
 #include "bench/bench_json.hh"
+#include "serve/client.hh"
+#include "serve/server.hh"
 #include "sim/bsim_driver.hh"
 
 int
@@ -19,5 +22,7 @@ main(int argc, char **argv)
                            const bsim::SweepSummary &summary) {
         bsim::bench::reportSweepPerf("bsim", config, summary);
     };
+    hooks.serveMain = bsim::serve::serveMain;
+    hooks.connectMain = bsim::serve::connectMain;
     return bsim::bsimMain(argc, argv, hooks);
 }

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Schema lint for bsim-rpc-v1 response envelopes (src/serve/rpc.hh),
+ * driven by scripts/check_rpc_json.sh and the `check_rpc_json` ctest.
+ * The envelope shape is produced by okEnvelope()/errorEnvelope() —
+ * change them, validateRpcEnvelope() and this lint's cases together
+ * with docs/SERVE.md.
+ *
+ * Usage:
+ *   rpc_json_lint FILE...     lint each file (one envelope per file)
+ *   rpc_json_lint --selftest  exercise the validator on built-in good
+ *                             and bad envelopes, no file I/O
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "serve/rpc.hh"
+
+using namespace bsim;
+using namespace bsim::serve;
+
+namespace {
+
+int
+lintFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "%s: cannot open\n", path.c_str());
+        return 1;
+    }
+    std::ostringstream ss;
+    ss << in.rdbuf();
+    std::string err;
+    if (!validateRpcEnvelope(ss.str(), &err)) {
+        std::fprintf(stderr, "%s: %s\n", path.c_str(), err.c_str());
+        return 1;
+    }
+    std::printf("%s: bsim-rpc-v1 -- ok\n", path.c_str());
+    return 0;
+}
+
+int
+selftest()
+{
+    struct Case
+    {
+        const char *name;
+        std::string text;
+        bool valid;
+    };
+    const Case cases[] = {
+        {"ok with object body",
+         okEnvelope(R"({"schema":"bsim-stats-v1","x":1})"), true},
+        {"ok with array body (sharded --json)",
+         okEnvelope(R"([{"a":1},{"a":2}])"), true},
+        {"every typed error code", "", true}, // expanded below
+        {"error envelope",
+         errorEnvelope(RpcErrorCode::Overloaded, "queue full"), true},
+        {"not json", "{", false},
+        {"top-level array", "[]", false},
+        {"missing version", R"({"ok":true,"body":{}})", false},
+        {"wrong version",
+         R"({"bsim-rpc":"v2","ok":true,"body":{}})", false},
+        {"ok without body", R"({"bsim-rpc":"v1","ok":true})", false},
+        {"ok with error arm",
+         R"({"bsim-rpc":"v1","ok":true,"body":{},)"
+         R"("error":{"code":"internal","message":"x"}})",
+         false},
+        {"failure without error",
+         R"({"bsim-rpc":"v1","ok":false})", false},
+        {"failure with body arm",
+         R"({"bsim-rpc":"v1","ok":false,"body":{},)"
+         R"("error":{"code":"internal","message":"x"}})",
+         false},
+        {"unknown error code",
+         R"({"bsim-rpc":"v1","ok":false,)"
+         R"("error":{"code":"teapot","message":"x"}})",
+         false},
+        {"error missing message",
+         R"({"bsim-rpc":"v1","ok":false,)"
+         R"("error":{"code":"overloaded"}})",
+         false},
+        {"ok not a boolean",
+         R"({"bsim-rpc":"v1","ok":1,"body":{}})", false},
+    };
+
+    int failures = 0;
+    auto check = [&](const char *name, const std::string &text,
+                     bool valid) {
+        std::string err;
+        const bool got = validateRpcEnvelope(text, &err);
+        if (got != valid) {
+            std::fprintf(stderr,
+                         "selftest FAIL: %s: expected %s, got %s%s%s\n",
+                         name, valid ? "valid" : "invalid",
+                         got ? "valid" : "invalid",
+                         err.empty() ? "" : ": ", err.c_str());
+            ++failures;
+        }
+    };
+    for (const Case &c : cases) {
+        if (!std::strcmp(c.name, "every typed error code")) {
+            for (int i = 0;
+                 i <= static_cast<int>(RpcErrorCode::Internal); ++i)
+                check(rpcErrorName(static_cast<RpcErrorCode>(i)),
+                      errorEnvelope(static_cast<RpcErrorCode>(i), "m"),
+                      true);
+            continue;
+        }
+        check(c.name, c.text, c.valid);
+    }
+    if (failures == 0)
+        std::printf("rpc_json_lint selftest: ok\n");
+    return failures == 0 ? 0 : 1;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::vector<std::string> files;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--selftest")
+            return selftest();
+        files.push_back(arg);
+    }
+    if (files.empty()) {
+        std::fprintf(stderr,
+                     "usage: rpc_json_lint FILE... | --selftest\n");
+        return 2;
+    }
+    int rc = 0;
+    for (const std::string &f : files)
+        rc |= lintFile(f);
+    return rc;
+}

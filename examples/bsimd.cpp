@@ -1,0 +1,18 @@
+/**
+ * @file
+ * bsimd under its own name: the bsim-rpc-v1 simulation server
+ * (src/serve/server.hh). Identical to `bsim --serve ...` — this binary
+ * exists so deployments can ship the daemon without the whole driver
+ * CLI. See docs/SERVE.md for the wire protocol and flags.
+ *
+ *   bsimd --socket /tmp/bsimd.sock --trace gcc=traces/gcc.bst
+ *   bsimd --tcp 4750 --workers 4 --queue 32
+ */
+
+#include "serve/server.hh"
+
+int
+main(int argc, char **argv)
+{
+    return bsim::serve::serveMain(argc, argv);
+}

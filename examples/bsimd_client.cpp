@@ -1,0 +1,18 @@
+/**
+ * @file
+ * The bsimd client under its own name: sends one bsim-rpc-v1 request
+ * and prints the response body (src/serve/client.hh). Identical to
+ * `bsim --connect ...`; a `run` body is byte-identical to the same
+ * one-shot `bsim ... --stats-json -` invocation.
+ *
+ *   bsimd_client --connect /tmp/bsimd.sock --cache bcache:16kB --trace gcc
+ *   bsimd_client --connect :4750 --metrics
+ */
+
+#include "serve/client.hh"
+
+int
+main(int argc, char **argv)
+{
+    return bsim::serve::connectMain(argc, argv);
+}

@@ -1,0 +1,28 @@
+#!/bin/sh
+# Schema lint for bsim-rpc-v1 response envelopes (src/serve/rpc.hh,
+# docs/SERVE.md).
+#
+# Usage:
+#   scripts/check_rpc_json.sh FILE...      # lint captured envelopes
+#   scripts/check_rpc_json.sh --selftest   # built-in good/bad cases
+#   scripts/check_rpc_json.sh              # same as --selftest
+#
+# Thin wrapper around the rpc_json_lint tool (bench/rpc_json_lint.cc);
+# builds it first if the default build tree doesn't have it yet. The
+# same validator runs in ctest as `check_rpc_json` (label: serve), and
+# the live server round trip as `check_serve_e2e`.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+lint="$repo_root/build/bench/rpc_json_lint"
+
+if [ ! -x "$lint" ]; then
+    echo "check_rpc_json: building rpc_json_lint..." >&2
+    cmake -S "$repo_root" -B "$repo_root/build" >/dev/null
+    cmake --build "$repo_root/build" --target rpc_json_lint -j >/dev/null
+fi
+
+if [ "$#" -gt 0 ]; then
+    exec "$lint" "$@"
+fi
+exec "$lint" --selftest

@@ -1,0 +1,144 @@
+#!/bin/sh
+# End-to-end acceptance for the serving layer against the real binary:
+# spawn bsimd (`bsim --serve`), fire concurrent `--connect` clients —
+# single, sharded and sampled runs — and byte-compare every response
+# body against the one-shot CLI's `--stats-json -` output. Then check
+# the typed error paths (bad spec, unknown trace) and the SIGTERM
+# drain contract (clean exit, "drained" logged).
+#
+# Usage:
+#   scripts/check_serve_e2e.sh [path/to/bsim]
+#
+# Runs in ctest as `check_serve_e2e` (label: serve). The in-process
+# halves of these contracts are tests/test_serve.cc.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+bsim=${1:-"$repo_root/build/bench/bsim"}
+trace="$repo_root/examples/traces/conflict_dm.bst"
+
+if [ ! -x "$bsim" ]; then
+    echo "check_serve_e2e: building bsim..." >&2
+    cmake -S "$repo_root" -B "$repo_root/build" >/dev/null
+    cmake --build "$repo_root/build" --target bsim -j >/dev/null
+fi
+
+work=$(mktemp -d)
+sock="$work/bsimd.sock"
+cleanup() {
+    [ -z "${server_pid:-}" ] || kill "$server_pid" 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT INT TERM
+
+"$bsim" --serve --socket "$sock" --trace "conflict=$trace" \
+    2>"$work/bsimd.log" &
+server_pid=$!
+
+# Wait for the listening socket (the daemon logs before accepting).
+tries=0
+while [ ! -S "$sock" ]; do
+    tries=$((tries + 1))
+    if [ "$tries" -gt 100 ]; then
+        echo "check_serve_e2e: FAIL: server never bound $sock" >&2
+        cat "$work/bsimd.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+spec='bcache:16kB,mf=8,bas=8'
+
+# One-shot ground truth for each request shape.
+"$bsim" --cache "$spec" --trace "$trace" \
+    --stats-json - >"$work/cli_single.json" 2>/dev/null
+"$bsim" --cache "$spec" --trace "$trace" --shards 3 --jobs 2 \
+    --stats-json - >"$work/cli_sharded.json" 2>/dev/null
+"$bsim" --cache "$spec" --trace "$trace" --sample 50:200:50 \
+    --stats-json - >"$work/cli_sampled.json" 2>/dev/null
+"$bsim" --cache "$spec" --trace "$trace" --sample 50:200:50 \
+    --shards 2 --stats-json - >"$work/cli_shsam.json" 2>/dev/null
+
+# Four concurrent clients, one per shape, each asking twice.
+run_client() { # name, extra flags...
+    name=$1
+    shift
+    for round in 1 2; do
+        "$bsim" --connect "$sock" --cache "$spec" --trace conflict "$@" \
+            >"$work/srv_${name}_$round.json"
+    done
+}
+run_client single &
+p1=$!
+run_client sharded --shards 3 --jobs 2 &
+p2=$!
+run_client sampled --sample 50:200:50 &
+p3=$!
+run_client shsam --sample 50:200:50 --shards 2 &
+p4=$!
+wait "$p1" "$p2" "$p3" "$p4"
+
+fail=0
+for name in single sharded sampled shsam; do
+    for round in 1 2; do
+        if ! cmp -s "$work/cli_${name}.json" \
+                "$work/srv_${name}_$round.json"; then
+            echo "check_serve_e2e: FAIL: $name round $round diverged" \
+                 "from the one-shot CLI" >&2
+            fail=1
+        fi
+    done
+done
+
+# Typed errors: the client exits 1 and names the error class.
+if "$bsim" --connect "$sock" --cache 'warp:9' --trace conflict \
+        2>"$work/err1" >/dev/null; then
+    echo "check_serve_e2e: FAIL: bad spec did not fail" >&2
+    fail=1
+fi
+grep -q 'bad-request' "$work/err1" || {
+    echo "check_serve_e2e: FAIL: bad spec not typed bad-request" >&2
+    fail=1
+}
+if "$bsim" --connect "$sock" --cache dm:16kB --trace /no/such.bst \
+        2>"$work/err2" >/dev/null; then
+    echo "check_serve_e2e: FAIL: unknown trace did not fail" >&2
+    fail=1
+fi
+grep -q 'unknown-trace' "$work/err2" || {
+    echo "check_serve_e2e: FAIL: missing trace not typed unknown-trace" >&2
+    fail=1
+}
+
+# Control plane stays answerable.
+"$bsim" --connect "$sock" --ping | grep -q '"pong":true' || {
+    echo "check_serve_e2e: FAIL: ping" >&2
+    fail=1
+}
+"$bsim" --connect "$sock" --metrics |
+    grep -q '"bsim-rpc-metrics":"v1"' || {
+    echo "check_serve_e2e: FAIL: metrics" >&2
+    fail=1
+}
+
+# SIGTERM drain: clean exit code, drain logged, socket unlinked.
+kill -TERM "$server_pid"
+if ! wait "$server_pid"; then
+    echo "check_serve_e2e: FAIL: server exited non-zero on SIGTERM" >&2
+    fail=1
+fi
+server_pid=""
+grep -q 'drained' "$work/bsimd.log" || {
+    echo "check_serve_e2e: FAIL: no drain message logged" >&2
+    fail=1
+}
+if [ -S "$sock" ]; then
+    echo "check_serve_e2e: FAIL: socket not unlinked after drain" >&2
+    fail=1
+fi
+
+if [ "$fail" = 0 ]; then
+    echo "check_serve_e2e: ok (4 concurrent shapes byte-identical," \
+         "typed errors, graceful drain)"
+fi
+exit "$fail"

@@ -1,0 +1,77 @@
+#include "common/frame.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace bsim {
+
+std::string
+encodeFrame(const std::string &payload)
+{
+    if (payload.size() > ~std::uint32_t{0})
+        bsim_fatal("frame payload of ", payload.size(),
+                   " bytes exceeds the 32-bit length field");
+    std::string out;
+    out.reserve(kFrameHeaderBytes + payload.size());
+    out.append(kFrameMagic, sizeof kFrameMagic);
+    const std::uint32_t len =
+        static_cast<std::uint32_t>(payload.size());
+    for (int b = 0; b < 4; ++b)
+        out.push_back(static_cast<char>((len >> (8 * b)) & 0xff));
+    out.append(payload);
+    return out;
+}
+
+const char *
+frameStatusName(FrameStatus s)
+{
+    switch (s) {
+      case FrameStatus::NeedMore:
+        return "need-more";
+      case FrameStatus::Frame:
+        return "frame";
+      case FrameStatus::BadMagic:
+        return "bad-magic";
+      case FrameStatus::Oversized:
+        return "oversized";
+    }
+    return "unknown";
+}
+
+void
+FrameDecoder::feed(const void *data, std::size_t n)
+{
+    buf_.append(static_cast<const char *>(data), n);
+}
+
+FrameStatus
+FrameDecoder::next(std::string *payload)
+{
+    if (poisoned_ != FrameStatus::NeedMore)
+        return poisoned_;
+    if (buffered() < kFrameHeaderBytes)
+        return FrameStatus::NeedMore;
+    const char *hdr = buf_.data() + pos_;
+    if (std::memcmp(hdr, kFrameMagic, sizeof kFrameMagic) != 0)
+        return poisoned_ = FrameStatus::BadMagic;
+    std::uint32_t len = 0;
+    for (int b = 3; b >= 0; --b)
+        len = len << 8 |
+              static_cast<unsigned char>(hdr[4 + b]);
+    if (len > maxPayload_)
+        return poisoned_ = FrameStatus::Oversized;
+    if (buffered() < kFrameHeaderBytes + len)
+        return FrameStatus::NeedMore;
+    payload->assign(hdr + kFrameHeaderBytes, len);
+    pos_ += kFrameHeaderBytes + len;
+    // Compact once the consumed prefix dominates, so a long-lived
+    // connection doesn't grow the buffer without bound.
+    if (pos_ > 4096 && pos_ * 2 > buf_.size()) {
+        buf_.erase(0, pos_);
+        pos_ = 0;
+    }
+    return FrameStatus::Frame;
+}
+
+} // namespace bsim

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Length-prefixed frame codec for the bsim-rpc-v1 wire protocol
+ * (docs/SERVE.md §2 — change them together). A frame is an 8-byte
+ * header — the 4-byte magic "BRPC" followed by the payload length as a
+ * 32-bit little-endian integer — and then exactly that many payload
+ * bytes (one JSON document for bsim-rpc, but the codec is
+ * content-agnostic).
+ *
+ * The decoder is incremental and typed: feed() it whatever the socket
+ * delivered, pull complete frames with next(), and a malformed stream
+ * surfaces as BadMagic/Oversized rather than a crash — the serve layer
+ * turns those into `malformed-frame` / `oversized` RPC errors and
+ * closes the connection. tests/test_serve.cc fuzzes the decoder with
+ * truncated, oversized and garbage inputs at random split points.
+ */
+
+#ifndef BSIM_COMMON_FRAME_HH
+#define BSIM_COMMON_FRAME_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace bsim {
+
+/** Leading bytes of every bsim-rpc frame. */
+inline constexpr char kFrameMagic[4] = {'B', 'R', 'P', 'C'};
+inline constexpr std::size_t kFrameHeaderBytes = 8;
+
+/**
+ * Default ceiling on a single frame's payload. Requests are small JSON
+ * objects, so anything near this size is a protocol error or abuse;
+ * responses (which carry whole bsim-stats-v1 documents) use a larger
+ * limit set by the client. Servers reject larger frames with a typed
+ * `oversized` error instead of buffering them.
+ */
+inline constexpr std::size_t kDefaultMaxFramePayload = 1u << 20;
+
+/** Frame @p payload for the wire: header + bytes, ready to send. */
+std::string encodeFrame(const std::string &payload);
+
+/** Outcome of FrameDecoder::next(). */
+enum class FrameStatus : std::uint8_t {
+    NeedMore, ///< no complete frame buffered yet; feed() more bytes
+    Frame,    ///< a payload was produced
+    BadMagic, ///< stream does not start with "BRPC"; unrecoverable
+    Oversized ///< declared payload exceeds the limit; unrecoverable
+};
+
+const char *frameStatusName(FrameStatus s);
+
+/**
+ * Incremental frame parser over an untrusted byte stream. Feed bytes in
+ * any fragmentation; next() yields one payload per complete frame, in
+ * order. The two error states are sticky: a stream that has desynced
+ * once can never be trusted again, so every later next() repeats the
+ * error and the connection should be dropped.
+ */
+class FrameDecoder
+{
+  public:
+    explicit FrameDecoder(
+        std::size_t max_payload = kDefaultMaxFramePayload)
+        : maxPayload_(max_payload)
+    {
+    }
+
+    /** Append @p n raw bytes from the stream. */
+    void feed(const void *data, std::size_t n);
+
+    /**
+     * Try to produce the next payload into @p payload (only written on
+     * FrameStatus::Frame). Call until it returns NeedMore.
+     */
+    FrameStatus next(std::string *payload);
+
+    /** Bytes buffered but not yet consumed by complete frames. */
+    std::size_t buffered() const { return buf_.size() - pos_; }
+
+  private:
+    std::size_t maxPayload_;
+    std::string buf_;
+    std::size_t pos_ = 0; ///< consumed prefix of buf_
+    FrameStatus poisoned_ = FrameStatus::NeedMore;
+};
+
+} // namespace bsim
+
+#endif // BSIM_COMMON_FRAME_HH

@@ -1,5 +1,6 @@
 #include "common/logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -28,9 +29,27 @@ panicImpl(const char *file, int line, const std::string &msg)
     std::abort();
 }
 
+namespace {
+std::atomic<bool> fatalThrowsFlag{false};
+} // namespace
+
+void
+setFatalThrows(bool enable)
+{
+    fatalThrowsFlag.store(enable, std::memory_order_relaxed);
+}
+
+bool
+fatalThrows()
+{
+    return fatalThrowsFlag.load(std::memory_order_relaxed);
+}
+
 void
 fatalImpl(const char *file, int line, const std::string &msg)
 {
+    if (fatalThrows())
+        throw FatalError(msg);
     std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
     std::exit(1);
 }

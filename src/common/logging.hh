@@ -12,6 +12,7 @@
 #define BSIM_COMMON_LOGGING_HH
 
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 namespace bsim {
@@ -22,6 +23,29 @@ namespace bsim {
                             const std::string &msg);
 void warnImpl(const std::string &msg);
 void informImpl(const std::string &msg);
+
+/**
+ * What bsim_fatal throws when fatal-throw mode is on (see
+ * setFatalThrows). what() carries the message without the file:line
+ * suffix, so it can be surfaced verbatim to an RPC client.
+ */
+class FatalError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * Switch bsim_fatal from exit(1) to throwing FatalError, process-wide.
+ * One-shot binaries keep the default (a configuration error ends the
+ * run), but a resident server (serve/) must survive a bad request: it
+ * enables this once at startup and converts the thrown FatalError into
+ * a typed RPC error response. Process-wide rather than thread-local
+ * because request work fans out onto sweep-pool worker threads, which
+ * already capture per-job exceptions.
+ */
+void setFatalThrows(bool enable);
+bool fatalThrows();
 
 /** Enable/disable inform() output (benches silence it). */
 void setVerbose(bool verbose);

@@ -139,14 +139,21 @@ Table::toCsv() const
 void
 Table::print(const std::string &title) const
 {
+    print(title, stdout);
+}
+
+void
+Table::print(const std::string &title, std::FILE *out) const
+{
     // BSIM_CSV=1 switches every harness to machine-readable output.
     const char *csv = std::getenv("BSIM_CSV");
     if (csv && *csv && *csv != '0')
-        std::printf("\n# %s\n%s", title.c_str(), toCsv().c_str());
+        std::fprintf(out, "\n# %s\n%s", title.c_str(),
+                     toCsv().c_str());
     else
-        std::printf("\n== %s ==\n%s", title.c_str(),
-                    toString().c_str());
-    std::fflush(stdout);
+        std::fprintf(out, "\n== %s ==\n%s", title.c_str(),
+                     toString().c_str());
+    std::fflush(out);
 }
 
 } // namespace bsim

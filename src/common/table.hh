@@ -7,6 +7,7 @@
 #ifndef BSIM_COMMON_TABLE_HH
 #define BSIM_COMMON_TABLE_HH
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
@@ -47,6 +48,12 @@ class Table
 
     /** Print the ASCII rendering to stdout with a title line. */
     void print(const std::string &title) const;
+
+    /**
+     * Print to an explicit stream — the driver routes human reports to
+     * stderr when a '-' export owns stdout, so both stay usable.
+     */
+    void print(const std::string &title, std::FILE *out) const;
 
   private:
     std::vector<std::string> headers_;

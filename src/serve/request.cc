@@ -1,0 +1,203 @@
+#include "serve/request.hh"
+
+#include <optional>
+
+#include "common/json.hh"
+#include "common/logging.hh"
+#include "sim/report.hh"
+#include "sim/trace_replay.hh"
+#include "workload/spec2k.hh"
+
+namespace bsim {
+namespace serve {
+
+namespace {
+
+/** Trace-resolution failures get their own typed RPC error. */
+class UnknownTraceError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+std::string
+metricsBody(const Scheduler *scheduler, const TraceRegistry &traces)
+{
+    const Scheduler::Metrics m =
+        scheduler ? scheduler->metrics() : Scheduler::Metrics{};
+    JsonWriter j;
+    j.beginObject().kv("bsim-rpc-metrics", "v1");
+    j.key("queue")
+        .beginObject()
+        .kv("depth", std::uint64_t(m.queueDepth))
+        .kv("capacity", std::uint64_t(m.queueCapacity))
+        .kv("in_flight", std::uint64_t(m.inFlight))
+        .kv("workers", m.workers)
+        .endObject();
+    j.key("requests")
+        .beginObject()
+        .kv("accepted", m.accepted)
+        .kv("completed", m.completed)
+        .kv("rejected_overload", m.rejectedOverload)
+        .kv("rejected_draining", m.rejectedDraining)
+        .kv("expired_deadline", m.expiredDeadline)
+        .endObject();
+    j.key("latency_ms")
+        .beginObject()
+        .kv("count", m.latencyCount)
+        .kv("p50", m.latencyP50Ms)
+        .kv("p90", m.latencyP90Ms)
+        .kv("p99", m.latencyP99Ms)
+        .kv("overflow_edge", m.latencyOverflowEdgeMs)
+        .endObject();
+    j.key("traces")
+        .beginObject()
+        .kv("registered", std::uint64_t(traces.list().size()))
+        .kv("open", std::uint64_t(traces.openCount()))
+        .endObject();
+    j.endObject();
+    return j.str();
+}
+
+std::string
+listTracesBody(TraceRegistry &traces)
+{
+    JsonWriter j;
+    j.beginObject().key("traces").beginArray();
+    for (const TraceRegistry::Entry &e : traces.list()) {
+        j.beginObject()
+            .kv("name", e.name)
+            .kv("path", e.path)
+            .kv("open", e.open)
+            .endObject();
+    }
+    j.endArray().endObject();
+    return j.str();
+}
+
+} // namespace
+
+std::string
+runStatsBody(const RpcRequest &req, TraceRegistry &traces)
+{
+    const CacheConfig cfg = parseCacheSpec(req.cache);
+    std::optional<SamplePlan> sample;
+    if (!req.sample.empty())
+        sample = parseSamplePlan(req.sample);
+
+    std::string trace_path;
+    TraceHandlePtr handle;
+    if (!req.trace.empty()) {
+        try {
+            handle = traces.get(req.trace);
+        } catch (const FatalError &e) {
+            throw UnknownTraceError(e.what());
+        }
+        if (!handle)
+            throw UnknownTraceError("unknown trace '" + req.trace +
+                                    "' (op 'list-traces' enumerates "
+                                    "the registry)");
+        trace_path = handle->path();
+    }
+    if (req.shards > 0 && trace_path.empty())
+        throw FatalError("'shards' needs a 'trace'");
+
+    // The observer policy is the CLI's: a stats body behaves exactly
+    // like `--stats-json -` (observer on for full runs), the compact
+    // body like bare `--json` (observer off). Matching this is half of
+    // the byte-identity contract; the other half is calling the same
+    // run functions with the same options below.
+    StatsExport ex;
+    if (req.stats)
+        ex.statsJsonPath = "-";
+
+    if (req.shards > 0) {
+        SweepOptions opts;
+        opts.jobs = req.jobs;
+        TraceReplayOptions replay;
+        replay.batchLen = req.batch;
+        replay.handle = handle;
+        if (sample)
+            replay.maxAccesses = req.accessesSet ? req.accesses : 0;
+        else
+            replay.observe = ex.observerConfig();
+        const TraceSweepResult res =
+            sample ? runTraceSampledSharded(trace_path, cfg, *sample,
+                                            req.shards, opts, replay)
+                   : runTraceSharded(trace_path, cfg, req.shards, opts,
+                                     replay);
+        if (req.stats)
+            return toStatsJson(res, "trace:" + trace_path, cfg.label);
+        std::string out = "[";
+        for (std::size_t i = 0; i < res.shards.size(); ++i)
+            out += (i ? ",\n " : "") + toJson(res.shards[i]);
+        return out + "]";
+    }
+
+    MissRateResult r;
+    if (!trace_path.empty()) {
+        TraceReplayOptions opts;
+        opts.maxAccesses = req.accessesSet ? req.accesses : 0;
+        opts.batchLen = req.batch;
+        opts.handle = handle;
+        if (sample) {
+            r = runTraceSampled(trace_path, cfg, *sample, opts);
+        } else {
+            opts.observe = ex.observerConfig();
+            r = runTraceReplay(trace_path, cfg, TraceShard{}, opts);
+        }
+    } else {
+        if (!isSpec2kName(req.workload))
+            throw FatalError("unknown workload '" + req.workload + "'");
+        const StreamSide s = req.side == "inst" ? StreamSide::Inst
+                                                : StreamSide::Data;
+        const std::uint64_t accesses =
+            req.accessesSet ? req.accesses : 1'000'000;
+        if (sample)
+            r = runMissRateSampled(req.workload, s, cfg, accesses,
+                                   *sample, req.seed);
+        else
+            r = runMissRate(req.workload, s, cfg, accesses, req.seed,
+                            ex.observerConfig());
+    }
+    if (req.stats)
+        return toStatsJson(r, trace_path.empty() ? "workload"
+                                                 : "trace");
+    return toJson(r);
+}
+
+std::string
+runRequest(const RpcRequest &req, TraceRegistry &traces,
+           const Scheduler *scheduler)
+{
+    switch (req.op) {
+      case RpcRequest::Op::Ping:
+        return okEnvelope("{\"pong\":true}");
+      case RpcRequest::Op::Metrics:
+        return okEnvelope(metricsBody(scheduler, traces));
+      case RpcRequest::Op::ListCaches: {
+        JsonWriter j;
+        j.beginObject().kv("caches", listCacheSpecs()).endObject();
+        return okEnvelope(j.str());
+      }
+      case RpcRequest::Op::ListTraces:
+        return okEnvelope(listTracesBody(traces));
+      case RpcRequest::Op::Run:
+        break;
+    }
+
+    try {
+        return okEnvelope(runStatsBody(req, traces));
+    } catch (const UnknownTraceError &e) {
+        return errorEnvelope(RpcErrorCode::UnknownTrace, e.what());
+    } catch (const CacheSpecError &e) {
+        return errorEnvelope(RpcErrorCode::BadRequest, e.what());
+    } catch (const FatalError &e) {
+        return errorEnvelope(RpcErrorCode::BadRequest, e.what());
+    } catch (const std::exception &e) {
+        return errorEnvelope(RpcErrorCode::Internal, e.what());
+    }
+}
+
+} // namespace serve
+} // namespace bsim

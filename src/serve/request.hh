@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Execution of one parsed bsim-rpc-v1 request: the bridge from the
+ * wire vocabulary (serve/rpc.hh) to the session/runner layer. The Run
+ * path calls exactly the functions `bsim --stats-json -` would — same
+ * options, same dispatch — and embeds the resulting document verbatim,
+ * which is what makes server responses byte-identical to the one-shot
+ * CLI at any shard/jobs count (pinned by tests/test_serve.cc).
+ */
+
+#ifndef BSIM_SERVE_REQUEST_HH
+#define BSIM_SERVE_REQUEST_HH
+
+#include <string>
+
+#include "serve/rpc.hh"
+#include "serve/scheduler.hh"
+#include "serve/trace_registry.hh"
+
+namespace bsim {
+namespace serve {
+
+/**
+ * Execute one request and return the complete response envelope.
+ * Never throws: simulation-layer failures (FatalError from bad specs,
+ * missing traces, malformed plans) become typed error envelopes. The
+ * caller must have enabled setFatalThrows() — the daemon does so at
+ * startup; running with exit-on-fatal semantics would kill the server
+ * on the first bad request.
+ *
+ * Control-plane ops (ping/metrics/list-*) are answered inline by the
+ * server and never reach this function's Run machinery, but it handles
+ * them too so tests can drive everything through one entry point.
+ */
+std::string runRequest(const RpcRequest &req, TraceRegistry &traces,
+                       const Scheduler *scheduler);
+
+/**
+ * The Run-op body only (no envelope): the bsim-stats-v1 document
+ * (req.stats, the default) or the compact --json record. Throws
+ * FatalError/CacheSpecError on invalid requests — runRequest() wraps
+ * it. Exposed so the bit-identity tests can compare this string
+ * against the CLI pipeline directly.
+ */
+std::string runStatsBody(const RpcRequest &req, TraceRegistry &traces);
+
+} // namespace serve
+} // namespace bsim
+
+#endif // BSIM_SERVE_REQUEST_HH

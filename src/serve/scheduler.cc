@@ -1,0 +1,173 @@
+#include "serve/scheduler.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace bsim {
+namespace serve {
+
+Scheduler::Scheduler(const Options &options)
+    : capacity_(std::max<std::size_t>(options.queueCapacity, 1))
+{
+    const unsigned n = std::max(options.workers, 1u);
+    workers_.reserve(n);
+    for (unsigned i = 0; i < n; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+Scheduler::~Scheduler()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        draining_ = true;
+        stopping_ = true;
+    }
+    workAvailable_.notify_all();
+    for (std::thread &t : workers_)
+        t.join();
+}
+
+Scheduler::Admit
+Scheduler::submit(Work run, Work on_expired, Clock::time_point deadline,
+                  std::future<std::string> *result)
+{
+    bsim_assert(run != nullptr);
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (draining_) {
+        ++rejectedDraining_;
+        return Admit::Draining;
+    }
+    if (queue_.size() >= capacity_) {
+        ++rejectedOverload_;
+        return Admit::Overloaded;
+    }
+    Job job;
+    job.run = std::move(run);
+    job.onExpired = std::move(on_expired);
+    job.deadline = deadline;
+    job.hasDeadline = deadline != Clock::time_point{};
+    job.submitted = Clock::now();
+    if (result)
+        *result = job.done.get_future();
+    queue_.push_back(std::move(job));
+    ++accepted_;
+    workAvailable_.notify_one();
+    return Admit::Accepted;
+}
+
+void
+Scheduler::beginDrain()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        draining_ = true;
+    }
+    // Wake idle workers so ~Scheduler's stop is observed promptly; the
+    // queue is still fully consumed either way.
+    workAvailable_.notify_all();
+}
+
+void
+Scheduler::awaitIdle()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_.wait(lock,
+               [this] { return queue_.empty() && inFlight_ == 0; });
+}
+
+bool
+Scheduler::draining() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return draining_;
+}
+
+Scheduler::Metrics
+Scheduler::metrics() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Metrics m;
+    m.queueDepth = queue_.size();
+    m.inFlight = inFlight_;
+    m.queueCapacity = capacity_;
+    m.workers = static_cast<unsigned>(workers_.size());
+    m.accepted = accepted_;
+    m.completed = completed_;
+    m.rejectedOverload = rejectedOverload_;
+    m.rejectedDraining = rejectedDraining_;
+    m.expiredDeadline = expiredDeadline_;
+    m.latencyCount = latencyMs_.totalCount();
+    m.latencyP50Ms = latencyMs_.percentile(0.50);
+    m.latencyP90Ms = latencyMs_.percentile(0.90);
+    m.latencyP99Ms = latencyMs_.percentile(0.99);
+    m.latencyOverflowEdgeMs = latencyMs_.overflowEdge();
+    return m;
+}
+
+void
+Scheduler::workerLoop()
+{
+    for (;;) {
+        Job job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workAvailable_.wait(lock, [this] {
+                return !queue_.empty() || stopping_;
+            });
+            if (queue_.empty()) {
+                // stopping_ with an empty queue: the drain contract is
+                // satisfied (everything admitted has run).
+                return;
+            }
+            job = std::move(queue_.front());
+            queue_.pop_front();
+            ++inFlight_;
+        }
+
+        const bool expired =
+            job.hasDeadline && Clock::now() > job.deadline;
+        std::string payload;
+        try {
+            if (expired && job.onExpired)
+                payload = job.onExpired();
+            else
+                payload = job.run();
+        } catch (...) {
+            // Work closures produce error payloads themselves; an
+            // escaping exception is a scheduler-contract bug, but the
+            // waiter must still be released.
+            {
+                std::lock_guard<std::mutex> lock(mutex_);
+                --inFlight_;
+                if (expired)
+                    ++expiredDeadline_;
+                idle_.notify_all();
+            }
+            job.done.set_exception(std::current_exception());
+            continue;
+        }
+
+        // Account under the lock BEFORE releasing the waiter: a caller
+        // that observes its future ready must never read metrics() that
+        // lag the completion it just witnessed.
+        const auto waited =
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                Clock::now() - job.submitted);
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --inFlight_;
+            ++completed_;
+            if (expired)
+                ++expiredDeadline_;
+            latencyMs_.add(
+                static_cast<std::uint64_t>(std::max<long long>(
+                    waited.count(), 0)));
+            idle_.notify_all();
+        }
+        job.done.set_value(std::move(payload));
+    }
+}
+
+} // namespace serve
+} // namespace bsim

@@ -1,0 +1,154 @@
+/**
+ * @file
+ * The request scheduler: a bounded admission queue in front of a small
+ * worker pool. Connection threads submit one closure per request and
+ * block on its future; the closure itself runs the simulation (sharded
+ * requests fan further out on the sweep engine — sim/sweep.hh — so the
+ * scheduler governs *request* concurrency while the sweep pool governs
+ * intra-request parallelism).
+ *
+ * Backpressure is explicit and typed: a full queue rejects at submit
+ * time (the caller answers `overloaded`), never silently drops. A
+ * request carrying a deadline that expires while queued completes with
+ * its expired-path result instead of running (checked at dequeue, so an
+ * overloaded server sheds exactly the work whose caller stopped
+ * waiting). beginDrain() stops admission (`shutting-down`) while every
+ * already-admitted request still runs to completion — the SIGTERM
+ * contract.
+ *
+ * Latency of completed requests feeds a common/stats Histogram
+ * (1 ms buckets); percentile() saturates at overflowEdge(), so p99
+ * readings at the edge mean ">= edge", not a measurement.
+ */
+
+#ifndef BSIM_SERVE_SCHEDULER_HH
+#define BSIM_SERVE_SCHEDULER_HH
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace bsim {
+namespace serve {
+
+class Scheduler
+{
+  public:
+    using Clock = std::chrono::steady_clock;
+    /** A unit of work producing the response payload. */
+    using Work = std::function<std::string()>;
+
+    struct Options
+    {
+        /** Worker threads executing admitted requests. */
+        unsigned workers = 2;
+        /** Queued (not yet running) requests admitted before refusing. */
+        std::size_t queueCapacity = 16;
+    };
+
+    enum class Admit : std::uint8_t {
+        Accepted, ///< queued; the future will be fulfilled
+        Overloaded,
+        Draining,
+    };
+
+    explicit Scheduler(const Options &options);
+    /** Drains (completing all admitted work) and joins the workers. */
+    ~Scheduler();
+
+    Scheduler(const Scheduler &) = delete;
+    Scheduler &operator=(const Scheduler &) = delete;
+
+    /**
+     * Admit one request. On Accepted, @p result receives a future that
+     * yields run()'s payload — or onExpired()'s if the deadline passes
+     * before a worker dequeues it. On Overloaded/Draining nothing is
+     * queued and the future is untouched; the caller answers with the
+     * matching typed error. @p deadline zero (default Clock::time_point)
+     * means none.
+     */
+    Admit submit(Work run, Work on_expired, Clock::time_point deadline,
+                 std::future<std::string> *result);
+
+    /** Convenience: no deadline. */
+    Admit
+    submit(Work run, std::future<std::string> *result)
+    {
+        return submit(std::move(run), nullptr, Clock::time_point{},
+                      result);
+    }
+
+    /** Stop admitting; everything already admitted still completes. */
+    void beginDrain();
+
+    /** Block until the queue is empty and no worker is mid-request. */
+    void awaitIdle();
+
+    bool draining() const;
+
+    /** Introspection snapshot for the metrics op. */
+    struct Metrics
+    {
+        std::size_t queueDepth = 0;
+        std::size_t inFlight = 0;
+        std::size_t queueCapacity = 0;
+        unsigned workers = 0;
+        std::uint64_t accepted = 0;
+        std::uint64_t completed = 0;
+        std::uint64_t rejectedOverload = 0;
+        std::uint64_t rejectedDraining = 0;
+        std::uint64_t expiredDeadline = 0;
+        std::uint64_t latencyCount = 0;
+        std::uint64_t latencyP50Ms = 0;
+        std::uint64_t latencyP90Ms = 0;
+        std::uint64_t latencyP99Ms = 0;
+        /** percentile() saturation value: readings here mean ">=". */
+        std::uint64_t latencyOverflowEdgeMs = 0;
+    };
+
+    Metrics metrics() const;
+
+  private:
+    struct Job
+    {
+        Work run;
+        Work onExpired;
+        Clock::time_point deadline{};
+        bool hasDeadline = false;
+        Clock::time_point submitted{};
+        std::promise<std::string> done;
+    };
+
+    void workerLoop();
+
+    mutable std::mutex mutex_;
+    std::condition_variable workAvailable_;
+    std::condition_variable idle_;
+    std::deque<Job> queue_;
+    std::vector<std::thread> workers_;
+    std::size_t capacity_;
+    std::size_t inFlight_ = 0;
+    bool draining_ = false;
+    bool stopping_ = false;
+
+    std::uint64_t accepted_ = 0;
+    std::uint64_t completed_ = 0;
+    std::uint64_t rejectedOverload_ = 0;
+    std::uint64_t rejectedDraining_ = 0;
+    std::uint64_t expiredDeadline_ = 0;
+    Histogram latencyMs_{1, 1000}; ///< 1 ms buckets, overflow >= 1 s
+};
+
+} // namespace serve
+} // namespace bsim
+
+#endif // BSIM_SERVE_SCHEDULER_HH

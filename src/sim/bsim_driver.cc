@@ -90,6 +90,14 @@ usage(const char *msg = nullptr)
                  "                   embedded in --stats-json, or CSV to "
                  "stdout\n"
                  "  [--json] [--config FILE]\n"
+                 "  --serve ...      run as bsimd, the bsim-rpc-v1 "
+                 "simulation server\n"
+                 "                   (bsim --serve --help; docs/SERVE.md)"
+                 "\n"
+                 "  --connect TARGET send one request to a running bsimd "
+                 "and print\n"
+                 "                   the response body (bsim --connect "
+                 "--help)\n"
                  "A --config file (see sim/experiment_file.hh) sets the\n"
                  "defaults; explicit flags given AFTER it override.\n");
     std::exit(2);
@@ -137,79 +145,89 @@ printTraceInfo(const std::string &path)
     return 0;
 }
 
-/** The human-readable estimate lines shared by all sampled drivers. */
+/**
+ * The human-readable estimate lines shared by all sampled drivers.
+ * Every printer below takes @p out because a '-' export owns stdout:
+ * the report then moves to stderr instead of being suppressed, so one
+ * invocation can pipe clean JSON while a human still watches the run.
+ */
 void
-printSampled(const SampledStats &s)
+printSampled(const SampledStats &s, std::FILE *out)
 {
     const SampleEstimate e = s.estimate();
-    std::printf("sample   : U=%llu P=%llu W=%llu over %llu records "
-                "(%llu units, %.4f%% measured)\n",
-                static_cast<unsigned long long>(s.plan.unitLen),
-                static_cast<unsigned long long>(s.plan.period),
-                static_cast<unsigned long long>(s.plan.warmup),
-                static_cast<unsigned long long>(s.records),
-                static_cast<unsigned long long>(e.units),
-                100.0 * e.sampledFraction);
-    std::printf("estimate : miss ratio %.6f (stderr %.6f, 95%% CI "
-                "[%.6f, %.6f], MPKI %.2f)\n",
-                e.value, e.stderrValue, e.ciLo, e.ciHi,
-                1000.0 * e.value);
+    std::fprintf(out,
+                 "sample   : U=%llu P=%llu W=%llu over %llu records "
+                 "(%llu units, %.4f%% measured)\n",
+                 static_cast<unsigned long long>(s.plan.unitLen),
+                 static_cast<unsigned long long>(s.plan.period),
+                 static_cast<unsigned long long>(s.plan.warmup),
+                 static_cast<unsigned long long>(s.records),
+                 static_cast<unsigned long long>(e.units),
+                 100.0 * e.sampledFraction);
+    std::fprintf(out,
+                 "estimate : miss ratio %.6f (stderr %.6f, 95%% CI "
+                 "[%.6f, %.6f], MPKI %.2f)\n",
+                 e.value, e.stderrValue, e.ciLo, e.ciHi,
+                 1000.0 * e.value);
 }
 
 void
 printMissRate(const MissRateResult &r, const CacheConfig &cfg,
-              const std::string &driver_desc)
+              const std::string &driver_desc, std::FILE *out)
 {
-    std::printf("config   : %s (%s, %s, %s)\n", cfg.label.c_str(),
-                sizeString(cfg.sizeBytes).c_str(),
-                replPolicyName(cfg.repl),
-                writePolicyName(cfg.writePolicy));
-    std::printf("driver   : %s\n", driver_desc.c_str());
-    std::printf("accesses : %llu\n",
-                static_cast<unsigned long long>(r.stats.accesses));
-    std::printf("miss rate: %.4f%%  (hits %llu, misses %llu)\n",
-                100.0 * r.missRate(),
-                static_cast<unsigned long long>(r.stats.hits),
-                static_cast<unsigned long long>(r.stats.misses));
-    std::printf("traffic  : refills %llu, writebacks %llu, "
-                "writethroughs %llu\n",
-                static_cast<unsigned long long>(r.stats.refills),
-                static_cast<unsigned long long>(r.stats.writebacks),
-                static_cast<unsigned long long>(r.stats.writethroughs));
+    std::fprintf(out, "config   : %s (%s, %s, %s)\n", cfg.label.c_str(),
+                 sizeString(cfg.sizeBytes).c_str(),
+                 replPolicyName(cfg.repl),
+                 writePolicyName(cfg.writePolicy));
+    std::fprintf(out, "driver   : %s\n", driver_desc.c_str());
+    std::fprintf(out, "accesses : %llu\n",
+                 static_cast<unsigned long long>(r.stats.accesses));
+    std::fprintf(out, "miss rate: %.4f%%  (hits %llu, misses %llu)\n",
+                 100.0 * r.missRate(),
+                 static_cast<unsigned long long>(r.stats.hits),
+                 static_cast<unsigned long long>(r.stats.misses));
+    std::fprintf(out,
+                 "traffic  : refills %llu, writebacks %llu, "
+                 "writethroughs %llu\n",
+                 static_cast<unsigned long long>(r.stats.refills),
+                 static_cast<unsigned long long>(r.stats.writebacks),
+                 static_cast<unsigned long long>(r.stats.writethroughs));
     if (r.pd)
-        std::printf("PD       : hit-on-miss %.2f%%, predicted misses "
-                    "%.2f%%\n",
-                    100.0 * r.pd->pdHitRateOnMiss(),
-                    100.0 * r.pd->missPredictionRate());
+        std::fprintf(out,
+                     "PD       : hit-on-miss %.2f%%, predicted misses "
+                     "%.2f%%\n",
+                     100.0 * r.pd->pdHitRateOnMiss(),
+                     100.0 * r.pd->missPredictionRate());
     if (r.victimHits)
-        std::printf("victim   : %llu buffer hits\n",
-                    static_cast<unsigned long long>(r.victimHits));
+        std::fprintf(out, "victim   : %llu buffer hits\n",
+                     static_cast<unsigned long long>(r.victimHits));
     if (r.sampled) {
-        printSampled(*r.sampled);
+        printSampled(*r.sampled, out);
         return; // no balance: per-unit caches have no aggregate usage
     }
-    std::printf("balance  : %s\n", r.balance.toString().c_str());
+    std::fprintf(out, "balance  : %s\n", r.balance.toString().c_str());
 }
 
 void
-printBCacheCosts(const CacheConfig &cfg)
+printBCacheCosts(const CacheConfig &cfg, std::FILE *out)
 {
     if (cfg.kind != CacheKind::BCache)
         return;
     const BCacheParams p = cfg.bcacheParams();
-    std::printf("layout   : %s\n", deriveLayout(p).toString().c_str());
-    std::printf("area     : %+.2f%% vs same-sized direct-mapped\n",
-                areaOverheadPct(
-                    conventionalStorage(p.sizeBytes, p.lineBytes, 1),
-                    bcacheStorage(p)));
-    std::printf("energy   : %.1f pJ/access (DM baseline %.1f)\n",
-                CactiLite::bcache(p).total(), [&] {
-                    CacheOrg o;
-                    o.sizeBytes = p.sizeBytes;
-                    o.lineBytes = p.lineBytes;
-                    o.ways = 1;
-                    return CactiLite::conventional(o).total();
-                }());
+    std::fprintf(out, "layout   : %s\n",
+                 deriveLayout(p).toString().c_str());
+    std::fprintf(out, "area     : %+.2f%% vs same-sized direct-mapped\n",
+                 areaOverheadPct(
+                     conventionalStorage(p.sizeBytes, p.lineBytes, 1),
+                     bcacheStorage(p)));
+    std::fprintf(out, "energy   : %.1f pJ/access (DM baseline %.1f)\n",
+                 CactiLite::bcache(p).total(), [&] {
+                     CacheOrg o;
+                     o.sizeBytes = p.sizeBytes;
+                     o.lineBytes = p.lineBytes;
+                     o.ways = 1;
+                     return CactiLite::conventional(o).total();
+                 }());
 }
 
 // StatsExport, writeTextOutput and writeObserverExports moved to
@@ -240,17 +258,19 @@ runSharded(const std::string &trace_path, const CacheConfig &cfg,
                                         shards, opts, replay)
                : runTraceSharded(trace_path, cfg, shards, opts, replay);
 
-    if (ex.claimsStdout()) {
-        // A "-" export owns stdout; skip the report entirely.
-    } else if (json) {
+    if (json) {
         // A JSON array of per-shard MissRateResult records; merged
         // totals are the field-wise sums (trace-sampling semantics).
+        // json + a '-' export is rejected up front, so stdout is ours.
         std::printf("[");
         for (std::size_t i = 0; i < res.shards.size(); ++i)
             std::printf("%s%s", i ? ",\n " : "",
                         toJson(res.shards[i]).c_str());
         std::printf("]\n");
     } else {
+        // A "-" export owns stdout; the report moves to stderr so the
+        // piped JSON stays clean while a human still watches the run.
+        std::FILE *out = ex.claimsStdout() ? stderr : stdout;
         Table t({"shard", "window", "accesses", "misses", "miss%"});
         for (std::size_t i = 0; i < res.shards.size(); ++i) {
             const MissRateResult &s = res.shards[i];
@@ -273,20 +293,24 @@ runSharded(const std::string &trace_path, const CacheConfig &cfg,
         }
         t.print((sample ? "sharded sampled replay of "
                         : "sharded replay of ") +
-                trace_path + " on " + cfg.label);
-        std::printf("merged   : %s\n", res.total.toString().c_str());
+                    trace_path + " on " + cfg.label,
+                out);
+        std::fprintf(out, "merged   : %s\n",
+                     res.total.toString().c_str());
         if (res.sampled)
-            printSampled(*res.sampled);
+            printSampled(*res.sampled, out);
         if (res.victimHits)
-            std::printf("victim   : %llu buffer hits\n",
-                        static_cast<unsigned long long>(res.victimHits));
+            std::fprintf(out, "victim   : %llu buffer hits\n",
+                         static_cast<unsigned long long>(
+                             res.victimHits));
         if (res.pd)
-            std::printf("PD       : %llu hit-on-miss, %llu predicted "
-                        "misses\n",
-                        static_cast<unsigned long long>(
-                            res.pd->pdHitCacheMiss),
-                        static_cast<unsigned long long>(res.pd->pdMiss));
-        printSweepSummary(res.summary);
+            std::fprintf(out,
+                         "PD       : %llu hit-on-miss, %llu predicted "
+                         "misses\n",
+                         static_cast<unsigned long long>(
+                             res.pd->pdHitCacheMiss),
+                         static_cast<unsigned long long>(res.pd->pdMiss));
+        printSweepSummary(res.summary, out);
     }
     if (!ex.statsJsonPath.empty())
         writeTextOutput(ex.statsJsonPath,
@@ -305,6 +329,26 @@ runSharded(const std::string &trace_path, const CacheConfig &cfg,
 int
 bsimMain(int argc, char **argv, const BsimHooks &hooks)
 {
+    // The serving layer gets argv before anything else: --serve turns
+    // this process into bsimd, --connect into its client. Both are
+    // optional hooks so serve-less builds keep linking without
+    // src/serve.
+    if (argc > 1 && !std::strcmp(argv[1], "--serve")) {
+        if (!hooks.serveMain)
+            usage("--serve needs a serve-enabled build (bench/bsim)");
+        std::vector<char *> args;
+        args.push_back(argv[0]);
+        for (int i = 2; i < argc; ++i)
+            args.push_back(argv[i]);
+        return hooks.serveMain(static_cast<int>(args.size()),
+                               args.data());
+    }
+    if (argc > 1 && !std::strcmp(argv[1], "--connect")) {
+        if (!hooks.connectMain)
+            usage("--connect needs a serve-enabled build (bench/bsim)");
+        return hooks.connectMain(argc, argv);
+    }
+
     std::string kind = "bcache";
     std::uint64_t size = 16 * 1024;
     std::uint32_t line = 32;
@@ -537,18 +581,19 @@ bsimMain(int argc, char **argv, const BsimHooks &hooks)
     if (r.observer)
         writeObserverExports(ex, *r.observer);
 
-    if (ex.claimsStdout())
-        return 0; // a "-" export owns stdout; no human report
-
     if (json) {
+        // json + a '-' export is rejected up front; stdout is ours.
         std::printf("%s\n", toJson(r).c_str());
         return 0;
     }
 
+    // A "-" export owns stdout; the human report moves to stderr.
+    std::FILE *out = ex.claimsStdout() ? stderr : stdout;
     printMissRate(r, cfg,
                   trace_path.empty() ? workload + " (" + side + ")"
-                                     : trace_path);
-    printBCacheCosts(cfg);
+                                     : trace_path,
+                  out);
+    printBCacheCosts(cfg, out);
     return 0;
 }
 

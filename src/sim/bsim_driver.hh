@@ -44,6 +44,18 @@ struct BsimHooks
     std::function<void(const std::string &configLabel,
                        const SweepSummary &summary)>
         onSweepDone;
+
+    /**
+     * `bsim --serve ...` / `bsim --connect ...` delegate here (the
+     * serving layer, src/serve) before any other flag parsing.
+     * bench/bsim.cc wires serve::serveMain / serve::connectMain;
+     * binaries that leave them unset get a usage error pointing at a
+     * serve-enabled build. serveMain receives argv with the --serve
+     * flag removed; connectMain receives argv untouched (it parses
+     * --connect itself).
+     */
+    std::function<int(int argc, char **argv)> serveMain;
+    std::function<int(int argc, char **argv)> connectMain;
 };
 
 /**

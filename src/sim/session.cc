@@ -49,8 +49,11 @@ Session::Session(std::string trace_path, const CacheConfig &config,
       maxAccesses_(options.maxAccesses),
       batchLen_(options.batchLen),
       tracePath_(std::move(trace_path)),
-      shard_(shard)
+      shard_(shard),
+      handle_(options.handle)
 {
+    if (handle_)
+        bsim_assert(handle_->path() == tracePath_);
 }
 
 MissRateResult
@@ -123,7 +126,8 @@ Session::run()
         return finish(*cache, obs.get(), true);
     }
 
-    TraceReaderPtr reader = openTraceReader(tracePath_, shard_);
+    TraceReaderPtr reader = handle_ ? openTraceReader(handle_, shard_)
+                                    : openTraceReader(tracePath_, shard_);
     std::uint64_t left =
         maxAccesses_ ? maxAccesses_ : ~std::uint64_t{0};
     if (batch_len <= 1) {
@@ -175,7 +179,8 @@ Session::sampledPopulation() const
                 "sampled run needs a nonzero population (accesses)");
         return maxAccesses_;
     }
-    const TraceInfo info = probeTrace(tracePath_);
+    const TraceInfo info =
+        handle_ ? handle_->info() : probeTrace(tracePath_);
     if (info.recordCount == kUnknownRecordCount)
         bsim_fatal("cannot sample text trace '", tracePath_,
                    "': the record count is unknown without a full "
@@ -270,7 +275,8 @@ Session::runSampled(const SamplePlan &plan, std::uint64_t first_unit,
             unit_count == 0 ? n_units
                             : std::min(u0 + unit_count, n_units);
         sampled.units.reserve(static_cast<std::size_t>(u1 - u0));
-        TraceReaderPtr reader = openTraceReader(tracePath_);
+        TraceReaderPtr reader = handle_ ? openTraceReader(handle_)
+                                        : openTraceReader(tracePath_);
 
         auto pump = [&](BaseCache &cache, std::uint64_t n) {
             while (n > 0) {

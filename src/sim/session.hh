@@ -36,6 +36,14 @@ struct TraceReplayOptions
     std::size_t batchLen = 0;
     /** Ride a StatsObserver along (observe/observer.hh). */
     ObserverConfig observe;
+    /**
+     * Shared open-trace handle (workload/trace_reader.hh). When set,
+     * readers are opened from it — the serving layer's TraceRegistry
+     * reuses one mmap across concurrent requests this way. The trace
+     * path must match the handle's; results are bit-identical to the
+     * per-request open (same bytes, same windows).
+     */
+    TraceHandlePtr handle;
 };
 
 /**
@@ -107,6 +115,7 @@ class Session
     AccessStream *stream_ = nullptr; ///< borrowed; null for traces
     std::string tracePath_;          ///< non-empty for trace sources
     TraceShard shard_;
+    TraceHandlePtr handle_;          ///< optional shared open trace
 };
 
 /**

@@ -84,6 +84,7 @@ runOne(const SweepJob &job, std::size_t index, std::uint64_t base_seed)
             opts.maxAccesses = job.length;
             opts.batchLen = job.traceBatchLen;
             opts.observe = job.observe;
+            opts.handle = job.traceHandle;
             if (job.sample)
                 out.miss = runTraceSampled(job.tracePath, job.config,
                                            *job.sample, opts,
@@ -291,6 +292,12 @@ timedResult(const SweepOutcome &outcome)
 void
 printSweepSummary(const SweepSummary &summary)
 {
+    printSweepSummary(summary, stdout);
+}
+
+void
+printSweepSummary(const SweepSummary &summary, std::FILE *out)
+{
     Table t({"jobs", "failed", "threads", "wall-s", "sim-events",
              "Mevents/s"});
     t.row()
@@ -300,7 +307,7 @@ printSweepSummary(const SweepSummary &summary)
         .cell(summary.wallSeconds, 2)
         .cell(summary.events)
         .cell(summary.eventsPerSecond() / 1e6, 2);
-    t.print("sweep engine");
+    t.print("sweep engine", out);
 }
 
 } // namespace bsim

@@ -16,6 +16,7 @@
 #define BSIM_SIM_SWEEP_HH
 
 #include <cstdint>
+#include <cstdio>
 #include <functional>
 #include <optional>
 #include <string>
@@ -61,6 +62,13 @@ struct SweepJob
     /** Trace jobs only: file to replay and the record window owned. */
     std::string tracePath;
     TraceShard shard;
+    /**
+     * Trace jobs only: optional shared open-trace handle matching
+     * tracePath (workload/trace_reader.hh). Concurrent jobs then replay
+     * windows of one mmap instead of re-opening the file per job; the
+     * results are bit-identical either way.
+     */
+    TraceHandlePtr traceHandle;
     /** Trace jobs only: batch length (0 = defaultBatchLen()). */
     std::size_t traceBatchLen = 0;
     /** Trace jobs only: ride a StatsObserver along with the replay. */
@@ -218,6 +226,7 @@ const TimedResult &timedResult(const SweepOutcome &outcome);
  * the bench harnesses append after their figure tables.
  */
 void printSweepSummary(const SweepSummary &summary);
+void printSweepSummary(const SweepSummary &summary, std::FILE *out);
 
 } // namespace bsim
 

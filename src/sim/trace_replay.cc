@@ -15,10 +15,13 @@ runTraceReplay(const std::string &path, const CacheConfig &config,
     return Session(path, config, shard, options).run();
 }
 
+namespace {
+
+/** shardTrace() body, parameterized on an already-probed header. */
 std::vector<TraceShard>
-shardTrace(const std::string &path, unsigned shards)
+shardWindows(const TraceInfo &info, const std::string &path,
+             unsigned shards)
 {
-    const TraceInfo info = probeTrace(path);
     if (info.recordCount == kUnknownRecordCount)
         bsim_fatal("cannot shard text trace '", path,
                    "': the record count is unknown without a full "
@@ -58,6 +61,14 @@ shardTrace(const std::string &path, unsigned shards)
         }
     }
     return out;
+}
+
+} // namespace
+
+std::vector<TraceShard>
+shardTrace(const std::string &path, unsigned shards)
+{
+    return shardWindows(probeTrace(path), path, shards);
 }
 
 CacheStats
@@ -100,7 +111,8 @@ std::uint64_t
 sampledPopulation(const std::string &path,
                   const TraceReplayOptions &options)
 {
-    const TraceInfo info = probeTrace(path);
+    const TraceInfo info =
+        options.handle ? options.handle->info() : probeTrace(path);
     if (info.recordCount == kUnknownRecordCount)
         bsim_fatal("cannot sample text trace '", path,
                    "': the record count is unknown without a full "
@@ -147,6 +159,7 @@ runTraceSampledSharded(const std::string &path, const CacheConfig &config,
                                               g1 - g0,
                                               replay.maxAccesses,
                                               replay.batchLen));
+        jobs.back().traceHandle = replay.handle;
     }
     const SweepRun run = runSweep(jobs, options);
 
@@ -166,14 +179,19 @@ runTraceSharded(const std::string &path, const CacheConfig &config,
                 unsigned shards, const SweepOptions &options,
                 const TraceReplayOptions &replay)
 {
-    const std::vector<TraceShard> windows = shardTrace(path, shards);
+    const std::vector<TraceShard> windows =
+        replay.handle
+            ? shardWindows(replay.handle->info(), path, shards)
+            : shardTrace(path, shards);
     std::vector<SweepJob> jobs;
     jobs.reserve(windows.size());
-    for (const TraceShard &w : windows)
+    for (const TraceShard &w : windows) {
         jobs.push_back(SweepJob::traceReplay(path, w, config,
                                              replay.maxAccesses,
                                              replay.batchLen,
                                              replay.observe));
+        jobs.back().traceHandle = replay.handle;
+    }
     const SweepRun run = runSweep(jobs, options);
 
     TraceSweepResult result;

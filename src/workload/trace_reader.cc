@@ -263,26 +263,49 @@ shardWindow(const TraceShard &shard, std::uint64_t total,
     return {shard.firstRecord, shard.firstRecord + count};
 }
 
+/** Validate a mapped BST2 file's header; fatal with @p path named. */
+Bst2Header
+checkBst2Mapping(const std::string &path, const MappedFile &map)
+{
+    if (map.size() < kBst2HeaderBytes)
+        bsim_fatal("truncated BST2 trace '", path, "': ", map.size(),
+                   " bytes is smaller than the ", kBst2HeaderBytes,
+                   "-byte header");
+    Bst2Header header;
+    std::string err;
+    if (std::memcmp(map.data(), kBst2Magic, 4) != 0)
+        fatalBadMagic(path);
+    if (!decodeBst2Header(map.data(), &header, &err))
+        bsim_fatal("malformed BST2 trace '", path, "': ", err);
+    if (map.size() != header.fileBytes())
+        bsim_fatal("truncated BST2 trace '", path,
+                   "': header declares ", header.recordCount,
+                   " records (", header.fileBytes(),
+                   " bytes) but the file has ", map.size(), " bytes");
+    return header;
+}
+
 class Bst2MmapReader : public TraceReader
 {
   public:
     Bst2MmapReader(const std::string &path, const TraceShard &shard)
-        : path_(path), map_(path)
+        : Bst2MmapReader(path, shard,
+                         std::make_shared<MappedFile>(path),
+                         /*shared_mapping=*/false)
     {
-        if (map_.size() < kBst2HeaderBytes)
-            bsim_fatal("truncated BST2 trace '", path, "': ", map_.size(),
-                       " bytes is smaller than the ", kBst2HeaderBytes,
-                       "-byte header");
-        std::string err;
-        if (std::memcmp(map_.data(), kBst2Magic, 4) != 0)
-            fatalBadMagic(path);
-        if (!decodeBst2Header(map_.data(), &header_, &err))
-            bsim_fatal("malformed BST2 trace '", path, "': ", err);
-        if (map_.size() != header_.fileBytes())
-            bsim_fatal("truncated BST2 trace '", path,
-                       "': header declares ", header_.recordCount,
-                       " records (", header_.fileBytes(),
-                       " bytes) but the file has ", map_.size(), " bytes");
+    }
+
+    /**
+     * Reader over a mapping owned by a TraceHandle. Consumed chunks are
+     * NOT MADV_DONTNEED'd: the pages belong to every reader sharing the
+     * handle, and dropping them would evict another request's window.
+     */
+    Bst2MmapReader(const std::string &path, const TraceShard &shard,
+                   std::shared_ptr<MappedFile> map, bool shared_mapping)
+        : path_(path), map_(std::move(map)),
+          sharedMapping_(shared_mapping)
+    {
+        header_ = checkBst2Mapping(path, *map_);
         std::tie(begin_, end_) =
             shardWindow(shard, header_.recordCount, path);
         pos_ = begin_;
@@ -326,7 +349,7 @@ class Bst2MmapReader : public TraceReader
             chunk_first + header_.chunkLen, header_.recordCount);
         const std::uint64_t n = std::min<std::uint64_t>(
             {chunk_end - pos_, end_ - pos_, max_n});
-        const unsigned char *payload = map_.data() +
+        const unsigned char *payload = map_->data() +
                                        header_.chunkOffset(chunk) +
                                        kBst2ChunkHeaderBytes;
         std::span<const MemAccess> out;
@@ -362,7 +385,7 @@ class Bst2MmapReader : public TraceReader
             std::min<std::uint64_t>(header_.chunkLen,
                                     header_.recordCount - first));
         const unsigned char *hdr =
-            map_.data() + header_.chunkOffset(chunk);
+            map_->data() + header_.chunkOffset(chunk);
         std::string err;
         if (!decodeBst2ChunkHeader(hdr, records, first, &err))
             bsim_fatal("malformed BST2 trace '", path_, "' at chunk ",
@@ -372,8 +395,8 @@ class Bst2MmapReader : public TraceReader
         if (bad != records)
             bsim_fatal("malformed BST2 trace '", path_, "': record ",
                        first + bad, " has a bad type/reserved field");
-        if (validatedChunk_ != kUnknownRecordCount)
-            map_.dropRange(
+        if (validatedChunk_ != kUnknownRecordCount && !sharedMapping_)
+            map_->dropRange(
                 header_.chunkOffset(validatedChunk_),
                 std::min<std::uint64_t>(
                     header_.chunkOffset(validatedChunk_ + 1),
@@ -382,7 +405,8 @@ class Bst2MmapReader : public TraceReader
     }
 
     std::string path_;
-    MappedFile map_;
+    std::shared_ptr<MappedFile> map_;
+    bool sharedMapping_ = false;
     Bst2Header header_;
     std::uint64_t begin_ = 0, end_ = 0, pos_ = 0;
     std::uint64_t validatedChunk_ = kUnknownRecordCount;
@@ -908,6 +932,34 @@ openTraceReader(const std::string &path, const TraceShard &shard)
     }
     return std::make_unique<DineroReader>(path, shard,
                                           openByteSource(path), gz);
+}
+
+TraceHandlePtr
+openTraceHandle(const std::string &path)
+{
+    const TraceInfo info = probeTrace(path);
+    std::shared_ptr<void> mapping;
+    if (info.format == "BST2" && !info.compressed) {
+        auto map = std::make_shared<MappedFile>(path);
+        checkBst2Mapping(path, *map); // validate once, up front
+        mapping = std::move(map);
+    }
+    return std::make_shared<const TraceHandle>(path, info,
+                                               std::move(mapping));
+}
+
+TraceReaderPtr
+openTraceReader(const TraceHandlePtr &handle, const TraceShard &shard)
+{
+    bsim_assert(handle != nullptr);
+    if (handle->shared())
+        return std::make_unique<Bst2MmapReader>(
+            handle->path(), shard,
+            std::static_pointer_cast<MappedFile>(handle->mapping()),
+            /*shared_mapping=*/true);
+    // Non-mappable formats (BST1, gzip, text): the handle caches the
+    // probe, but each reader owns its own sequential source.
+    return openTraceReader(handle->path(), shard);
 }
 
 TraceReaderPtr

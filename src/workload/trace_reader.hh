@@ -121,6 +121,64 @@ struct TraceInfo
 /** Probe @p path without reading records. Fatal on malformed headers. */
 TraceInfo probeTrace(const std::string &path);
 
+/**
+ * A shared, immutable handle to an open trace: the probed TraceInfo
+ * plus — for uncompressed BST2 files — the mmap of the whole file, held
+ * once and shared by every reader opened from the handle. This is the
+ * registry hook the serving layer (src/serve/trace_registry.hh) builds
+ * on: a resident server opens each trace once and hands concurrent
+ * requests zero-copy TraceShard windows over the same mapping, instead
+ * of re-opening and re-mapping the file per request.
+ *
+ * Readers over a shared mapping never MADV_DONTNEED consumed chunks
+ * (another request may be replaying them); the single-shot
+ * openTraceReader(path) path keeps its O(chunk) resident-set behaviour.
+ * Formats without a mappable payload (BST1, gzip, text) still get a
+ * handle — openTraceReader(handle) falls back to a per-reader open of
+ * the same path, so callers need no format-specific cases.
+ */
+class TraceHandle
+{
+  public:
+    TraceHandle(std::string path, TraceInfo info,
+                std::shared_ptr<void> mapping)
+        : path_(std::move(path)), info_(info),
+          mapping_(std::move(mapping))
+    {
+    }
+    TraceHandle(const TraceHandle &) = delete;
+    TraceHandle &operator=(const TraceHandle &) = delete;
+
+    const std::string &path() const { return path_; }
+    const TraceInfo &info() const { return info_; }
+    /** True when readers share this handle's mmap (uncompressed BST2). */
+    bool shared() const { return mapping_ != nullptr; }
+
+    /** The type-erased shared MappedFile (trace_reader.cc internal). */
+    const std::shared_ptr<void> &mapping() const { return mapping_; }
+
+  private:
+    std::string path_;
+    TraceInfo info_;
+    std::shared_ptr<void> mapping_;
+};
+
+using TraceHandlePtr = std::shared_ptr<const TraceHandle>;
+
+/**
+ * Open @p path once for shared use. Fatal on missing files or malformed
+ * headers (same contract as openTraceReader).
+ */
+TraceHandlePtr openTraceHandle(const std::string &path);
+
+/**
+ * Open a windowed reader over @p handle. Zero-copy formats reuse the
+ * handle's mapping (no open/mmap syscalls, pages stay resident across
+ * readers); everything else opens the underlying path as usual.
+ */
+TraceReaderPtr openTraceReader(const TraceHandlePtr &handle,
+                               const TraceShard &shard = {});
+
 /** True when gzip-compressed traces can be read (built with zlib). */
 bool zlibAvailable();
 
